@@ -1,0 +1,324 @@
+// Benchmarks regenerating every figure of the paper's evaluation section
+// (the brief announcement has two figures and no tables) plus the ablation
+// studies listed in DESIGN.md §4.
+//
+// Figure 1 — throughput vs relaxation bound k (k-bounded algorithms) at a
+// fixed thread count:   go test -bench=Figure1 -benchmem
+// Figure 2 — throughput vs concurrency (all algorithms):
+//
+//	go test -bench=Figure2 -benchmem
+//
+// Ablations A1–A5:      go test -bench=Ablation -benchmem
+//
+// Each benchmark prefills the stack with the paper's 32,768 items outside
+// the timed region and then drives a 50/50 push/pop mix with no think time.
+// The quality (error distance) companion numbers come from the sweep
+// harness: cmd/stackbench prints both series; see EXPERIMENTS.md.
+package stack2d_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"stack2d/internal/core"
+	"stack2d/internal/elimination"
+	"stack2d/internal/eltree"
+	"stack2d/internal/harness"
+	"stack2d/internal/relax"
+	"stack2d/internal/twodqueue"
+	"stack2d/internal/xrand"
+)
+
+const benchPrefill = 32768
+
+// driveFactory runs the canonical paper workload (uniform 50/50 push/pop)
+// against one factory under b.RunParallel with `par` goroutines per
+// GOMAXPROCS processor.
+func driveFactory(b *testing.B, f harness.Factory, par int, pushRatio float64) {
+	b.Helper()
+	inst := f.New()
+	pre := inst.NewWorker()
+	for i := 0; i < benchPrefill; i++ {
+		pre.Push(uint64(i) + 1)
+	}
+	var workerID atomic.Uint64
+	b.SetParallelism(par)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := inst.NewWorker()
+		id := workerID.Add(1)
+		rng := xrand.New(0x2d57ac + id*0x9e3779b97f4a7c15)
+		label := id << 40
+		for pb.Next() {
+			if rng.Float64() < pushRatio {
+				label++
+				w.Push(label)
+			} else {
+				w.Pop()
+			}
+		}
+	})
+}
+
+// BenchmarkFigure1 regenerates the relaxation sweep: the three k-bounded
+// algorithms at increasing k, at the paper's two highlighted thread counts
+// (P=8 intra-socket, P=16 inter-socket).
+func BenchmarkFigure1(b *testing.B) {
+	for _, p := range []int{8, 16} {
+		for _, k := range []int64{8, 32, 128, 512, 2048, 8192} {
+			for _, alg := range relax.Figure1Algorithms() {
+				f := harness.Figure1Factory(alg, k, p)
+				b.Run(fmt.Sprintf("P=%d/k=%d/%s", p, k, f.Name), func(b *testing.B) {
+					driveFactory(b, f, p, 0.5)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2 regenerates the concurrency sweep: all seven algorithms
+// as the number of threads grows (the paper sweeps 1..16).
+func BenchmarkFigure2(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		for _, alg := range relax.Figure2Algorithms() {
+			f := harness.Figure2Factory(alg, p)
+			b.Run(fmt.Sprintf("P=%d/%s", p, f.Name), func(b *testing.B) {
+				driveFactory(b, f, p, 0.5)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationHop (A1) isolates the paper's hybrid hop policy: random
+// probes then round-robin versus the pure policies, at the Figure 2
+// configuration.
+func BenchmarkAblationHop(b *testing.B) {
+	const p = 8
+	base := core.DefaultConfig(p)
+	cases := []struct {
+		name string
+		hops int
+	}{
+		{"round-robin-only", 0},
+		{"hybrid-paper", 2},
+		{"random-heavy", base.Width}, // effectively random-only search
+	}
+	for _, c := range cases {
+		cfg := base
+		cfg.RandomHops = c.hops
+		f := harness.NewTwoDFactory(cfg)
+		b.Run(c.name, func(b *testing.B) {
+			driveFactory(b, f, p, 0.5)
+		})
+	}
+}
+
+// BenchmarkAblationDepth (A2) sweeps the vertical dimension at fixed width,
+// trading locality against relaxation.
+func BenchmarkAblationDepth(b *testing.B) {
+	const p = 8
+	for _, depth := range []int64{1, 4, 16, 64, 256} {
+		cfg := core.Config{Width: 4 * p, Depth: depth, Shift: depth, RandomHops: 2}
+		f := harness.NewTwoDFactory(cfg)
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			driveFactory(b, f, p, 0.5)
+		})
+	}
+}
+
+// BenchmarkAblationShift (A3) sweeps the window step at fixed width/depth:
+// smaller shifts move the window more often but keep relaxation tighter.
+func BenchmarkAblationShift(b *testing.B) {
+	const p = 8
+	const depth = 64
+	for _, shift := range []int64{1, depth / 4, depth / 2, depth} {
+		cfg := core.Config{Width: 4 * p, Depth: depth, Shift: shift, RandomHops: 2}
+		f := harness.NewTwoDFactory(cfg)
+		b.Run(fmt.Sprintf("shift=%d", shift), func(b *testing.B) {
+			driveFactory(b, f, p, 0.5)
+		})
+	}
+}
+
+// BenchmarkAblationWidth (A4) reproduces the "width = 4P is the optimum"
+// claim by sweeping the width multiplier.
+func BenchmarkAblationWidth(b *testing.B) {
+	const p = 8
+	for _, mult := range []int{1, 2, 4, 8} {
+		cfg := core.Config{Width: mult * p, Depth: 64, Shift: 64, RandomHops: 2}
+		f := harness.NewTwoDFactory(cfg)
+		b.Run(fmt.Sprintf("width=%dP", mult), func(b *testing.B) {
+			driveFactory(b, f, p, 0.5)
+		})
+	}
+}
+
+// BenchmarkAblationAsymmetric (A5) exercises asymmetric workloads, where
+// elimination's pairing opportunity collapses while the 2D-Stack's window
+// keeps absorbing the imbalance.
+func BenchmarkAblationAsymmetric(b *testing.B) {
+	const p = 8
+	ratios := []struct {
+		name string
+		push float64
+	}{
+		{"push80", 0.8},
+		{"sym50", 0.5},
+		{"pop80", 0.2},
+	}
+	algs := []struct {
+		name string
+		f    harness.Factory
+	}{
+		{"2D-stack", harness.NewTwoDFactory(core.DefaultConfig(p))},
+		{"elimination", harness.NewEliminationFactory(elimination.DefaultConfig(p))},
+		{"treiber", harness.NewTreiberFactory()},
+	}
+	for _, r := range ratios {
+		for _, a := range algs {
+			b.Run(fmt.Sprintf("%s/%s", r.name, a.name), func(b *testing.B) {
+				driveFactory(b, a.f, p, r.push)
+			})
+		}
+	}
+}
+
+// BenchmarkPublicAPI measures the overhead of the exported convenience
+// layer (pooled handles) against raw handles.
+func BenchmarkPublicAPI(b *testing.B) {
+	b.Run("handle", func(b *testing.B) {
+		f := harness.NewTwoDFactory(core.DefaultConfig(8))
+		driveFactory(b, f, 8, 0.5)
+	})
+}
+
+// BenchmarkExtensionQueue measures the 2D-Queue generalisation (the
+// paper's announced future work) against its strict Michael–Scott
+// baseline, mirroring the Figure 2 methodology.
+func BenchmarkExtensionQueue(b *testing.B) {
+	for _, p := range []int{1, 4, 8, 16} {
+		for _, f := range []harness.Factory{
+			harness.NewMSQueueFactory(),
+			harness.NewTwoDQueueFactory(twodqueue.DefaultConfig(p)),
+		} {
+			b.Run(fmt.Sprintf("P=%d/%s", p, f.Name), func(b *testing.B) {
+				driveFactory(b, f, p, 0.5)
+			})
+		}
+	}
+}
+
+// BenchmarkExtensionThinkTime dilutes contention with computational load
+// between operations (the paper zeroes this to maximise contention; the
+// full version sweeps it). As think time grows, the gap between designs
+// narrows — the crossover the sweep exposes.
+func BenchmarkExtensionThinkTime(b *testing.B) {
+	const p = 8
+	for _, spin := range []int{0, 64, 512} {
+		for _, f := range []harness.Factory{
+			harness.NewTreiberFactory(),
+			harness.NewTwoDFactory(core.DefaultConfig(p)),
+		} {
+			spin := spin
+			b.Run(fmt.Sprintf("think=%d/%s", spin, f.Name), func(b *testing.B) {
+				driveThinking(b, f, p, spin)
+			})
+		}
+	}
+}
+
+// driveThinking is driveFactory with a spin workload between operations.
+func driveThinking(b *testing.B, f harness.Factory, par, spin int) {
+	b.Helper()
+	inst := f.New()
+	pre := inst.NewWorker()
+	for i := 0; i < benchPrefill; i++ {
+		pre.Push(uint64(i) + 1)
+	}
+	var workerID atomic.Uint64
+	b.SetParallelism(par)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		w := inst.NewWorker()
+		id := workerID.Add(1)
+		rng := xrand.New(0x7e11 + id*0x9e3779b97f4a7c15)
+		label := id << 40
+		var sink uint64
+		for pb.Next() {
+			if rng.Bool() {
+				label++
+				w.Push(label)
+			} else {
+				w.Pop()
+			}
+			for i := 0; i < spin; i++ {
+				sink = sink*6364136223846793005 + 1442695040888963407
+			}
+		}
+		_ = sink
+	})
+}
+
+// BenchmarkRelatedWork places the 2D-Stack in the wider contention-
+// management design space the paper's Section 2 surveys: software
+// combining (flat combining) and elimination-diffraction trees, alongside
+// the strict and relaxed designs of the evaluation proper.
+func BenchmarkRelatedWork(b *testing.B) {
+	for _, p := range []int{1, 8, 16} {
+		factories := []harness.Factory{
+			harness.NewTwoDFactory(core.DefaultConfig(p)),
+			harness.NewTreiberFactory(),
+			harness.NewEliminationFactory(elimination.DefaultConfig(p)),
+			harness.NewFlatCombiningFactory(),
+			harness.NewElimTreeFactory(eltree.DefaultConfig(p)),
+		}
+		for _, f := range factories {
+			b.Run(fmt.Sprintf("P=%d/%s", p, f.Name), func(b *testing.B) {
+				driveFactory(b, f, p, 0.5)
+			})
+		}
+	}
+}
+
+// BenchmarkBatchOps measures the batched API against singleton operations
+// at matched item volume (batch size 16).
+func BenchmarkBatchOps(b *testing.B) {
+	const p = 8
+	const batch = 16
+	b.Run("singleton", func(b *testing.B) {
+		f := harness.NewTwoDFactory(core.DefaultConfig(p))
+		driveFactory(b, f, p, 0.5)
+	})
+	b.Run("batch16", func(b *testing.B) {
+		inst := core.MustNew[uint64](core.DefaultConfig(p))
+		pre := inst.NewHandle()
+		for i := 0; i < benchPrefill; i++ {
+			pre.Push(uint64(i) + 1)
+		}
+		var workerID atomic.Uint64
+		b.SetParallelism(p)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			h := inst.NewHandle()
+			id := workerID.Add(1)
+			rng := xrand.New(0xba7c4 + id*0x9e3779b97f4a7c15)
+			label := id << 40
+			buf := make([]uint64, batch)
+			for pb.Next() {
+				// One pb.Next() tick = one batch of 16 item-ops, so ns/op
+				// numbers are per batch; divide by 16 to compare with the
+				// singleton series.
+				if rng.Bool() {
+					for i := range buf {
+						label++
+						buf[i] = label
+					}
+					h.PushBatch(buf)
+				} else {
+					h.PopBatch(batch)
+				}
+			}
+		})
+	})
+}

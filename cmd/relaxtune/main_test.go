@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"1,2,4", []int{1, 2, 4}, true},
+		{" 8 , 16 ", []int{8, 16}, true},
+		{"0", []int{0}, true},
+		{"1,,2", []int{1, 2}, true}, // empty segments skipped
+		{"", nil, false},
+		{",", nil, false},
+		{"a,b", nil, false},
+		{"-3", nil, false},
+	}
+	for _, c := range cases {
+		got, err := parseInts(c.in)
+		if (err == nil) != c.ok {
+			t.Errorf("parseInts(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseInts(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("parseInts(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}

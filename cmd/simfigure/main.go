@@ -1,0 +1,125 @@
+// Command simfigure regenerates the throughput dimension of the paper's
+// Figure 2 on the simulated NUMA machine (internal/sim): the development
+// container exposes one hardware thread, so real coherence contention —
+// the effect the 2D-Stack is designed to escape — is simulated per the
+// substitution rule in DESIGN.md §3.
+//
+// Usage:
+//
+//	simfigure [-horizon 500000] [-sockets 2] [-cores 8] [-intra 40] [-inter 100]
+//
+// Output: simulated throughput (operations per 1000 cycles) for each
+// algorithm at each thread count, filling socket 0 first as the paper pins.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stack2d/internal/sim"
+	"stack2d/internal/stats"
+)
+
+func main() {
+	var (
+		figure  = flag.Int("figure", 2, "figure to simulate: 1 (throughput vs k) or 2 (throughput vs P)")
+		threads = flag.Int("threads", 8, "thread count P for figure 1")
+		horizon = flag.Int64("horizon", 500000, "simulated cycles per run")
+		sockets = flag.Int("sockets", 2, "sockets in the simulated machine")
+		cores   = flag.Int("cores", 8, "cores per socket")
+		local   = flag.Int64("local", 1, "cache-hit cost (cycles)")
+		intra   = flag.Int64("intra", 40, "intra-socket transfer cost")
+		inter   = flag.Int64("inter", 100, "inter-socket transfer cost")
+		compute = flag.Int64("compute", 30, "fixed per-op instruction cost")
+	)
+	flag.Parse()
+
+	m := sim.Machine{
+		Sockets:         *sockets,
+		CoresPerSocket:  *cores,
+		LocalCost:       *local,
+		IntraSocketCost: *intra,
+		InterSocketCost: *inter,
+		ComputePerOp:    *compute,
+	}
+	if err := m.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "simfigure:", err)
+		os.Exit(2)
+	}
+
+	var err error
+	switch *figure {
+	case 1:
+		err = simFigure1(m, *threads, *horizon)
+	case 2:
+		err = simFigure2(m, *horizon)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simfigure:", err)
+		os.Exit(1)
+	}
+}
+
+func simFigure2(m sim.Machine, horizon int64) error {
+	fmt.Printf("# Simulated Figure 2 (throughput): %d sockets x %d cores, costs local/intra/inter = %d/%d/%d, %d cycles/run\n",
+		m.Sockets, m.CoresPerSocket, m.LocalCost, m.IntraSocketCost, m.InterSocketCost, horizon)
+	fmt.Println("# unit: completed operations per 1000 simulated cycles (total across threads)")
+	fmt.Println()
+
+	ps := []int{1, 2, 4, 6, 8, 10, 12, 14, 16}
+	header := []string{"P"}
+	for _, a := range sim.Algos() {
+		header = append(header, string(a))
+	}
+	tb := stats.NewTable(header...)
+	for _, p := range ps {
+		if p > m.Cores() {
+			break
+		}
+		row := []string{fmt.Sprintf("%d", p)}
+		for _, a := range sim.Algos() {
+			thr, err := sim.Throughput(m, a, p, horizon)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.1f", thr))
+		}
+		tb.AddRow(row...)
+	}
+	fmt.Println(tb.String())
+	fmt.Println("expected shape (paper Figure 2): 2D-stack rises with P; treiber flat/declining;")
+	fmt.Println("elimination between them; the P>8 slope change is the inter-socket cliff.")
+	return nil
+}
+
+func simFigure1(m sim.Machine, p int, horizon int64) error {
+	fmt.Printf("# Simulated Figure 1 (throughput vs k): P=%d on %d sockets x %d cores, %d cycles/run\n",
+		p, m.Sockets, m.CoresPerSocket, horizon)
+	fmt.Println("# unit: completed operations per 1000 simulated cycles (total across threads)")
+	fmt.Println()
+
+	header := []string{"k"}
+	for _, a := range sim.Figure1Algos() {
+		header = append(header, string(a))
+	}
+	tb := stats.NewTable(header...)
+	for _, k := range []int64{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192} {
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, a := range sim.Figure1Algos() {
+			thr, err := sim.Figure1Throughput(m, a, k, p, horizon)
+			if err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.1f", thr))
+		}
+		tb.AddRow(row...)
+	}
+	fmt.Println(tb.String())
+	fmt.Println("expected shape (paper Figure 1): 2D-stack throughput rises monotonically")
+	fmt.Println("with k and dominates; k-segment decays at large k (segment maintenance).")
+	return nil
+}

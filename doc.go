@@ -1,0 +1,37 @@
+// Package stack2d provides a scalable lock-free concurrent stack with
+// tunable relaxed semantics — a faithful Go implementation of the 2D-Stack
+// of Rukundo, Atalar and Tsigas ("Brief Announcement: 2D-Stack — A Scalable
+// Lock-Free Stack Design that Continuously Relaxes Semantics for Better
+// Performance", PODC 2018).
+//
+// A classic concurrent stack has a single access point — the top — which
+// serialises every operation. The 2D-Stack replaces it with an array of
+// `width` sub-stacks (disjoint-access parallelism, the horizontal
+// dimension) and a window of height `depth` that keeps the sub-stack
+// populations within a tight band (locality, the vertical dimension). A Pop
+// may return an item that is not the exact LIFO top, but never one more
+// than
+//
+//	k = (2·shift + depth) · (width − 1)
+//
+// positions away from it (k-out-of-order semantics, Theorem 1 of the
+// paper); the parameters trade accuracy for throughput continuously, and a
+// width-1 configuration degenerates to a strict lock-free stack.
+//
+// # Quick start
+//
+//	s := stack2d.New[int](stack2d.WithExpectedThreads(8))
+//	h := s.NewHandle() // one per goroutine
+//	h.Push(42)
+//	v, ok := h.Pop()
+//
+// Handles carry the per-goroutine search state the algorithm needs; the
+// convenience methods Stack.Push and Stack.Pop manage a pool of handles
+// internally for callers that cannot thread a handle through.
+//
+// The companion packages under internal implement every baseline of the
+// paper's evaluation (Treiber, elimination back-off, k-segment, and the
+// random / random-c2 / k-robin distributed stacks), the quality oracle and
+// the benchmark harness; see DESIGN.md and EXPERIMENTS.md in the repository
+// root, and cmd/stackbench for regenerating the paper's figures.
+package stack2d

@@ -1,0 +1,131 @@
+// Freelist: object recycling through a concurrent stack. A LIFO free list
+// returns the most-recently-released buffer, which is the one most likely
+// to still be cache-resident — but strict LIFO serialises every
+// acquire/release on one CAS word. A relaxed stack hands back *a recently
+// released* buffer instead of *the most recently released* one, which is
+// exactly as good for recycling and removes the bottleneck.
+//
+// The program drives an acquire/compute/release loop from many goroutines
+// over three free-list variants and reports throughput and allocation
+// behaviour (misses = acquisitions that had to allocate fresh).
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stack2d"
+)
+
+const bufSize = 4096
+
+// pool is a free list of byte buffers over any stack implementation.
+type pool struct {
+	acquire func() ([]byte, bool)
+	release func([]byte)
+}
+
+// workload drives acquire/use/release cycles for the given duration.
+func workload(p pool, workers int, d time.Duration) (cycles, misses uint64) {
+	var stop atomic.Bool
+	var cyc, mis atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !stop.Load() {
+				buf, hit := p.acquire()
+				if !hit {
+					buf = make([]byte, bufSize)
+					mis.Add(1)
+				}
+				// Touch the buffer (the part recycling keeps warm).
+				for i := 0; i < bufSize; i += 512 {
+					buf[i]++
+				}
+				p.release(buf)
+				cyc.Add(1)
+			}
+		}(w)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	return cyc.Load(), mis.Load()
+}
+
+func main() {
+	const (
+		workers  = 8
+		duration = 300 * time.Millisecond
+		prefill  = 64 // warm buffers seeded into each free list
+	)
+	fmt.Printf("free-list recycling: %d workers, %v per variant, %d warm buffers\n\n",
+		workers, duration, prefill)
+
+	type variant struct {
+		name string
+		make func() pool
+	}
+	variants := []variant{
+		{"treiber (strict)", func() pool {
+			s := stack2d.NewStrict[[]byte]()
+			for i := 0; i < prefill; i++ {
+				s.Push(make([]byte, bufSize))
+			}
+			return pool{
+				acquire: func() ([]byte, bool) { return s.Pop() },
+				release: func(b []byte) { s.Push(b) },
+			}
+		}},
+		{"2D-stack (default)", func() pool {
+			s := stack2d.New[[]byte](stack2d.WithExpectedThreads(workers))
+			h := s.NewHandle()
+			for i := 0; i < prefill; i++ {
+				h.Push(make([]byte, bufSize))
+			}
+			// Per-goroutine handles via a pool-of-handles pattern: the
+			// convenience API does this internally; the explicit variant
+			// below shows the hot path.
+			var handles sync.Pool
+			handles.New = func() any { return s.NewHandle() }
+			return pool{
+				acquire: func() ([]byte, bool) {
+					h := handles.Get().(*stack2d.Handle[[]byte])
+					defer handles.Put(h)
+					return h.Pop()
+				},
+				release: func(b []byte) {
+					h := handles.Get().(*stack2d.Handle[[]byte])
+					defer handles.Put(h)
+					h.Push(b)
+				},
+			}
+		}},
+		{"2D-stack (tight k=32)", func() pool {
+			s := stack2d.New[[]byte](stack2d.WithRelaxation(32), stack2d.WithExpectedThreads(workers))
+			h := s.NewHandle()
+			for i := 0; i < prefill; i++ {
+				h.Push(make([]byte, bufSize))
+			}
+			return pool{
+				acquire: func() ([]byte, bool) { return s.Pop() },
+				release: func(b []byte) { s.Push(b) },
+			}
+		}},
+	}
+
+	for _, v := range variants {
+		p := v.make()
+		cycles, misses := workload(p, workers, duration)
+		fmt.Printf("%-22s %8.0f cycles/s   fresh allocations: %d (%.3f%%)\n",
+			v.name,
+			float64(cycles)/duration.Seconds(),
+			misses, 100*float64(misses)/float64(cycles))
+	}
+	fmt.Println("\na relaxed free list recycles just as well — any recent buffer is warm —")
+	fmt.Println("while spreading the acquire/release contention across sub-stacks")
+}

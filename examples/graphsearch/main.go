@@ -1,0 +1,146 @@
+// Graphsearch: parallel reachability over a synthetic graph using the
+// relaxed stack as the DFS frontier. Reachability is order-insensitive —
+// visiting nodes slightly out of depth-first order changes nothing about
+// the answer — which makes the frontier the textbook consumer of relaxed
+// LIFO semantics: near-LIFO keeps the search depth-first enough to bound
+// the frontier size, while the relaxation removes the top-of-stack
+// bottleneck.
+//
+// The program builds a deterministic random digraph, computes the
+// reachable set sequentially, then runs the parallel search over a strict
+// and a relaxed frontier and verifies all three agree.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stack2d"
+)
+
+const (
+	nodes     = 200000
+	outDegree = 4
+	workers   = 8
+)
+
+// graph is a fixed-out-degree adjacency table built from a deterministic
+// mix, so every run (and both frontier variants) searches the same graph.
+type graph struct {
+	adj [][outDegree]int32
+}
+
+func buildGraph() *graph {
+	g := &graph{adj: make([][outDegree]int32, nodes)}
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := range g.adj {
+		for j := 0; j < outDegree; j++ {
+			// Bias edges forward so the reachable set from node 0 is large
+			// but not total.
+			if next()%8 < 6 {
+				g.adj[i][j] = int32(next() % nodes)
+			} else {
+				g.adj[i][j] = int32(i) // self loop = dead edge
+			}
+		}
+	}
+	return g
+}
+
+// sequentialReach is the oracle: classic DFS.
+func sequentialReach(g *graph, root int32) int {
+	visited := make([]bool, nodes)
+	stack := []int32{root}
+	visited[root] = true
+	count := 0
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, m := range g.adj[n] {
+			if !visited[m] {
+				visited[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return count
+}
+
+// parallelReach runs the search with the given frontier handles factory.
+func parallelReach(g *graph, root int32, newHandle func() stack2d.Interface[int32]) (int, time.Duration) {
+	visited := make([]atomic.Bool, nodes)
+	var count atomic.Int64
+	var inFlight atomic.Int64
+
+	seed := newHandle()
+	visited[root].Store(true)
+	inFlight.Store(1)
+	seed.Push(root)
+
+	began := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := newHandle()
+			for inFlight.Load() > 0 {
+				n, ok := h.Pop()
+				if !ok {
+					continue
+				}
+				count.Add(1)
+				for _, m := range g.adj[n] {
+					if !visited[m].Load() && visited[m].CompareAndSwap(false, true) {
+						inFlight.Add(1)
+						h.Push(m)
+					}
+				}
+				inFlight.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	return int(count.Load()), time.Since(began)
+}
+
+func main() {
+	g := buildGraph()
+	want := sequentialReach(g, 0)
+	fmt.Printf("digraph: %d nodes, out-degree %d; sequential DFS reaches %d nodes\n\n", nodes, outDegree, want)
+
+	variants := []struct {
+		name string
+		mk   func() func() stack2d.Interface[int32]
+	}{
+		{"treiber (strict)", func() func() stack2d.Interface[int32] {
+			s := stack2d.NewStrict[int32]()
+			return func() stack2d.Interface[int32] { return s }
+		}},
+		{"2D-stack (default)", func() func() stack2d.Interface[int32] {
+			s := stack2d.New[int32](stack2d.WithExpectedThreads(workers))
+			return func() stack2d.Interface[int32] { return s.NewHandle() }
+		}},
+	}
+	for _, v := range variants {
+		got, elapsed := parallelReach(g, 0, v.mk())
+		status := "ok"
+		if got != want {
+			status = fmt.Sprintf("MISMATCH (got %d, want %d)", got, want)
+		}
+		fmt.Printf("%-20s %10v  %9.0f nodes/s  reachable set %s\n",
+			v.name, elapsed.Round(time.Millisecond),
+			float64(got)/elapsed.Seconds(), status)
+	}
+	fmt.Println("\nrelaxing the frontier's LIFO order cannot change reachability — only the")
+	fmt.Println("visit order — so the relaxed stack is a drop-in frontier under contention")
+}

@@ -1,0 +1,138 @@
+// Pipeline: the 2D-Queue extension in its natural habitat — a multi-stage
+// processing pipeline where stage buffers need high enqueue/dequeue
+// throughput but not exact FIFO (items carry their own identity; the next
+// stage does not care which of the ~k front items it receives).
+//
+// The program pushes records through a three-stage pipeline (parse →
+// enrich → aggregate) twice: once buffered by strict Michael–Scott queues,
+// once by relaxed 2D-Queues, and reports end-to-end throughput plus a
+// verification that both runs aggregate the identical result.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stack2d"
+)
+
+const (
+	records  = 200000
+	perStage = 4 // workers per stage
+)
+
+// buffers abstracts the two queue families behind enqueue/dequeue funcs.
+type buffers struct {
+	name string
+	enq  [2]func(uint64)
+	deq  [2]func() (uint64, bool)
+}
+
+func makeStrict() buffers {
+	a := stack2d.NewStrictQueue[uint64]()
+	b := stack2d.NewStrictQueue[uint64]()
+	return buffers{
+		name: "ms-queue (strict)",
+		enq:  [2]func(uint64){a.Enqueue, b.Enqueue},
+		deq:  [2]func() (uint64, bool){a.Dequeue, b.Dequeue},
+	}
+}
+
+func makeRelaxed() buffers {
+	a := stack2d.NewQueue[uint64](perStage * 2)
+	b := stack2d.NewQueue[uint64](perStage * 2)
+	// One handle per stage worker would be ideal; funcs here share via
+	// handle-per-call for brevity — the harness benchmarks the hot path.
+	ha, hb := a.NewHandle(), b.NewHandle()
+	var mu1, mu2 sync.Mutex
+	return buffers{
+		name: fmt.Sprintf("2D-queue (k=%d)", a.K()),
+		enq: [2]func(uint64){
+			func(v uint64) { mu1.Lock(); ha.Enqueue(v); mu1.Unlock() },
+			func(v uint64) { mu2.Lock(); hb.Enqueue(v); mu2.Unlock() },
+		},
+		deq: [2]func() (uint64, bool){
+			func() (uint64, bool) { mu1.Lock(); defer mu1.Unlock(); return ha.Dequeue() },
+			func() (uint64, bool) { mu2.Lock(); defer mu2.Unlock(); return hb.Dequeue() },
+		},
+	}
+}
+
+// runPipeline pushes `records` items through parse→enrich→aggregate and
+// returns the aggregate checksum and elapsed time.
+func runPipeline(b buffers) (uint64, time.Duration) {
+	var produced, enriched atomic.Int64
+	var sum atomic.Uint64
+	began := time.Now()
+
+	var wg sync.WaitGroup
+	// Stage 1: produce/parse.
+	for w := 0; w < perStage; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := produced.Add(1)
+				if i > records {
+					return
+				}
+				b.enq[0](uint64(i)*2 + 1) // "parsed" record
+			}
+		}(w)
+	}
+	// Stage 2: enrich.
+	for w := 0; w < perStage; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for enriched.Load() < records {
+				v, ok := b.deq[0]()
+				if !ok {
+					continue
+				}
+				b.enq[1](v * 3) // "enriched"
+				enriched.Add(1)
+			}
+		}()
+	}
+	// Stage 3: aggregate.
+	var done atomic.Int64
+	for w := 0; w < perStage; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for done.Load() < records {
+				v, ok := b.deq[1]()
+				if !ok {
+					continue
+				}
+				sum.Add(v)
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return sum.Load(), time.Since(began)
+}
+
+func main() {
+	fmt.Printf("3-stage pipeline, %d records, %d workers/stage\n\n", records, perStage)
+	var want uint64
+	for i := uint64(1); i <= records; i++ {
+		want += (i*2 + 1) * 3
+	}
+	for _, b := range []buffers{makeStrict(), makeRelaxed()} {
+		sum, elapsed := runPipeline(b)
+		status := "ok"
+		if sum != want {
+			status = fmt.Sprintf("MISMATCH (got %d want %d)", sum, want)
+		}
+		fmt.Printf("%-22s %10v  %8.0f rec/s  aggregate %s\n",
+			b.name, elapsed.Round(time.Millisecond),
+			float64(records)/elapsed.Seconds(), status)
+	}
+	fmt.Println("\nboth bufferings aggregate the identical multiset; FIFO order inside a")
+	fmt.Println("stage buffer is immaterial, which is the slack the 2D window exploits")
+}

@@ -1,0 +1,71 @@
+// Quickstart: the smallest useful tour of the stack2d public API — build a
+// relaxed stack, push and pop through per-goroutine handles, inspect the
+// relaxation bound, and fall back to the strict stack when exact LIFO
+// matters.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"stack2d"
+)
+
+func main() {
+	// A 2D-Stack tuned for 4 concurrent goroutines (width 4P = 16
+	// sub-stacks, depth 64). Theorem 1 gives its k-out-of-order bound.
+	s := stack2d.New[string](stack2d.WithExpectedThreads(4))
+	fmt.Printf("configured: %+v\n", s.Config())
+	fmt.Printf("relaxation bound k = %d\n\n", s.K())
+
+	// Handles carry per-goroutine search state: one per goroutine.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.NewHandle()
+			for i := 0; i < 5; i++ {
+				h.Push(fmt.Sprintf("task-%d.%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Printf("pushed 20 items; Len() = %d\n", s.Len())
+
+	// Pop a few: values come back near-LIFO, within k of the top.
+	h := s.NewHandle()
+	fmt.Print("popped: ")
+	for i := 0; i < 5; i++ {
+		if v, ok := h.Pop(); ok {
+			fmt.Printf("%s ", v)
+		}
+	}
+	fmt.Println()
+
+	// The convenience methods work without a handle (they borrow one from
+	// an internal pool) — handy off the hot path.
+	s.Push("one-off")
+	if v, ok := s.Pop(); ok {
+		fmt.Printf("pooled-handle pop: %s\n", v)
+	}
+
+	// Need a guaranteed strict LIFO? Ask for zero relaxation (width 1)...
+	strict := stack2d.New[int](stack2d.WithRelaxation(0))
+	strict.Push(1)
+	strict.Push(2)
+	a, _ := strict.Pop()
+	b, _ := strict.Pop()
+	fmt.Printf("\nWithRelaxation(0): popped %d then %d (exact LIFO, k=%d)\n", a, b, strict.K())
+
+	// ... or use the classic Treiber stack directly.
+	t := stack2d.NewStrict[int]()
+	t.Push(10)
+	t.Push(20)
+	x, _ := t.Pop()
+	fmt.Printf("NewStrict: top was %d\n", x)
+
+	// Everything left can be drained at teardown.
+	rest := s.Drain()
+	fmt.Printf("\ndrained %d remaining items\n", len(rest))
+}

@@ -1,0 +1,58 @@
+// Package backoff implements bounded exponential backoff for CAS retry
+// loops.
+//
+// The elimination stack (Hendler, Shavit, Yerushalmi 2010) alternates
+// between the central Treiber stack and a collision layer, waiting a bounded
+// random interval in the collision slot; the 2D-Stack itself does not spin —
+// it hops — but its baselines need a conventional backoff, and the harness
+// uses one to throttle adversarial tests.
+package backoff
+
+import (
+	"runtime"
+
+	"stack2d/internal/xrand"
+)
+
+// Backoff is a per-goroutine bounded exponential backoff. The zero value is
+// not valid; use New.
+type Backoff struct {
+	rng     *xrand.State
+	min     int // minimum spin iterations
+	max     int // maximum spin iterations (cap)
+	current int // current cap, doubles on each Wait
+}
+
+// New returns a Backoff whose first wait spins up to min iterations and
+// whose cap doubles on every Wait until reaching max. Both bounds must be
+// positive and min <= max.
+func New(min, max int, seed uint64) *Backoff {
+	if min <= 0 || max < min {
+		panic("backoff: invalid bounds")
+	}
+	return &Backoff{rng: xrand.New(seed), min: min, max: max, current: min}
+}
+
+// Wait blocks the calling goroutine for a random interval up to the current
+// cap, then doubles the cap (bounded by max). The wait is implemented as
+// Gosched-yields rather than timer sleeps: at the microsecond scale of CAS
+// contention a timer would overshoot by orders of magnitude.
+func (b *Backoff) Wait() {
+	spins := 1 + b.rng.Intn(b.current)
+	for i := 0; i < spins; i++ {
+		runtime.Gosched()
+	}
+	if b.current < b.max {
+		b.current *= 2
+		if b.current > b.max {
+			b.current = b.max
+		}
+	}
+}
+
+// Reset restores the cap to its minimum. Call after a successful operation
+// so that the next contention episode starts gently.
+func (b *Backoff) Reset() { b.current = b.min }
+
+// Current exposes the present cap; used by tests and adaptive policies.
+func (b *Backoff) Current() int { return b.current }

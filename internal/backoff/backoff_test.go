@@ -1,0 +1,57 @@
+package backoff
+
+import "testing"
+
+func TestNewValidatesBounds(t *testing.T) {
+	cases := []struct{ min, max int }{
+		{0, 10}, {-1, 10}, {5, 4}, {0, 0},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) did not panic", c.min, c.max)
+				}
+			}()
+			New(c.min, c.max, 1)
+		}()
+	}
+}
+
+func TestCapDoublesAndSaturates(t *testing.T) {
+	b := New(2, 16, 1)
+	want := []int{2, 4, 8, 16, 16, 16}
+	for i, w := range want {
+		if got := b.Current(); got != w {
+			t.Fatalf("wait %d: cap = %d, want %d", i, got, w)
+		}
+		b.Wait()
+	}
+}
+
+func TestCapSaturatesAtNonPowerMax(t *testing.T) {
+	b := New(3, 10, 1)
+	b.Wait() // cap 3 -> 6
+	b.Wait() // cap 6 -> 10 (not 12)
+	if got := b.Current(); got != 10 {
+		t.Fatalf("cap = %d, want clamped 10", got)
+	}
+}
+
+func TestResetRestoresMin(t *testing.T) {
+	b := New(2, 64, 1)
+	for i := 0; i < 10; i++ {
+		b.Wait()
+	}
+	b.Reset()
+	if got := b.Current(); got != 2 {
+		t.Fatalf("after Reset, cap = %d, want 2", got)
+	}
+}
+
+func TestWaitTerminates(t *testing.T) {
+	b := New(1, 4, 9)
+	for i := 0; i < 1000; i++ {
+		b.Wait() // must not deadlock or panic
+	}
+}

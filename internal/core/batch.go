@@ -1,0 +1,156 @@
+package core
+
+// Batched operations. A batch applies several pushes (or pops) to one
+// sub-stack with a single descriptor CAS, amortising the search and the
+// coherence traffic. The window discipline is preserved exactly: a batch
+// of m pushes is accepted only while count+m <= Global, i.e. it is
+// indistinguishable (for the Theorem 1 bound) from m consecutive singleton
+// pushes that all landed on that sub-stack — something the window already
+// permits. Likewise a pop batch never takes a sub-stack below the window
+// floor.
+
+// PushBatch pushes all values; vs[len-1] ends up topmost, matching a
+// sequential loop of Push calls. Values may be split across sub-stacks
+// when window headroom is short.
+func (h *Handle[T]) PushBatch(vs []T) {
+	s := h.s
+	width := s.cfg.Width
+	remaining := vs
+	for len(remaining) > 0 {
+		global := s.global.V.Load()
+		idx := h.last
+		probes := 0
+		randLeft := s.cfg.RandomHops
+		for probes < width && len(remaining) > 0 {
+			if g := s.global.V.Load(); g != global {
+				global = g
+				probes = 0
+				randLeft = s.cfg.RandomHops
+				h.stats.Restarts++
+			}
+			d := s.subs[idx].load()
+			h.stats.Probes++
+			if headroom := global - d.count; headroom > 0 {
+				m := int64(len(remaining))
+				if m > headroom {
+					m = headroom
+				}
+				// Chain the first m values so remaining[m-1] is topmost.
+				top := d.top
+				for i := int64(0); i < m; i++ {
+					top = &node[T]{value: remaining[i], next: top}
+				}
+				if s.subs[idx].cas(d, &descriptor[T]{top: top, count: d.count + m}) {
+					h.last = idx
+					h.stats.Pushes += uint64(m)
+					remaining = remaining[m:]
+					continue
+				}
+				h.stats.CASFailures++
+				idx = h.rng.Intn(width)
+				probes = 0
+				randLeft = 0
+				continue
+			}
+			if randLeft > 0 {
+				randLeft--
+				h.stats.RandomHops++
+				idx = h.rng.Intn(width)
+				continue
+			}
+			probes++
+			idx++
+			if idx == width {
+				idx = 0
+			}
+		}
+		if len(remaining) == 0 {
+			return
+		}
+		if s.global.V.CompareAndSwap(global, global+s.cfg.Shift) {
+			h.stats.WindowRaises++
+		}
+	}
+}
+
+// PopBatch removes up to max values, returned topmost-first. It returns a
+// short (possibly empty) slice when the stack runs out of items within the
+// window discipline, exactly as max consecutive Pop calls would.
+func (h *Handle[T]) PopBatch(max int) []T {
+	if max <= 0 {
+		return nil
+	}
+	s := h.s
+	width := s.cfg.Width
+	depth := s.cfg.Depth
+	out := make([]T, 0, max)
+	for len(out) < max {
+		global := s.global.V.Load()
+		floor := global - depth
+		idx := h.last
+		probes := 0
+		randLeft := s.cfg.RandomHops
+		for probes < width && len(out) < max {
+			if g := s.global.V.Load(); g != global {
+				global = g
+				floor = global - depth
+				probes = 0
+				randLeft = s.cfg.RandomHops
+				h.stats.Restarts++
+			}
+			d := s.subs[idx].load()
+			h.stats.Probes++
+			if avail := d.count - floor; avail > 0 {
+				m := int64(max - len(out))
+				if m > avail {
+					m = avail
+				}
+				// Walk m nodes off the top.
+				top := d.top
+				taken := make([]T, 0, m)
+				for i := int64(0); i < m; i++ {
+					taken = append(taken, top.value)
+					top = top.next
+				}
+				if s.subs[idx].cas(d, &descriptor[T]{top: top, count: d.count - m}) {
+					h.last = idx
+					h.stats.Pops += uint64(m)
+					out = append(out, taken...)
+					continue
+				}
+				h.stats.CASFailures++
+				idx = h.rng.Intn(width)
+				probes = 0
+				randLeft = 0
+				continue
+			}
+			if randLeft > 0 {
+				randLeft--
+				h.stats.RandomHops++
+				idx = h.rng.Intn(width)
+				continue
+			}
+			probes++
+			idx++
+			if idx == width {
+				idx = 0
+			}
+		}
+		if len(out) >= max {
+			return out
+		}
+		if global == depth {
+			// Window at its floor and full coverage found nothing: the
+			// stack is out of items (within the empty-detection slack).
+			return out
+		}
+		next := global - s.cfg.Shift
+		if next < depth {
+			next = depth
+		}
+		if s.global.V.CompareAndSwap(global, next) {
+			h.stats.WindowLowers++
+		}
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+// Package core implements the 2D-Stack of Rukundo, Atalar and Tsigas
+// (PODC'18): a lock-free stack that relaxes LIFO semantics within a tunable
+// two-dimensional window to gain throughput.
+//
+// # Structure
+//
+// The stack is an array of `width` Treiber-style sub-stacks, each described
+// by an immutable {top, count} descriptor replaced atomically on every
+// successful operation. A shared Global counter together with the `depth`
+// parameter defines the *window*: a sub-stack is a valid target for
+//
+//   - Push when count < Global
+//   - Pop  when count > Global − depth
+//
+// When no sub-stack is valid the window itself is moved: Push raises Global
+// by `shift`, Pop lowers it (never below depth). All items therefore live
+// within a band of height `depth` across the sub-stacks, which yields the
+// paper's Theorem 1 bound: the stack is linearizable with respect to
+// k-out-of-order stack semantics with
+//
+//	k = (2·shift + depth) · (width − 1)
+//
+// # Operation scheduling
+//
+// Each operation starts from the sub-stack where the calling handle last
+// succeeded (locality — the vertical dimension), tries a configurable number
+// of random hops, then falls back to round-robin probing. A failed CAS
+// (contention) triggers a random hop instead of a retry on the same
+// sub-stack. Any observed change of Global restarts the search, keeping the
+// window tight.
+//
+// # Handles
+//
+// The algorithm keeps per-thread state (last successful sub-stack, RNG).
+// Go has no cheap goroutine-local storage, so that state lives in an
+// explicit Handle; each goroutine should own one. Handle operations are not
+// safe for concurrent use of the *same* handle; the Stack itself is fully
+// concurrent across handles.
+package core
+
+import (
+	"fmt"
+
+	"stack2d/internal/pad"
+)
+
+// Config carries the tuning parameters of a 2D-Stack. The zero value is not
+// valid; use DefaultConfig or fill all fields and call Validate.
+type Config struct {
+	// Width is the number of sub-stacks (the horizontal, disjoint-access
+	// dimension). The paper's evaluation selects width = 4P for P threads.
+	Width int
+	// Depth is the window height: the maximum spread of items a single
+	// sub-stack may hold relative to the window floor (the vertical,
+	// locality dimension).
+	Depth int64
+	// Shift is how far Global moves when a whole window is exhausted.
+	// Must satisfy 1 <= Shift <= Depth. The paper uses shift = depth for
+	// maximum locality; smaller shifts tighten relaxation at the cost of
+	// more frequent Global updates.
+	Shift int64
+	// RandomHops is the number of random probes an operation makes before
+	// switching to round-robin search. The paper prescribes "a given
+	// number of random hops, then round robin".
+	RandomHops int
+}
+
+// DefaultConfig returns the configuration the paper identifies as the
+// high-throughput operating point for p expected threads: width 4p,
+// depth = shift = 64, two random hops.
+func DefaultConfig(p int) Config {
+	if p < 1 {
+		p = 1
+	}
+	return Config{Width: 4 * p, Depth: 64, Shift: 64, RandomHops: 2}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Width < 1:
+		return fmt.Errorf("core: Width must be >= 1, got %d", c.Width)
+	case c.Depth < 1:
+		return fmt.Errorf("core: Depth must be >= 1, got %d", c.Depth)
+	case c.Shift < 1 || c.Shift > c.Depth:
+		return fmt.Errorf("core: Shift must be in [1, Depth=%d], got %d", c.Depth, c.Shift)
+	case c.RandomHops < 0:
+		return fmt.Errorf("core: RandomHops must be >= 0, got %d", c.RandomHops)
+	}
+	return nil
+}
+
+// K returns the paper's Theorem 1 relaxation bound for this configuration:
+// k = (2·shift + depth)(width − 1). A width-1 stack is strict (k = 0).
+func (c Config) K() int64 {
+	return (2*c.Shift + c.Depth) * int64(c.Width-1)
+}
+
+// Stack is a lock-free 2D-Stack. Create with New; use per-goroutine Handles
+// for operations. A Stack must not be copied.
+type Stack[T any] struct {
+	cfg  Config
+	subs []subStack[T]
+	// global is the paper's Global counter: the per-sub-stack item ceiling
+	// of the current window. Invariant: global >= cfg.Depth, so the window
+	// floor (global - depth) is never negative. Padded to keep window
+	// movement from false-sharing with the descriptor array.
+	global pad.Int64Line
+	// seed feeds handle RNGs; purely to give each handle an independent
+	// deterministic stream.
+	seed pad.Uint64Line
+}
+
+// New returns an empty 2D-Stack with the given configuration.
+func New[T any](cfg Config) (*Stack[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Stack[T]{cfg: cfg, subs: make([]subStack[T], cfg.Width)}
+	empty := &descriptor[T]{top: nil, count: 0}
+	for i := range s.subs {
+		s.subs[i].desc.P.Store(empty)
+	}
+	s.global.V.Store(cfg.Depth)
+	return s, nil
+}
+
+// MustNew is New for configurations known valid at compile time; it panics
+// on error. Used by tests and examples.
+func MustNew[T any](cfg Config) *Stack[T] {
+	s, err := New[T](cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the stack's configuration.
+func (s *Stack[T]) Config() Config { return s.cfg }
+
+// Width returns the number of sub-stacks.
+func (s *Stack[T]) Width() int { return s.cfg.Width }
+
+// Global exposes the current window ceiling; diagnostics only.
+func (s *Stack[T]) Global() int64 { return s.global.V.Load() }
+
+// Len returns the total number of items across all sub-stacks. It is exact
+// when quiescent and approximate under concurrency (each addend is an atomic
+// snapshot, but the sum is not).
+func (s *Stack[T]) Len() int {
+	var n int64
+	for i := range s.subs {
+		n += s.subs[i].load().count
+	}
+	return int(n)
+}
+
+// Empty reports whether every sub-stack was observed empty. Like Len, the
+// answer is exact only in quiescent states.
+func (s *Stack[T]) Empty() bool {
+	for i := range s.subs {
+		if s.subs[i].load().count != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SubCounts returns a snapshot of each sub-stack's item count, used by
+// diagnostics, tests and the relaxtune CLI.
+func (s *Stack[T]) SubCounts() []int64 {
+	out := make([]int64, len(s.subs))
+	for i := range s.subs {
+		out[i] = s.subs[i].load().count
+	}
+	return out
+}
+
+// Drain removes all items (via a private handle) and returns them; intended
+// for teardown and tests, not for concurrent use.
+func (s *Stack[T]) Drain() []T {
+	h := s.NewHandle()
+	var out []T
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// CheckInvariants walks every sub-stack and verifies the structural
+// invariants that the descriptor scheme maintains: each descriptor's count
+// equals the actual length of its list, counts are non-negative, and
+// Global has not fallen below Depth. It is intended for quiescent states
+// (tests, debugging); under concurrency a descriptor read is atomic but
+// the whole walk is not.
+func (s *Stack[T]) CheckInvariants() error {
+	if g := s.global.V.Load(); g < s.cfg.Depth {
+		return fmt.Errorf("core: Global %d below depth %d", g, s.cfg.Depth)
+	}
+	for i := range s.subs {
+		d := s.subs[i].load()
+		if d.count < 0 {
+			return fmt.Errorf("core: sub-stack %d has negative count %d", i, d.count)
+		}
+		var n int64
+		for node := d.top; node != nil; node = node.next {
+			n++
+			if n > d.count {
+				break
+			}
+		}
+		if n != d.count {
+			return fmt.Errorf("core: sub-stack %d descriptor count %d but list length >= %d", i, d.count, n)
+		}
+	}
+	return nil
+}

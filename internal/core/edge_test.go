@@ -1,0 +1,174 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDepthOneWindow: depth=shift=1 is the tightest window — each sub-stack
+// accepts exactly one item per window epoch. The structure must still
+// conserve values and bound relaxation at 3(width−1).
+func TestDepthOneWindow(t *testing.T) {
+	cfg := Config{Width: 4, Depth: 1, Shift: 1, RandomHops: 1}
+	s := MustNew[int](cfg)
+	if got := cfg.K(); got != 9 {
+		t.Fatalf("K = %d, want 9", got)
+	}
+	h := s.NewHandle()
+	for i := 0; i < 1000; i++ {
+		h.Push(i)
+	}
+	seen := make(map[int]bool)
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("recovered %d values", len(seen))
+	}
+}
+
+// TestHugeWidth: widths far beyond the thread count must work (they only
+// cost memory and search length).
+func TestHugeWidth(t *testing.T) {
+	s := MustNew[int](Config{Width: 1024, Depth: 4, Shift: 4, RandomHops: 2})
+	h := s.NewHandle()
+	for i := 0; i < 500; i++ {
+		h.Push(i)
+	}
+	if got := s.Len(); got != 500 {
+		t.Fatalf("Len = %d, want 500", got)
+	}
+	for i := 0; i < 500; i++ {
+		if _, ok := h.Pop(); !ok {
+			t.Fatalf("premature empty at %d", i)
+		}
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("pop after drain returned ok")
+	}
+}
+
+// TestPushOnlyThenGlobalReflectsLoad: after n pushes, Global must have
+// risen to roughly n/width (within one shift), because the window tracks
+// the per-sub-stack population.
+func TestPushOnlyThenGlobalReflectsLoad(t *testing.T) {
+	cfg := Config{Width: 4, Depth: 8, Shift: 8, RandomHops: 0}
+	s := MustNew[int](cfg)
+	h := s.NewHandle()
+	const n = 4000
+	for i := 0; i < n; i++ {
+		h.Push(i)
+	}
+	g := s.Global()
+	perSub := int64(n / cfg.Width)
+	if g < perSub-cfg.Shift || g > perSub+2*cfg.Shift {
+		t.Fatalf("Global = %d after %d pushes over %d sub-stacks; want near %d",
+			g, n, cfg.Width, perSub)
+	}
+}
+
+// TestAlternatingChurnKeepsWindowStill: balanced push/pop at a standing
+// population should rarely move the window (locality: operations stay
+// inside the band).
+func TestAlternatingChurnKeepsWindowStill(t *testing.T) {
+	cfg := Config{Width: 4, Depth: 32, Shift: 32, RandomHops: 1}
+	s := MustNew[int](cfg)
+	h := s.NewHandle()
+	for i := 0; i < 200; i++ {
+		h.Push(i)
+	}
+	h.ResetStats()
+	for i := 0; i < 10000; i++ {
+		h.Push(i)
+		h.Pop()
+	}
+	st := h.Stats()
+	moves := st.WindowRaises + st.WindowLowers
+	if moves > 20 {
+		t.Fatalf("window moved %d times during balanced churn; locality broken", moves)
+	}
+}
+
+// TestTryPopDoesNotMoveWindow: TryPop must never change Global.
+func TestTryPopDoesNotMoveWindow(t *testing.T) {
+	cfg := Config{Width: 2, Depth: 2, Shift: 2, RandomHops: 0}
+	s := MustNew[int](cfg)
+	h := s.NewHandle()
+	for i := 0; i < 100; i++ {
+		h.Push(i)
+	}
+	gBefore := s.Global()
+	for i := 0; i < 50; i++ {
+		h.TryPop()
+	}
+	if got := s.Global(); got != gBefore {
+		t.Fatalf("TryPop moved Global from %d to %d", gBefore, got)
+	}
+}
+
+// TestInterleavedHandlesShareWindow: two handles on one stack observe each
+// other's window movements (Global is shared state).
+func TestInterleavedHandlesShareWindow(t *testing.T) {
+	cfg := Config{Width: 2, Depth: 2, Shift: 2, RandomHops: 0}
+	s := MustNew[int](cfg)
+	h1, h2 := s.NewHandle(), s.NewHandle()
+	for i := 0; i < 100; i++ {
+		h1.Push(i)
+	}
+	raised := s.Global()
+	if raised == cfg.Depth {
+		t.Fatal("pushes did not raise the window; test premise broken")
+	}
+	// h2 pops: the same Global governs it.
+	for {
+		if _, ok := h2.Pop(); !ok {
+			break
+		}
+	}
+	if got := s.Global(); got != cfg.Depth {
+		t.Fatalf("Global = %d after h2 drained, want floor %d", got, cfg.Depth)
+	}
+}
+
+// TestConcurrentPushersOnly: pure producers; population and Len must match
+// the push count afterwards.
+func TestConcurrentPushersOnly(t *testing.T) {
+	s := MustNew[uint64](Config{Width: 8, Depth: 4, Shift: 4, RandomHops: 2})
+	const workers, perW = 8, 3000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.NewHandle()
+			for i := 0; i < perW; i++ {
+				h.Push(uint64(w*perW + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Len(); got != workers*perW {
+		t.Fatalf("Len = %d, want %d", got, workers*perW)
+	}
+	counts := s.SubCounts()
+	var min, max int64 = counts[0], counts[0]
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	// The window keeps sub-stacks within roughly depth+shift of each other.
+	if spread := max - min; spread > 3*(s.cfg.Depth+s.cfg.Shift) {
+		t.Fatalf("sub-stack spread %d far exceeds window discipline (counts %v)", spread, counts)
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"stack2d/internal/seqspec"
+)
+
+// FuzzSequentialKOutOfOrder feeds arbitrary op scripts and configurations
+// to a 2D-Stack and checks the resulting history against Theorem 1's exact
+// bound. Run the seed corpus with `go test`; explore with
+// `go test -fuzz=FuzzSequentialKOutOfOrder ./internal/core`.
+func FuzzSequentialKOutOfOrder(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint8(1), uint8(1), []byte{0xff, 0x0f, 0xf0})
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(0), []byte{0x00})
+	f.Add(uint8(6), uint8(2), uint8(2), uint8(2), []byte{0xaa, 0x55, 0xaa, 0x55})
+	f.Add(uint8(4), uint8(8), uint8(4), uint8(3), []byte{})
+	f.Fuzz(func(t *testing.T, widthRaw, depthRaw, shiftRaw, hopsRaw uint8, script []byte) {
+		width := int(widthRaw%8) + 1
+		depth := int64(depthRaw%8) + 1
+		shift := int64(shiftRaw)%depth + 1
+		hops := int(hopsRaw % 4)
+		cfg := Config{Width: width, Depth: depth, Shift: shift, RandomHops: hops}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("derived config invalid: %v", err)
+		}
+		s := MustNew[uint64](cfg)
+		h := s.NewHandle()
+		var ops []seqspec.Op
+		next := uint64(1)
+		for _, b := range script {
+			for bit := 0; bit < 8; bit++ {
+				if b&(1<<bit) != 0 {
+					h.Push(next)
+					ops = append(ops, seqspec.Op{Kind: seqspec.OpPush, Value: next})
+					next++
+				} else {
+					v, ok := h.Pop()
+					ops = append(ops, seqspec.Op{Kind: seqspec.OpPop, Value: v, Empty: !ok})
+				}
+			}
+		}
+		for {
+			v, ok := h.Pop()
+			ops = append(ops, seqspec.Op{Kind: seqspec.OpPop, Value: v, Empty: !ok})
+			if !ok {
+				break
+			}
+		}
+		if _, err := seqspec.CheckKOutOfOrder(ops, int(cfg.K())); err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+		if !s.Empty() {
+			t.Fatal("stack not empty after full drain")
+		}
+	})
+}

@@ -1,0 +1,188 @@
+package core
+
+import "stack2d/internal/xrand"
+
+// Handle carries the per-thread state of the 2D-Stack algorithm: the index
+// of the sub-stack where the owner last succeeded (the locality anchor), a
+// private RNG for hop selection, and work counters (see OpStats). Obtain
+// one per goroutine with NewHandle.
+//
+// A Handle is NOT safe for concurrent use; the Stack is, across handles.
+type Handle[T any] struct {
+	s     *Stack[T]
+	rng   *xrand.State
+	last  int // sub-stack index of the most recent success
+	stats OpStats
+}
+
+// NewHandle returns an operation handle anchored at a random sub-stack.
+func (s *Stack[T]) NewHandle() *Handle[T] {
+	seed := s.seed.V.Add(0x9e3779b97f4a7c15)
+	rng := xrand.New(seed)
+	return &Handle[T]{s: s, rng: rng, last: rng.Intn(s.cfg.Width)}
+}
+
+// Push adds v to the stack. It is lock-free: it retries until its CAS
+// succeeds, which can only be delayed by other operations succeeding.
+//
+// Search structure (paper §3): start from the last successful sub-stack;
+// hop randomly up to RandomHops times, then probe round-robin. Only the
+// round-robin probes count toward the "failed on all sub-stacks" verdict —
+// a full round of `width` consecutive invalid probes guarantees every
+// sub-stack was inspected at the current Global before the window is
+// raised. A failed CAS (contention) triggers a random hop and restarts the
+// count; any observed Global change restarts the search outright.
+func (h *Handle[T]) Push(v T) {
+	s := h.s
+	width := s.cfg.Width
+	n := &node[T]{value: v}
+	for {
+		global := s.global.V.Load()
+		idx := h.last
+		probes := 0 // consecutive round-robin validation failures
+		randLeft := s.cfg.RandomHops
+		for probes < width {
+			// Track Global on every hop; restart the search on any change.
+			if g := s.global.V.Load(); g != global {
+				global = g
+				probes = 0
+				randLeft = s.cfg.RandomHops
+				h.stats.Restarts++
+			}
+			d := s.subs[idx].load()
+			h.stats.Probes++
+			if d.count < global {
+				// Valid for push: attempt the descriptor swap.
+				n.next = d.top
+				if s.subs[idx].cas(d, &descriptor[T]{top: n, count: d.count + 1}) {
+					h.last = idx
+					h.stats.Pushes++
+					return
+				}
+				// Contention: the colliding operation made progress; hop to
+				// a random sub-stack and restart the coverage count.
+				h.stats.CASFailures++
+				idx = h.rng.Intn(width)
+				probes = 0
+				randLeft = 0 // stay in round-robin from the new anchor
+				continue
+			}
+			// Invalid (at the window ceiling): hop on.
+			if randLeft > 0 {
+				randLeft--
+				h.stats.RandomHops++
+				idx = h.rng.Intn(width)
+				continue // exploratory hop; does not count toward coverage
+			}
+			probes++
+			idx++
+			if idx == width {
+				idx = 0
+			}
+		}
+		// A full round-robin pass found every sub-stack at the ceiling:
+		// raise the window. Whether our CAS or a competitor's wins, Global
+		// has changed; re-read and retry with a fresh search count.
+		if s.global.V.CompareAndSwap(global, global+s.cfg.Shift) {
+			h.stats.WindowRaises++
+		}
+	}
+}
+
+// Pop removes and returns a value within the relaxation window. ok is false
+// only when the stack is empty: the window is at its floor (validity
+// threshold zero) and a full round-robin pass saw every sub-stack at count
+// zero.
+func (h *Handle[T]) Pop() (v T, ok bool) {
+	s := h.s
+	width := s.cfg.Width
+	depth := s.cfg.Depth
+	for {
+		global := s.global.V.Load()
+		floor := global - depth // >= 0 by the global >= depth invariant
+		idx := h.last
+		probes := 0
+		randLeft := s.cfg.RandomHops
+		for probes < width {
+			if g := s.global.V.Load(); g != global {
+				global = g
+				floor = global - depth
+				probes = 0
+				randLeft = s.cfg.RandomHops
+				h.stats.Restarts++
+			}
+			d := s.subs[idx].load()
+			h.stats.Probes++
+			if d.count > floor {
+				// Valid for pop. count > floor >= 0 implies top != nil.
+				if s.subs[idx].cas(d, &descriptor[T]{top: d.top.next, count: d.count - 1}) {
+					h.last = idx
+					h.stats.Pops++
+					return d.top.value, true
+				}
+				h.stats.CASFailures++
+				idx = h.rng.Intn(width)
+				probes = 0
+				randLeft = 0
+				continue
+			}
+			if randLeft > 0 {
+				randLeft--
+				h.stats.RandomHops++
+				idx = h.rng.Intn(width)
+				continue
+			}
+			probes++
+			idx++
+			if idx == width {
+				idx = 0
+			}
+		}
+		if global == depth {
+			// Window at its floor: the coverage pass proved every
+			// sub-stack held zero items at this Global. Report empty.
+			h.stats.EmptyPops++
+			var zero T
+			return zero, false
+		}
+		// Lower the window (floored at depth so the validity threshold
+		// never goes negative) and retry with a fresh search count.
+		next := global - s.cfg.Shift
+		if next < depth {
+			next = depth
+		}
+		if s.global.V.CompareAndSwap(global, next) {
+			h.stats.WindowLowers++
+		}
+	}
+}
+
+// TryPop performs a single search pass without moving the window. It exists
+// for latency-sensitive callers (examples/taskpool) that prefer an immediate
+// miss over window maintenance; ok=false means "nothing in the current
+// window", not necessarily that the stack is empty.
+func (h *Handle[T]) TryPop() (v T, ok bool) {
+	s := h.s
+	width := s.cfg.Width
+	global := s.global.V.Load()
+	floor := global - s.cfg.Depth
+	idx := h.last
+	for probes := 0; probes < width; probes++ {
+		d := s.subs[idx].load()
+		h.stats.Probes++
+		if d.count > floor {
+			if s.subs[idx].cas(d, &descriptor[T]{top: d.top.next, count: d.count - 1}) {
+				h.last = idx
+				h.stats.Pops++
+				return d.top.value, true
+			}
+			h.stats.CASFailures++
+		}
+		idx++
+		if idx == width {
+			idx = 0
+		}
+	}
+	var zero T
+	return zero, false
+}

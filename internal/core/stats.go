@@ -1,0 +1,52 @@
+package core
+
+// OpStats counts the work a Handle performed, supporting the step-
+// complexity analysis the paper's full version develops: how many
+// sub-stacks an operation inspects, how often CAS fails (contention), and
+// how often the window has to move. Counters are handle-local and updated
+// without atomics; read them from the owning goroutine only (or after it
+// has quiesced).
+type OpStats struct {
+	Pushes    uint64 // completed Push operations
+	Pops      uint64 // Pop operations returning a value
+	EmptyPops uint64 // Pop operations reporting empty
+
+	Probes       uint64 // sub-stack validations performed (all phases)
+	RandomHops   uint64 // exploratory random hops taken
+	CASFailures  uint64 // descriptor CAS failures (contention events)
+	WindowRaises uint64 // successful Global += shift CASes by this handle
+	WindowLowers uint64 // successful Global -= shift CASes by this handle
+	Restarts     uint64 // searches restarted due to an observed Global change
+}
+
+// Ops returns the total completed operations.
+func (s OpStats) Ops() uint64 { return s.Pushes + s.Pops + s.EmptyPops }
+
+// ProbesPerOp returns the mean number of sub-stack validations per
+// operation — the empirical step count.
+func (s OpStats) ProbesPerOp() float64 {
+	ops := s.Ops()
+	if ops == 0 {
+		return 0
+	}
+	return float64(s.Probes) / float64(ops)
+}
+
+// Add accumulates other into s (for aggregating per-worker stats).
+func (s *OpStats) Add(other OpStats) {
+	s.Pushes += other.Pushes
+	s.Pops += other.Pops
+	s.EmptyPops += other.EmptyPops
+	s.Probes += other.Probes
+	s.RandomHops += other.RandomHops
+	s.CASFailures += other.CASFailures
+	s.WindowRaises += other.WindowRaises
+	s.WindowLowers += other.WindowLowers
+	s.Restarts += other.Restarts
+}
+
+// Stats returns a copy of the handle's counters. Owner-goroutine only.
+func (h *Handle[T]) Stats() OpStats { return h.stats }
+
+// ResetStats zeroes the handle's counters. Owner-goroutine only.
+func (h *Handle[T]) ResetStats() { h.stats = OpStats{} }

@@ -1,0 +1,123 @@
+package core
+
+import "testing"
+
+func TestStatsCountOps(t *testing.T) {
+	s := MustNew[int](Config{Width: 2, Depth: 4, Shift: 4, RandomHops: 1})
+	h := s.NewHandle()
+	for i := 0; i < 10; i++ {
+		h.Push(i)
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := h.Pop(); !ok {
+			t.Fatal("premature empty")
+		}
+	}
+	h.Pop() // empty
+	st := h.Stats()
+	if st.Pushes != 10 || st.Pops != 10 || st.EmptyPops != 1 {
+		t.Fatalf("op counts = %+v", st)
+	}
+	if st.Ops() != 21 {
+		t.Fatalf("Ops = %d, want 21", st.Ops())
+	}
+	if st.Probes < st.Ops() {
+		t.Fatalf("Probes = %d < ops %d: every op validates at least one sub-stack", st.Probes, st.Ops())
+	}
+	if st.ProbesPerOp() < 1 {
+		t.Fatalf("ProbesPerOp = %g, want >= 1", st.ProbesPerOp())
+	}
+}
+
+func TestStatsWindowMovement(t *testing.T) {
+	// Push-only workload on a small structure must raise the window;
+	// pop-only must lower it back.
+	cfg := Config{Width: 2, Depth: 2, Shift: 2, RandomHops: 0}
+	s := MustNew[int](cfg)
+	h := s.NewHandle()
+	for i := 0; i < 100; i++ {
+		h.Push(i)
+	}
+	st := h.Stats()
+	if st.WindowRaises == 0 {
+		t.Fatalf("100 pushes into width 2 depth 2 raised the window 0 times: %+v", st)
+	}
+	h.ResetStats()
+	for {
+		if _, ok := h.Pop(); !ok {
+			break
+		}
+	}
+	st = h.Stats()
+	if st.WindowLowers == 0 {
+		t.Fatalf("draining did not lower the window: %+v", st)
+	}
+	if g := s.Global(); g != cfg.Depth {
+		t.Fatalf("Global = %d after drain, want %d", g, cfg.Depth)
+	}
+}
+
+func TestStatsRandomHops(t *testing.T) {
+	// With RandomHops > 0 and a structure that forces invalid probes
+	// (width 4, tiny depth, push-only), exploratory hops must be counted.
+	s := MustNew[int](Config{Width: 4, Depth: 1, Shift: 1, RandomHops: 3})
+	h := s.NewHandle()
+	for i := 0; i < 200; i++ {
+		h.Push(i)
+	}
+	if st := h.Stats(); st.RandomHops == 0 {
+		t.Fatalf("no random hops recorded: %+v", st)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	s := MustNew[int](DefaultConfig(1))
+	h := s.NewHandle()
+	h.Push(1)
+	h.ResetStats()
+	if st := h.Stats(); st != (OpStats{}) {
+		t.Fatalf("ResetStats left %+v", st)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := OpStats{Pushes: 1, Pops: 2, EmptyPops: 3, Probes: 4, RandomHops: 5,
+		CASFailures: 6, WindowRaises: 7, WindowLowers: 8, Restarts: 9}
+	b := a
+	b.Add(a)
+	want := OpStats{Pushes: 2, Pops: 4, EmptyPops: 6, Probes: 8, RandomHops: 10,
+		CASFailures: 12, WindowRaises: 14, WindowLowers: 16, Restarts: 18}
+	if b != want {
+		t.Fatalf("Add = %+v, want %+v", b, want)
+	}
+}
+
+func TestProbesPerOpEmpty(t *testing.T) {
+	var st OpStats
+	if st.ProbesPerOp() != 0 {
+		t.Fatal("ProbesPerOp on zero stats not 0")
+	}
+}
+
+// TestStepComplexityBoundedSequential: the paper claims tight step
+// complexity; sequentially an operation should need at most
+// RandomHops + width probes per window epoch, and window epochs per op are
+// amortised O(1/shift). Assert a generous constant to catch regressions
+// into quadratic searching.
+func TestStepComplexityBoundedSequential(t *testing.T) {
+	cfg := Config{Width: 8, Depth: 16, Shift: 16, RandomHops: 2}
+	s := MustNew[int](cfg)
+	h := s.NewHandle()
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		if i%3 == 2 {
+			h.Pop()
+		} else {
+			h.Push(i)
+		}
+	}
+	st := h.Stats()
+	if ppo := st.ProbesPerOp(); ppo > 4 {
+		t.Fatalf("ProbesPerOp = %.2f; sequential search should be near 1", ppo)
+	}
+}

@@ -1,0 +1,256 @@
+// Package elimination implements a lock-free elimination back-off stack in
+// the style of Hendler, Shavit and Yerushalmi ("A scalable lock-free stack
+// algorithm", JPDC 2010) — the "elimination" baseline of the paper's
+// Figure 2.
+//
+// A central Treiber stack carries the common case. When an operation's CAS
+// on the central stack fails (contention), the operation diverts to a
+// collision array where a concurrent Push/Pop pair can *eliminate*: the pop
+// takes the push's value directly and both complete without touching the
+// central stack at all. Eliminated pairs are linearizable (the push is
+// ordered immediately before the pop at the moment of the exchange), so the
+// stack remains strictly LIFO.
+//
+// Adaptation note: we use the asymmetric variant in which pushers advertise
+// offers and poppers consume them. It preserves the defining behaviour the
+// paper measures — symmetric workloads eliminate aggressively, asymmetric
+// workloads degrade toward a plain Treiber stack (ablation A5 exercises
+// exactly this).
+package elimination
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"stack2d/internal/pad"
+	"stack2d/internal/treiber"
+	"stack2d/internal/xrand"
+)
+
+// Offer lifecycle states.
+const (
+	offerWaiting   int32 = iota // parked, available to partners
+	offerTaken                  // consumed/fulfilled by a partner
+	offerWithdrawn              // owner timed out and reclaimed it
+	offerClaimed                // pop offer claimed by a pusher, value in flight
+)
+
+// offer kinds.
+const (
+	kindPush int8 = iota // a parked push carrying a value
+	kindPop              // a parked pop waiting to be handed a value
+)
+
+// offer is a parked operation advertisement in the collision array.
+type offer[T any] struct {
+	kind  int8
+	value T
+	state atomic.Int32
+}
+
+// Config tunes the collision layer.
+type Config struct {
+	// Slots is the size of the collision array. The original scales it
+	// with the number of threads; a handful per thread works well.
+	Slots int
+	// Spins is how many yield-loop iterations a parked operation waits
+	// for a partner before withdrawing to retry centrally.
+	Spins int
+	// Symmetric enables the full HSY protocol in which pops also park and
+	// pushers fulfil them. The asymmetric default (pushers advertise,
+	// poppers consume) is cheaper per miss; the symmetric variant
+	// eliminates more pairs under pop-heavy phases.
+	Symmetric bool
+}
+
+// DefaultConfig sizes the collision layer for p expected threads.
+func DefaultConfig(p int) Config {
+	if p < 1 {
+		p = 1
+	}
+	return Config{Slots: p, Spins: 32}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Slots < 1 {
+		return errSlots
+	}
+	if c.Spins < 1 {
+		return errSpins
+	}
+	return nil
+}
+
+var (
+	errSlots = errorString("elimination: Slots must be >= 1")
+	errSpins = errorString("elimination: Spins must be >= 1")
+)
+
+// errorString is a trivial constant-friendly error type.
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// Stack is a lock-free elimination back-off stack. Create with New; obtain
+// one Handle per goroutine.
+type Stack[T any] struct {
+	cfg     Config
+	central treiber.Stack[T]
+	slots   []pad.PointerLine[offer[T]]
+	seed    pad.Uint64Line
+}
+
+// New returns an empty elimination stack.
+func New[T any](cfg Config) (*Stack[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Stack[T]{cfg: cfg, slots: make([]pad.PointerLine[offer[T]], cfg.Slots)}, nil
+}
+
+// MustNew is New that panics on config error.
+func MustNew[T any](cfg Config) *Stack[T] {
+	s, err := New[T](cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the approximate central-stack population (parked offers are
+// logically in-flight pushes, not stack contents).
+func (s *Stack[T]) Len() int { return s.central.Len() }
+
+// Drain empties the central stack; teardown/testing helper.
+func (s *Stack[T]) Drain() []T { return s.central.Drain() }
+
+// Handle is the per-goroutine operation context (RNG for slot selection).
+// Not safe for concurrent use of the same handle.
+type Handle[T any] struct {
+	s   *Stack[T]
+	rng *xrand.State
+}
+
+// NewHandle returns an operation handle.
+func (s *Stack[T]) NewHandle() *Handle[T] {
+	return &Handle[T]{s: s, rng: xrand.New(s.seed.V.Add(0x9e3779b97f4a7c15))}
+}
+
+// Push adds v to the stack.
+func (h *Handle[T]) Push(v T) {
+	s := h.s
+	for {
+		if s.central.TryPush(v) {
+			return
+		}
+		if h.tryEliminatePush(v) {
+			return
+		}
+	}
+}
+
+// Pop removes and returns the top value; ok is false if the stack was
+// observed empty (parked pushes are concurrent, so missing them is
+// linearizable).
+func (h *Handle[T]) Pop() (v T, ok bool) {
+	s := h.s
+	for {
+		v, ok, contended := s.central.TryPop()
+		if ok {
+			return v, true
+		}
+		if v, ok := h.tryEliminatePop(); ok {
+			return v, true
+		}
+		if !contended {
+			// Central stack observed empty and no partner was parked.
+			var zero T
+			return zero, false
+		}
+	}
+}
+
+// tryEliminatePush parks v in a random collision slot and waits briefly
+// for a popper; in symmetric mode it first tries to fulfil a parked pop.
+// It reports whether the value was handed off.
+func (h *Handle[T]) tryEliminatePush(v T) bool {
+	s := h.s
+	i := h.rng.Intn(len(s.slots))
+	if s.cfg.Symmetric {
+		if of := s.slots[i].P.Load(); of != nil && of.kind == kindPop {
+			if of.state.CompareAndSwap(offerWaiting, offerClaimed) {
+				of.value = v
+				of.state.Store(offerTaken)
+				s.slots[i].P.CompareAndSwap(of, nil)
+				return true
+			}
+		}
+	}
+	of := &offer[T]{kind: kindPush, value: v}
+	if !s.slots[i].P.CompareAndSwap(nil, of) {
+		return false // slot busy; caller retries centrally
+	}
+	for spin := 0; spin < s.cfg.Spins; spin++ {
+		if of.state.Load() == offerTaken {
+			s.slots[i].P.CompareAndSwap(of, nil)
+			return true
+		}
+		runtime.Gosched()
+	}
+	if of.state.CompareAndSwap(offerWaiting, offerWithdrawn) {
+		s.slots[i].P.CompareAndSwap(of, nil)
+		return false
+	}
+	// Lost the withdraw race: a popper took it between our last check and
+	// the CAS. That is a successful elimination.
+	s.slots[i].P.CompareAndSwap(of, nil)
+	return true
+}
+
+// tryEliminatePop scans one random collision slot for a waiting pusher and
+// claims its value if possible; in symmetric mode an empty slot is used to
+// park a pop request a pusher can fulfil.
+func (h *Handle[T]) tryEliminatePop() (v T, ok bool) {
+	s := h.s
+	i := h.rng.Intn(len(s.slots))
+	of := s.slots[i].P.Load()
+	if of != nil {
+		if of.kind == kindPush && of.state.CompareAndSwap(offerWaiting, offerTaken) {
+			s.slots[i].P.CompareAndSwap(of, nil)
+			return of.value, true
+		}
+		var zero T
+		return zero, false
+	}
+	if !s.cfg.Symmetric {
+		var zero T
+		return zero, false
+	}
+	// Park a pop request.
+	req := &offer[T]{kind: kindPop}
+	if !s.slots[i].P.CompareAndSwap(nil, req) {
+		var zero T
+		return zero, false
+	}
+	for spin := 0; spin < s.cfg.Spins; spin++ {
+		if req.state.Load() == offerTaken {
+			s.slots[i].P.CompareAndSwap(req, nil)
+			return req.value, true
+		}
+		runtime.Gosched()
+	}
+	if req.state.CompareAndSwap(offerWaiting, offerWithdrawn) {
+		s.slots[i].P.CompareAndSwap(req, nil)
+		var zero T
+		return zero, false
+	}
+	// A pusher claimed the request; its value is (or is about to be)
+	// published. Wait for the handoff to complete — the fulfiller finishes
+	// in a bounded number of its own steps.
+	for req.state.Load() != offerTaken {
+		runtime.Gosched()
+	}
+	s.slots[i].P.CompareAndSwap(req, nil)
+	return req.value, true
+}

@@ -1,0 +1,180 @@
+package elimination
+
+import (
+	"sync"
+	"testing"
+
+	"stack2d/internal/seqspec"
+)
+
+func symCfg() Config { return Config{Slots: 2, Spins: 8, Symmetric: true} }
+
+func TestSymmetricSequentialLIFO(t *testing.T) {
+	s := MustNew[uint64](symCfg())
+	h := s.NewHandle()
+	var m seqspec.Model
+	for v := uint64(0); v < 300; v++ {
+		h.Push(v)
+		m.Push(v)
+		if v%2 == 1 {
+			got, gok := h.Pop()
+			want, wok := m.Pop()
+			if gok != wok || got != want {
+				t.Fatalf("Pop = (%d,%v), want (%d,%v)", got, gok, want, wok)
+			}
+		}
+	}
+}
+
+func TestSymmetricPopFulfilledByPush(t *testing.T) {
+	// Park a pop request directly, then fulfil it with tryEliminatePush.
+	s := MustNew[uint64](Config{Slots: 1, Spins: 1 << 20, Symmetric: true})
+	popper := s.NewHandle()
+	pusher := s.NewHandle()
+	done := make(chan uint64)
+	go func() {
+		v, ok := popper.tryEliminatePop()
+		if !ok {
+			t.Error("parked pop withdrew unexpectedly")
+		}
+		done <- v
+	}()
+	// Fulfil: retry until the pop request is visible in the slot.
+	for !pusher.tryEliminatePush(77) {
+	}
+	if got := <-done; got != 77 {
+		t.Fatalf("fulfilled pop got %d, want 77", got)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("central stack grew during symmetric elimination: %d", s.Len())
+	}
+}
+
+func TestSymmetricPopWithdrawsWithoutPartner(t *testing.T) {
+	s := MustNew[uint64](Config{Slots: 1, Spins: 1, Symmetric: true})
+	h := s.NewHandle()
+	if _, ok := h.tryEliminatePop(); ok {
+		t.Fatal("pop eliminated with no partner present")
+	}
+	// Public Pop on an empty stack must still report empty.
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty returned ok")
+	}
+}
+
+func TestSymmetricConcurrentConservation(t *testing.T) {
+	const workers, perW = 8, 2500
+	s := MustNew[uint64](Config{Slots: 4, Spins: 8, Symmetric: true})
+	popped := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.NewHandle()
+			for i := 0; i < perW; i++ {
+				h.Push(uint64(w*perW + i))
+				if v, ok := h.Pop(); ok {
+					popped[w] = append(popped[w], v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]int)
+	for _, vs := range popped {
+		for _, v := range vs {
+			seen[v]++
+		}
+	}
+	for _, v := range s.Drain() {
+		seen[v]++
+	}
+	if len(seen) != workers*perW {
+		t.Fatalf("recovered %d distinct values, want %d", len(seen), workers*perW)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d recovered %d times", v, n)
+		}
+	}
+}
+
+// TestSymmetricMicroHistoriesLinearizable: the symmetric protocol must
+// remain strictly linearizable.
+func TestSymmetricMicroHistoriesLinearizable(t *testing.T) {
+	const rounds = 60
+	for round := 0; round < rounds; round++ {
+		s := MustNew[uint64](Config{Slots: 2, Spins: 4, Symmetric: true})
+		runMicroHistory(t, s, round)
+	}
+}
+
+// runMicroHistory drives a tiny concurrent history on s and checks it with
+// the exhaustive LIFO linearizability checker.
+func runMicroHistory(t *testing.T, s *Stack[uint64], round int) {
+	t.Helper()
+	const workers, opsPerW = 3, 4
+	type rec struct {
+		ops []seqspec.IntervalOp
+	}
+	var clock, label struct {
+		mu sync.Mutex
+		v  int64
+	}
+	tick := func() int64 {
+		clock.mu.Lock()
+		defer clock.mu.Unlock()
+		clock.v++
+		return clock.v
+	}
+	nextLabel := func() uint64 {
+		label.mu.Lock()
+		defer label.mu.Unlock()
+		label.v++
+		return uint64(label.v)
+	}
+	hist := make([]rec, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.NewHandle()
+			for i := 0; i < opsPerW; i++ {
+				begin := tick()
+				if (w+i)%2 == 0 {
+					v := nextLabel()
+					h.Push(v)
+					hist[w].ops = append(hist[w].ops, seqspec.IntervalOp{
+						Kind: seqspec.OpPush, Value: v, Begin: begin, End: tick(),
+					})
+				} else {
+					v, ok := h.Pop()
+					hist[w].ops = append(hist[w].ops, seqspec.IntervalOp{
+						Kind: seqspec.OpPop, Value: v, Empty: !ok, Begin: begin, End: tick(),
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all []seqspec.IntervalOp
+	for _, hr := range hist {
+		all = append(all, hr.ops...)
+	}
+	h := s.NewHandle()
+	for {
+		begin := tick()
+		v, ok := h.Pop()
+		all = append(all, seqspec.IntervalOp{
+			Kind: seqspec.OpPop, Value: v, Empty: !ok, Begin: begin, End: tick(),
+		})
+		if !ok {
+			break
+		}
+	}
+	if err := seqspec.CheckLinearizableLIFO(all); err != nil {
+		t.Fatalf("round %d: %v\nhistory: %+v", round, err, all)
+	}
+}

@@ -1,0 +1,235 @@
+// Package eltree implements an elimination-diffraction tree pool in the
+// style of Shavit & Touitou (SPAA 1995) and Afek, Korland, Natanzon &
+// Shavit (Euro-Par 2010) — the "elimination trees" lineage of the paper's
+// related-work section.
+//
+// Structure: a complete binary tree of *balancers* routes operations to
+// 2^depth leaf Treiber stacks. Each balancer is an atomic toggle: pushes
+// and pops read opposite directions from the same toggle stream, so a push
+// and the next pop diffract to the same subtree and meet at a leaf.
+// Before toggling, an operation advertises in the balancer's small *prism*
+// array; an opposite operation arriving concurrently eliminates with it on
+// the spot and neither descends further.
+//
+// Semantics: a pool (unordered). Like the relaxed stacks it trades order
+// for parallelism, but with no deterministic k bound — which is precisely
+// why the paper's window-based design supersedes it; this package exists
+// so the comparison is runnable (see bench RelatedWork).
+package eltree
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"stack2d/internal/pad"
+	"stack2d/internal/treiber"
+	"stack2d/internal/xrand"
+)
+
+// prism slot states: 0 empty; otherwise a parked *offer.
+
+// offer is an advertised push travelling through a balancer.
+type offer[T any] struct {
+	value T
+	state atomic.Int32 // 0 waiting, 1 taken, 2 withdrawn
+}
+
+// balancer is one toggle node with its elimination prism.
+type balancer[T any] struct {
+	toggle pad.Int64Line
+	prism  []pad.PointerLine[offer[T]]
+}
+
+// Config tunes the tree.
+type Config struct {
+	// Depth is the balancer tree depth; the pool has 2^Depth leaf stacks.
+	Depth int
+	// PrismSlots is the elimination array size per balancer.
+	PrismSlots int
+	// Spins is how long a parked push waits for a partner at a balancer.
+	Spins int
+}
+
+// DefaultConfig sizes the tree for p expected threads: enough leaves to
+// spread p threads (2^ceil(log2 p)) and a small prism per balancer.
+func DefaultConfig(p int) Config {
+	if p < 1 {
+		p = 1
+	}
+	depth := 0
+	for 1<<depth < p {
+		depth++
+	}
+	if depth == 0 {
+		depth = 1
+	}
+	return Config{Depth: depth, PrismSlots: 2, Spins: 16}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Depth < 1 || c.Depth > 20:
+		return fmt.Errorf("eltree: Depth must be in [1,20], got %d", c.Depth)
+	case c.PrismSlots < 1:
+		return fmt.Errorf("eltree: PrismSlots must be >= 1, got %d", c.PrismSlots)
+	case c.Spins < 1:
+		return fmt.Errorf("eltree: Spins must be >= 1, got %d", c.Spins)
+	}
+	return nil
+}
+
+// Pool is an elimination-diffraction tree pool. Create with New; obtain
+// one Handle per goroutine.
+type Pool[T any] struct {
+	cfg    Config
+	nodes  []balancer[T] // heap layout: node i has children 2i+1, 2i+2
+	leaves []treiber.Stack[T]
+	seed   pad.Uint64Line
+}
+
+// New returns an empty pool.
+func New[T any](cfg Config) (*Pool[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	inner := 1<<cfg.Depth - 1
+	p := &Pool[T]{
+		cfg:    cfg,
+		nodes:  make([]balancer[T], inner),
+		leaves: make([]treiber.Stack[T], 1<<cfg.Depth),
+	}
+	for i := range p.nodes {
+		p.nodes[i].prism = make([]pad.PointerLine[offer[T]], cfg.PrismSlots)
+	}
+	return p, nil
+}
+
+// MustNew is New that panics on config error.
+func MustNew[T any](cfg Config) *Pool[T] {
+	p, err := New[T](cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Len sums leaf populations; approximate under concurrency.
+func (p *Pool[T]) Len() int {
+	n := 0
+	for i := range p.leaves {
+		n += p.leaves[i].Len()
+	}
+	return n
+}
+
+// Drain empties every leaf; teardown/testing helper.
+func (p *Pool[T]) Drain() []T {
+	var out []T
+	for i := range p.leaves {
+		out = append(out, p.leaves[i].Drain()...)
+	}
+	return out
+}
+
+// Handle is the per-goroutine operation context.
+type Handle[T any] struct {
+	p   *Pool[T]
+	rng *xrand.State
+}
+
+// NewHandle returns an operation handle.
+func (p *Pool[T]) NewHandle() *Handle[T] {
+	return &Handle[T]{p: p, rng: xrand.New(p.seed.V.Add(0x9e3779b97f4a7c15))}
+}
+
+// Push inserts v into the pool.
+func (h *Handle[T]) Push(v T) {
+	p := h.p
+	node := 0
+	for level := 0; level < p.cfg.Depth; level++ {
+		b := &p.nodes[node]
+		// Try to eliminate with a concurrent pop at this balancer.
+		if h.tryParkPush(b, v) {
+			return
+		}
+		// Diffract: pushes take direction bit 0 of the toggle stream.
+		dir := b.toggle.V.Add(1) & 1
+		node = 2*node + 1 + int(dir)
+	}
+	p.leaves[node-len(p.nodes)].Push(v)
+}
+
+// Pop removes a value from the pool; ok is false when the leaf reached
+// (and, as a fallback, every other leaf) was observed empty.
+func (h *Handle[T]) Pop() (v T, ok bool) {
+	p := h.p
+	node := 0
+	for level := 0; level < p.cfg.Depth; level++ {
+		b := &p.nodes[node]
+		if v, ok := h.tryConsumePush(b); ok {
+			return v, true
+		}
+		// Pops take the complementary direction so that a push/pop pair
+		// toggling consecutively lands on the same subtree.
+		dir := (b.toggle.V.Add(1) + 1) & 1
+		node = 2*node + 1 + int(dir)
+	}
+	leaf := node - len(p.nodes)
+	if v, ok := p.leaves[leaf].Pop(); ok {
+		return v, true
+	}
+	// Routed to an empty leaf: sweep the others before reporting empty
+	// (pool semantics allow taking any element).
+	for probe := 1; probe < len(p.leaves); probe++ {
+		i := leaf + probe
+		if i >= len(p.leaves) {
+			i -= len(p.leaves)
+		}
+		if v, ok := p.leaves[i].Pop(); ok {
+			return v, true
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+// tryParkPush advertises v in the balancer's prism and waits briefly for a
+// popper; it reports whether the value was taken.
+func (h *Handle[T]) tryParkPush(b *balancer[T], v T) bool {
+	slot := &b.prism[h.rng.Intn(len(b.prism))]
+	of := &offer[T]{value: v}
+	if !slot.P.CompareAndSwap(nil, of) {
+		return false
+	}
+	for spin := 0; spin < h.p.cfg.Spins; spin++ {
+		if of.state.Load() == 1 {
+			slot.P.CompareAndSwap(of, nil)
+			return true
+		}
+		runtime.Gosched()
+	}
+	if of.state.CompareAndSwap(0, 2) {
+		slot.P.CompareAndSwap(of, nil)
+		return false
+	}
+	slot.P.CompareAndSwap(of, nil)
+	return true // lost the withdraw race: a popper took it
+}
+
+// tryConsumePush claims a parked push from the balancer's prism.
+func (h *Handle[T]) tryConsumePush(b *balancer[T]) (v T, ok bool) {
+	slot := &b.prism[h.rng.Intn(len(b.prism))]
+	of := slot.P.Load()
+	if of == nil {
+		var zero T
+		return zero, false
+	}
+	if of.state.CompareAndSwap(0, 1) {
+		slot.P.CompareAndSwap(of, nil)
+		return of.value, true
+	}
+	var zero T
+	return zero, false
+}

@@ -1,0 +1,180 @@
+package eltree
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(8).Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	bad := []Config{
+		{},
+		{Depth: 0, PrismSlots: 1, Spins: 1},
+		{Depth: 21, PrismSlots: 1, Spins: 1},
+		{Depth: 1, PrismSlots: 0, Spins: 1},
+		{Depth: 1, PrismSlots: 1, Spins: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestDefaultConfigLeafCount(t *testing.T) {
+	cases := []struct{ p, wantDepth int }{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {8, 3}, {9, 4}, {16, 4},
+	}
+	for _, c := range cases {
+		if got := DefaultConfig(c.p).Depth; got != c.wantDepth {
+			t.Errorf("DefaultConfig(%d).Depth = %d, want %d", c.p, got, c.wantDepth)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(zero Config) did not panic")
+		}
+	}()
+	MustNew[int](Config{})
+}
+
+func TestPushPopRoundTrip(t *testing.T) {
+	p := MustNew[int](Config{Depth: 2, PrismSlots: 2, Spins: 2})
+	h := p.NewHandle()
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty pool returned ok")
+	}
+	h.Push(7)
+	if v, ok := h.Pop(); !ok || v != 7 {
+		t.Fatalf("Pop = (%d,%v), want (7,true)", v, ok)
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop after drain returned ok")
+	}
+}
+
+func TestPoolConservationSequential(t *testing.T) {
+	p := MustNew[uint64](Config{Depth: 3, PrismSlots: 2, Spins: 2})
+	h := p.NewHandle()
+	const n = 3000
+	for v := uint64(0); v < n; v++ {
+		h.Push(v)
+	}
+	if got := p.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	seen := make(map[uint64]bool, n)
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("recovered %d values, want %d", len(seen), n)
+	}
+}
+
+func TestDiffractionSpreadsLeaves(t *testing.T) {
+	// Pure pushes toggle through the balancers; leaves must share the load
+	// roughly evenly (the toggle stream is deterministic round-robin).
+	p := MustNew[int](Config{Depth: 2, PrismSlots: 1, Spins: 1})
+	h := p.NewHandle()
+	const n = 400
+	for i := 0; i < n; i++ {
+		h.Push(i)
+	}
+	for i := range p.leaves {
+		if got := p.leaves[i].Len(); got != n/4 {
+			t.Fatalf("leaf %d holds %d items, want %d", i, got, n/4)
+		}
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	const workers, perW = 8, 2000
+	p := MustNew[uint64](DefaultConfig(workers))
+	popped := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := p.NewHandle()
+			for i := 0; i < perW; i++ {
+				h.Push(uint64(w*perW + i))
+				if i%2 == 1 {
+					if v, ok := h.Pop(); ok {
+						popped[w] = append(popped[w], v)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]int)
+	for _, vs := range popped {
+		for _, v := range vs {
+			seen[v]++
+		}
+	}
+	for _, v := range p.Drain() {
+		seen[v]++
+	}
+	if len(seen) != workers*perW {
+		t.Fatalf("recovered %d distinct values, want %d", len(seen), workers*perW)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d recovered %d times", v, n)
+		}
+	}
+}
+
+// Property: pool conservation for arbitrary scripts.
+func TestPropertyConservation(t *testing.T) {
+	f := func(depthRaw uint8, script []bool) bool {
+		depth := int(depthRaw%3) + 1
+		p := MustNew[uint64](Config{Depth: depth, PrismSlots: 2, Spins: 1})
+		h := p.NewHandle()
+		pushed := 0
+		seen := make(map[uint64]bool)
+		next := uint64(1)
+		for _, isPush := range script {
+			if isPush {
+				h.Push(next)
+				next++
+				pushed++
+			} else if v, ok := h.Pop(); ok {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		for {
+			v, ok := h.Pop()
+			if !ok {
+				break
+			}
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(seen) == pushed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

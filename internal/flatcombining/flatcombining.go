@@ -1,0 +1,151 @@
+// Package flatcombining implements a flat-combining stack (Hendler, Incze,
+// Shavit, Tzafrir, SPAA 2010) — the modern representative of the software
+// combining lineage the paper's related-work section cites via combining
+// funnels (Shavit & Zemach, JPDC 2000).
+//
+// Instead of contending on the data structure, threads publish their
+// operation in a per-thread record; whoever acquires the combiner lock
+// applies *all* pending operations to a sequential stack in one pass and
+// posts the results. Under contention, one cache-line-friendly sweep
+// replaces N CAS battles. The structure is strictly LIFO (k = 0) and
+// blocking (a stalled combiner delays others) — it trades the paper's
+// lock-freedom for combining throughput, which is exactly the contrast the
+// 2D-Stack's evaluation context calls for.
+package flatcombining
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"stack2d/internal/pad"
+)
+
+// Pending operation codes in a publication record.
+const (
+	opNone int32 = iota
+	opPush
+	opPop
+)
+
+// request is one thread's publication record. The combiner reads op with
+// acquire semantics, so value/popOK written before the op store (by the
+// owner) or before the op clear (by the combiner) are safely published.
+type request[T any] struct {
+	op    atomic.Int32
+	value T
+	popOK bool
+	_     pad.CacheLinePad
+}
+
+// Stack is a flat-combining LIFO stack. Create with New; obtain one Handle
+// per goroutine. The zero value is not usable.
+type Stack[T any] struct {
+	lock atomic.Bool
+	recs atomic.Pointer[[]*request[T]]
+
+	mu  sync.Mutex // guards registration (rare path)
+	seq []T        // the sequential stack; touched only under lock
+}
+
+// New returns an empty flat-combining stack.
+func New[T any]() *Stack[T] {
+	s := &Stack[T]{}
+	empty := make([]*request[T], 0)
+	s.recs.Store(&empty)
+	return s
+}
+
+// Len returns the stack population. It acquires the combiner lock briefly.
+func (s *Stack[T]) Len() int {
+	for !s.lock.CompareAndSwap(false, true) {
+		runtime.Gosched()
+	}
+	n := len(s.seq)
+	s.lock.Store(false)
+	return n
+}
+
+// Drain removes all items top-first; teardown/testing helper.
+func (s *Stack[T]) Drain() []T {
+	h := s.NewHandle()
+	var out []T
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// Handle is a per-goroutine publication record. Not safe for concurrent
+// use of the same handle.
+type Handle[T any] struct {
+	s   *Stack[T]
+	rec *request[T]
+}
+
+// NewHandle registers and returns an operation handle.
+func (s *Stack[T]) NewHandle() *Handle[T] {
+	rec := &request[T]{}
+	s.mu.Lock()
+	old := *s.recs.Load()
+	next := make([]*request[T], len(old)+1)
+	copy(next, old)
+	next[len(old)] = rec
+	s.recs.Store(&next)
+	s.mu.Unlock()
+	return &Handle[T]{s: s, rec: rec}
+}
+
+// Push adds v to the top of the stack.
+func (h *Handle[T]) Push(v T) {
+	h.rec.value = v
+	h.rec.op.Store(opPush)
+	h.await()
+}
+
+// Pop removes and returns the top value; ok is false on empty.
+func (h *Handle[T]) Pop() (v T, ok bool) {
+	h.rec.op.Store(opPop)
+	h.await()
+	return h.rec.value, h.rec.popOK
+}
+
+// await spins until the handle's pending operation has been applied,
+// becoming the combiner whenever the lock is free.
+func (h *Handle[T]) await() {
+	s := h.s
+	for h.rec.op.Load() != opNone {
+		if s.lock.CompareAndSwap(false, true) {
+			s.combine()
+			s.lock.Store(false)
+			continue // re-check own record (the combiner serves itself too)
+		}
+		runtime.Gosched()
+	}
+}
+
+// combine applies every pending published operation to the sequential
+// stack. Called only while holding the combiner lock.
+func (s *Stack[T]) combine() {
+	for _, r := range *s.recs.Load() {
+		switch r.op.Load() {
+		case opPush:
+			s.seq = append(s.seq, r.value)
+			r.op.Store(opNone)
+		case opPop:
+			if n := len(s.seq); n > 0 {
+				r.value = s.seq[n-1]
+				r.popOK = true
+				s.seq = s.seq[:n-1]
+			} else {
+				var zero T
+				r.value = zero
+				r.popOK = false
+			}
+			r.op.Store(opNone)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package flatcombining
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"stack2d/internal/seqspec"
+)
+
+func TestSequentialLIFO(t *testing.T) {
+	s := New[uint64]()
+	h := s.NewHandle()
+	var m seqspec.Model
+	for v := uint64(0); v < 300; v++ {
+		h.Push(v)
+		m.Push(v)
+		if v%3 == 1 {
+			got, gok := h.Pop()
+			want, wok := m.Pop()
+			if gok != wok || got != want {
+				t.Fatalf("Pop = (%d,%v), want (%d,%v)", got, gok, want, wok)
+			}
+		}
+	}
+	for {
+		want, wok := m.Pop()
+		got, gok := h.Pop()
+		if gok != wok {
+			t.Fatal("emptiness diverged")
+		}
+		if !wok {
+			break
+		}
+		if got != want {
+			t.Fatalf("Pop = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestEmptyPop(t *testing.T) {
+	s := New[int]()
+	h := s.NewHandle()
+	if _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty returned ok")
+	}
+	h.Push(1)
+	if v, ok := h.Pop(); !ok || v != 1 {
+		t.Fatalf("Pop = (%d,%v), want (1,true)", v, ok)
+	}
+}
+
+func TestLen(t *testing.T) {
+	s := New[int]()
+	h := s.NewHandle()
+	for i := 0; i < 5; i++ {
+		h.Push(i)
+	}
+	if got := s.Len(); got != 5 {
+		t.Fatalf("Len = %d, want 5", got)
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	const workers, perW = 8, 2000
+	s := New[uint64]()
+	popped := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.NewHandle()
+			for i := 0; i < perW; i++ {
+				h.Push(uint64(w*perW + i))
+				if i%2 == 1 {
+					if v, ok := h.Pop(); ok {
+						popped[w] = append(popped[w], v)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]int)
+	for _, vs := range popped {
+		for _, v := range vs {
+			seen[v]++
+		}
+	}
+	for _, v := range s.Drain() {
+		seen[v]++
+	}
+	if len(seen) != workers*perW {
+		t.Fatalf("recovered %d distinct values, want %d", len(seen), workers*perW)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d recovered %d times", v, n)
+		}
+	}
+}
+
+// TestIntervalSanityConcurrent: flat combining is strict; its interval
+// histories must pass the zero-slack checks.
+func TestIntervalSanityConcurrent(t *testing.T) {
+	s := New[uint64]()
+	var clockSrc, labelSrc struct{ v uint64 }
+	var mu sync.Mutex
+	tick := func() int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		clockSrc.v++
+		return int64(clockSrc.v)
+	}
+	nextLabel := func() uint64 {
+		mu.Lock()
+		defer mu.Unlock()
+		labelSrc.v++
+		return labelSrc.v
+	}
+	const workers, opsPerW = 4, 1000
+	histories := make([][]seqspec.IntervalOp, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.NewHandle()
+			hist := make([]seqspec.IntervalOp, 0, opsPerW)
+			for i := 0; i < opsPerW; i++ {
+				begin := tick()
+				if i%2 == 0 {
+					v := nextLabel()
+					h.Push(v)
+					hist = append(hist, seqspec.IntervalOp{Kind: seqspec.OpPush, Value: v, Begin: begin, End: tick()})
+				} else {
+					v, ok := h.Pop()
+					hist = append(hist, seqspec.IntervalOp{Kind: seqspec.OpPop, Value: v, Empty: !ok, Begin: begin, End: tick()})
+				}
+			}
+			histories[w] = hist
+		}(w)
+	}
+	wg.Wait()
+	var all []seqspec.IntervalOp
+	for _, h := range histories {
+		all = append(all, h...)
+	}
+	h := s.NewHandle()
+	for {
+		begin := tick()
+		v, ok := h.Pop()
+		all = append(all, seqspec.IntervalOp{Kind: seqspec.OpPop, Value: v, Empty: !ok, Begin: begin, End: tick()})
+		if !ok {
+			break
+		}
+	}
+	if err := seqspec.CheckIntervalSanity(all, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: push-all then drain reverses the input.
+func TestPropertyDrainReverses(t *testing.T) {
+	f := func(vals []uint64) bool {
+		s := New[uint64]()
+		h := s.NewHandle()
+		for _, v := range vals {
+			h.Push(v)
+		}
+		out := s.Drain()
+		if len(out) != len(vals) {
+			return false
+		}
+		for i := range out {
+			if out[i] != vals[len(vals)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stack2d/internal/core"
+	"stack2d/internal/xrand"
+)
+
+// InstrumentedResult extends Result with the aggregated per-handle work
+// counters of a 2D-Stack run — the empirical step-complexity data the full
+// paper analyses (probes per operation, CAS failure rate, window moves).
+type InstrumentedResult struct {
+	Result
+	Stats core.OpStats
+}
+
+// RunInstrumented drives the paper workload against a 2D-Stack
+// configuration directly (not through a Factory, because it needs access
+// to the concrete handles' counters) and returns throughput plus the
+// summed OpStats of every worker.
+func RunInstrumented(cfg core.Config, w Workload) (InstrumentedResult, error) {
+	var out InstrumentedResult
+	if err := w.Validate(); err != nil {
+		return out, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return out, err
+	}
+	s, err := core.New[uint64](cfg)
+	if err != nil {
+		return out, err
+	}
+	pre := s.NewHandle()
+	for i := 0; i < w.Prefill; i++ {
+		pre.Push(uint64(i) + 1)
+	}
+	out.Stats.Add(pre.Stats())
+
+	perW := make([]core.OpStats, w.Workers)
+	var stop atomic.Bool
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < w.Workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := s.NewHandle()
+			rng := xrand.New(w.Seed + uint64(id)*0x9e3779b97f4a7c15 + 1)
+			label := uint64(id+1)<<40 | uint64(w.Prefill)
+			<-start
+			for !stop.Load() {
+				if rng.Float64() < w.PushRatio {
+					label++
+					h.Push(label)
+				} else {
+					h.Pop()
+				}
+			}
+			perW[id] = h.Stats()
+		}(i)
+	}
+	began := time.Now()
+	close(start)
+	time.Sleep(w.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(began)
+
+	for _, st := range perW {
+		out.Stats.Add(st)
+	}
+	// Subtract the prefill contribution from the op accounting but keep it
+	// in Stats (it is real work; callers can remove it via the snapshot
+	// taken above if needed).
+	out.Pushes = out.Stats.Pushes - uint64(w.Prefill)
+	out.Pops = out.Stats.Pops
+	out.EmptyPops = out.Stats.EmptyPops
+	out.Ops = out.Pushes + out.Pops + out.EmptyPops
+	out.Elapsed = elapsed
+	out.Throughput = float64(out.Ops) / elapsed.Seconds()
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"stack2d/internal/core"
+)
+
+func TestRunInstrumentedCountsWork(t *testing.T) {
+	cfg := core.DefaultConfig(2)
+	w := quickWorkload(2)
+	w.Duration = 30 * time.Millisecond
+	res, err := RunInstrumented(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no operations")
+	}
+	if res.Stats.Probes < res.Stats.Ops() {
+		t.Fatalf("Probes (%d) < ops (%d): every op validates at least one sub-stack",
+			res.Stats.Probes, res.Stats.Ops())
+	}
+	if res.Stats.Pushes < uint64(w.Prefill) {
+		t.Fatalf("Stats.Pushes = %d below prefill %d", res.Stats.Pushes, w.Prefill)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestRunInstrumentedValidates(t *testing.T) {
+	if _, err := RunInstrumented(core.Config{}, quickWorkload(1)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := RunInstrumented(core.DefaultConfig(1), Workload{}); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestRunInstrumentedTightSearch(t *testing.T) {
+	// At the default operating point with few workers, the empirical step
+	// count must stay near 1 probe/op (the paper's tight-bound claim).
+	cfg := core.DefaultConfig(4)
+	w := quickWorkload(4)
+	w.Duration = 40 * time.Millisecond
+	res, err := RunInstrumented(cfg, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ppo := res.Stats.ProbesPerOp(); ppo > 4 {
+		t.Fatalf("ProbesPerOp = %.2f, want near 1 at the default config", ppo)
+	}
+}

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"stack2d/internal/twodqueue"
+)
+
+func TestLatencySampling(t *testing.T) {
+	w := quickWorkload(2)
+	w.Duration = 50 * time.Millisecond
+	res, err := Run(NewTreiberFactory(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyP50 <= 0 {
+		t.Fatalf("LatencyP50 = %v, want > 0 (sampling broken)", res.LatencyP50)
+	}
+	if res.LatencyP99 < res.LatencyP50 {
+		t.Fatalf("P99 (%v) < P50 (%v)", res.LatencyP99, res.LatencyP50)
+	}
+}
+
+func TestRunQueueQualityStrictFIFOZero(t *testing.T) {
+	w := quickWorkload(1)
+	w.Duration = 15 * time.Millisecond
+	res, err := RunQueueQuality(NewMSQueueFactory(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality.Count == 0 {
+		t.Fatal("no dequeues measured")
+	}
+	if res.Quality.Mean() != 0 {
+		t.Fatalf("ms-queue FIFO mean error = %g, want 0", res.Quality.Mean())
+	}
+}
+
+func TestRunQueueQualityRelaxedNonZero(t *testing.T) {
+	w := quickWorkload(1)
+	w.Duration = 20 * time.Millisecond
+	cfg := twodqueue.Config{Width: 16, Depth: 16, Shift: 16, RandomHops: 2}
+	res, err := RunQueueQuality(NewTwoDQueueFactory(cfg), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality.Count == 0 {
+		t.Fatal("no dequeues measured")
+	}
+	if res.Quality.Mean() == 0 {
+		t.Fatal("relaxed 2D-queue scored exact FIFO; oracle wiring suspect")
+	}
+	if int64(res.Quality.Max) > cfg.K()+64 {
+		t.Fatalf("FIFO error %d far exceeds bound %d", res.Quality.Max, cfg.K())
+	}
+}

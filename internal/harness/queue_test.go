@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"stack2d/internal/twodqueue"
+)
+
+func TestQueueFactoriesProduceOps(t *testing.T) {
+	factories := []Factory{
+		NewTwoDQueueFactory(twodqueue.DefaultConfig(2)),
+		NewMSQueueFactory(),
+	}
+	for _, f := range factories {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			res, err := Run(f, quickWorkload(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops == 0 {
+				t.Fatal("queue run completed zero operations")
+			}
+		})
+	}
+}
+
+func TestQueueFactoryK(t *testing.T) {
+	cfg := twodqueue.Config{Width: 3, Depth: 8, Shift: 4, RandomHops: 1}
+	if f := NewTwoDQueueFactory(cfg); f.K != cfg.K() {
+		t.Fatalf("factory K = %d, want %d", f.K, cfg.K())
+	}
+	if f := NewMSQueueFactory(); f.K != 0 {
+		t.Fatalf("ms-queue K = %d, want 0", f.K)
+	}
+}
+
+func TestQueueFIFOQualityIsZeroForStrict(t *testing.T) {
+	// The quality oracle measures LIFO distance, which is meaningless for
+	// queues; this test only checks the harness plumbing runs and counts.
+	w := quickWorkload(1)
+	w.Duration = 10 * time.Millisecond
+	res, err := Run(NewMSQueueFactory(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no ops")
+	}
+}
+
+func TestSplitRolesWorkload(t *testing.T) {
+	w := quickWorkload(4)
+	w.SplitRoles = true
+	res, err := RunOps(NewTreiberFactory(), w, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly half the workers (2 of 4) push, so pushes = 2000.
+	if res.Pushes != 2000 {
+		t.Fatalf("Pushes = %d, want 2000 under SplitRoles", res.Pushes)
+	}
+	if res.Pops+res.EmptyPops != 2000 {
+		t.Fatalf("pop-side ops = %d, want 2000", res.Pops+res.EmptyPops)
+	}
+}
+
+func TestSplitRolesOddWorkers(t *testing.T) {
+	w := quickWorkload(3)
+	w.SplitRoles = true
+	res, err := RunOps(NewTreiberFactory(), w, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (3+1)/2 = 2 pushers.
+	if res.Pushes != 200 {
+		t.Fatalf("Pushes = %d, want 200", res.Pushes)
+	}
+}
+
+func TestThinkSpinValidation(t *testing.T) {
+	w := quickWorkload(1)
+	w.ThinkSpin = -1
+	if err := w.Validate(); err == nil {
+		t.Fatal("negative ThinkSpin accepted")
+	}
+}
+
+func TestThinkSpinSlowsThroughput(t *testing.T) {
+	fast := quickWorkload(2)
+	slow := fast
+	slow.ThinkSpin = 2000
+	fres, err := Run(NewTreiberFactory(), fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := Run(NewTreiberFactory(), slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Throughput >= fres.Throughput {
+		t.Fatalf("think time did not reduce throughput: %0.f >= %0.f",
+			sres.Throughput, fres.Throughput)
+	}
+}

@@ -1,0 +1,42 @@
+package harness
+
+import (
+	"stack2d/internal/eltree"
+	"stack2d/internal/flatcombining"
+)
+
+// Related-work baselines beyond the paper's evaluation set (Section 2 of
+// the paper cites both lineages): flat combining for software combining
+// (combining funnels' modern descendant) and the elimination-diffraction
+// tree pool. They let the RelatedWork bench place the 2D-Stack in the full
+// contention-management design space.
+
+type fcInstance struct{ s *flatcombining.Stack[uint64] }
+
+func (i fcInstance) NewWorker() Worker { return i.s.NewHandle() }
+func (i fcInstance) Len() int          { return i.s.Len() }
+
+// NewFlatCombiningFactory wraps the flat-combining stack (strict, k = 0,
+// blocking).
+func NewFlatCombiningFactory() Factory {
+	return Factory{
+		Name: "flat-combining",
+		K:    0,
+		New:  func() Instance { return fcInstance{flatcombining.New[uint64]()} },
+	}
+}
+
+type eltreeInstance struct{ p *eltree.Pool[uint64] }
+
+func (i eltreeInstance) NewWorker() Worker { return i.p.NewHandle() }
+func (i eltreeInstance) Len() int          { return i.p.Len() }
+
+// NewElimTreeFactory wraps the elimination-diffraction tree pool
+// (unordered, so K = -1).
+func NewElimTreeFactory(cfg eltree.Config) Factory {
+	return Factory{
+		Name: "elim-tree",
+		K:    -1,
+		New:  func() Instance { return eltreeInstance{eltree.MustNew[uint64](cfg)} },
+	}
+}

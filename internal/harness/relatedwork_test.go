@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"testing"
+
+	"stack2d/internal/eltree"
+)
+
+func TestRelatedWorkFactoriesProduceOps(t *testing.T) {
+	factories := []Factory{
+		NewFlatCombiningFactory(),
+		NewElimTreeFactory(eltree.DefaultConfig(2)),
+	}
+	for _, f := range factories {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			res, err := Run(f, quickWorkload(2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ops == 0 {
+				t.Fatal("run completed zero operations")
+			}
+		})
+	}
+}
+
+func TestFlatCombiningQualityIsStrict(t *testing.T) {
+	w := quickWorkload(1)
+	res, err := RunQuality(NewFlatCombiningFactory(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality.Count == 0 {
+		t.Fatal("no pops measured")
+	}
+	if res.Quality.Mean() != 0 {
+		t.Fatalf("flat combining mean error = %g, want 0 (strict LIFO)", res.Quality.Mean())
+	}
+}
+
+func TestElimTreeQualityIsUnordered(t *testing.T) {
+	// The pool gives no order guarantee; with one worker and a deep tree
+	// the toggles still pair pushes and pops deterministically, so just
+	// verify the plumbing runs and conserves counts.
+	w := quickWorkload(2)
+	res, err := Run(NewElimTreeFactory(eltree.DefaultConfig(2)), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != res.Pushes+res.Pops+res.EmptyPops {
+		t.Fatalf("op accounting inconsistent: %+v", res)
+	}
+}

@@ -1,0 +1,322 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stack2d/internal/quality"
+	"stack2d/internal/stats"
+	"stack2d/internal/xrand"
+)
+
+// Workload describes one experiment run, mirroring the paper's setup.
+type Workload struct {
+	// Workers is P, the number of concurrent operation streams.
+	Workers int
+	// Duration is the timed phase length (the paper runs 5 s).
+	Duration time.Duration
+	// PushRatio is the probability an operation is a Push; the paper uses
+	// 0.5 ("operations selected uniformly at random from Pop and Push").
+	PushRatio float64
+	// Prefill is the initial population (the paper: 32,768), present to
+	// avoid measuring empty-stack returns.
+	Prefill int
+	// Seed makes runs reproducible; distinct workers derive distinct
+	// streams from it.
+	Seed uint64
+	// PinThreads locks each worker goroutine to an OS thread, the closest
+	// portable analogue of the paper's one-thread-per-core pinning.
+	PinThreads bool
+	// ThinkSpin inserts a computational load of this many ALU spin
+	// iterations between operations. The paper sets it to zero ("to
+	// simulate high contention, we put no computational load between
+	// operations"); the full version explores non-zero loads, which dilute
+	// contention.
+	ThinkSpin int
+	// SplitRoles dedicates half the workers (rounding up) to pushing and
+	// the rest to popping — the producer/consumer pattern under which
+	// elimination thrives and window maintenance is one-directional.
+	// PushRatio is ignored for role-split runs.
+	SplitRoles bool
+}
+
+// think burns the configured computational load; the result is returned so
+// the compiler cannot elide the loop.
+func think(n int, acc uint64) uint64 {
+	for i := 0; i < n; i++ {
+		acc = acc*6364136223846793005 + 1442695040888963407
+	}
+	return acc
+}
+
+// Validate reports whether the workload is runnable.
+func (w Workload) Validate() error {
+	switch {
+	case w.Workers < 1:
+		return fmt.Errorf("harness: Workers must be >= 1, got %d", w.Workers)
+	case w.Duration <= 0:
+		return fmt.Errorf("harness: Duration must be positive, got %v", w.Duration)
+	case w.PushRatio < 0 || w.PushRatio > 1:
+		return fmt.Errorf("harness: PushRatio must be in [0,1], got %g", w.PushRatio)
+	case w.Prefill < 0:
+		return fmt.Errorf("harness: Prefill must be >= 0, got %d", w.Prefill)
+	case w.ThinkSpin < 0:
+		return fmt.Errorf("harness: ThinkSpin must be >= 0, got %d", w.ThinkSpin)
+	}
+	return nil
+}
+
+// DefaultWorkload returns the paper's configuration at p workers with a
+// CI-friendly duration; pass -paper to the CLIs for the full 5 s.
+func DefaultWorkload(p int) Workload {
+	return Workload{
+		Workers:   p,
+		Duration:  200 * time.Millisecond,
+		PushRatio: 0.5,
+		Prefill:   32768,
+		Seed:      1,
+	}
+}
+
+// Result summarises one run.
+type Result struct {
+	Ops        uint64        // completed operations (pushes + pops)
+	Pushes     uint64        // completed pushes
+	Pops       uint64        // pops returning a value
+	EmptyPops  uint64        // pops reporting empty
+	Elapsed    time.Duration // measured wall time of the timed phase
+	Throughput float64       // Ops per second
+	Quality    quality.Stats // zero unless measured (RunQuality)
+
+	// LatencyP50/P99 are sampled per-operation latencies (1 op in 256 is
+	// timed); zero when too few samples were collected.
+	LatencyP50 time.Duration
+	LatencyP99 time.Duration
+}
+
+// oracle abstracts the two error-distance instruments (LIFO side-list for
+// stacks, FIFO side-list for the queue extension).
+type oracle interface {
+	Insert(label uint64)
+	Remove(label uint64) int
+	Snapshot() quality.Stats
+}
+
+// Run executes one throughput run: prefill, then P workers hammer the stack
+// for the configured duration.
+func Run(f Factory, w Workload) (Result, error) {
+	return run(f, w, nil)
+}
+
+// RunQuality executes one run with the LIFO error-distance oracle
+// attached. Oracle maintenance serialises briefly on a mutex per
+// operation, so throughput from a quality run underestimates the
+// unobserved system; the paper likewise measures the two in dedicated
+// runs.
+func RunQuality(f Factory, w Workload) (Result, error) {
+	return run(f, w, &quality.Oracle{})
+}
+
+// RunQueueQuality is RunQuality with the FIFO oracle, for the 2D-Queue
+// extension experiments (Push = enqueue, Pop = dequeue).
+func RunQueueQuality(f Factory, w Workload) (Result, error) {
+	return run(f, w, &quality.FIFOOracle{})
+}
+
+func run(f Factory, w Workload, oracle oracle) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	inst := f.New()
+
+	// Prefill with unique labels; worker labels start above this range.
+	pre := inst.NewWorker()
+	for i := 0; i < w.Prefill; i++ {
+		label := uint64(i) + 1
+		pre.Push(label)
+		if oracle != nil {
+			oracle.Insert(label)
+		}
+	}
+
+	type counters struct {
+		pushes, pops, empty uint64
+	}
+	perW := make([]counters, w.Workers)
+
+	var latMu sync.Mutex
+	var latencies []time.Duration
+
+	var stop atomic.Bool
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < w.Workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if w.PinThreads {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			worker := inst.NewWorker()
+			rng := xrand.New(w.Seed + uint64(id)*0x9e3779b97f4a7c15 + 1)
+			// Unique labels: worker id in the high bits, counter below;
+			// offset past the prefill range.
+			label := uint64(id+1)<<40 | uint64(w.Prefill)
+			var c counters
+			var sink uint64
+			var lat []time.Duration
+			opCount := 0
+			isPusher := id < (w.Workers+1)/2
+			<-start
+			for !stop.Load() {
+				opCount++
+				var opBegan time.Time
+				timed := opCount&255 == 0
+				if timed {
+					opBegan = time.Now()
+				}
+				push := rng.Float64() < w.PushRatio
+				if w.SplitRoles {
+					push = isPusher
+				}
+				if push {
+					label++
+					worker.Push(label)
+					if oracle != nil {
+						oracle.Insert(label)
+					}
+					c.pushes++
+				} else {
+					v, ok := worker.Pop()
+					if ok {
+						if oracle != nil {
+							oracle.Remove(v)
+						}
+						c.pops++
+					} else {
+						c.empty++
+					}
+				}
+				if timed {
+					lat = append(lat, time.Since(opBegan))
+				}
+				if w.ThinkSpin > 0 {
+					sink = think(w.ThinkSpin, sink)
+				}
+			}
+			_ = sink
+			perW[id] = c
+			latMu.Lock()
+			latencies = append(latencies, lat...)
+			latMu.Unlock()
+		}(i)
+	}
+
+	began := time.Now()
+	close(start)
+	time.Sleep(w.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(began)
+
+	var res Result
+	for _, c := range perW {
+		res.Pushes += c.pushes
+		res.Pops += c.pops
+		res.EmptyPops += c.empty
+	}
+	res.Ops = res.Pushes + res.Pops + res.EmptyPops
+	res.Elapsed = elapsed
+	res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	if oracle != nil {
+		res.Quality = oracle.Snapshot()
+	}
+	if len(latencies) >= 8 {
+		xs := make([]float64, len(latencies))
+		for i, d := range latencies {
+			xs[i] = float64(d)
+		}
+		res.LatencyP50 = time.Duration(stats.Percentile(xs, 50))
+		res.LatencyP99 = time.Duration(stats.Percentile(xs, 99))
+	}
+	return res, nil
+}
+
+// RunOps executes a deterministic fixed-operation-count run (no timer),
+// used by tests: each worker performs opsPerWorker operations. It returns
+// the aggregated result (Throughput still populated from wall time).
+func RunOps(f Factory, w Workload, opsPerWorker int) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opsPerWorker < 0 {
+		return Result{}, fmt.Errorf("harness: opsPerWorker must be >= 0, got %d", opsPerWorker)
+	}
+	inst := f.New()
+	pre := inst.NewWorker()
+	for i := 0; i < w.Prefill; i++ {
+		pre.Push(uint64(i) + 1)
+	}
+	type counters struct {
+		pushes, pops, empty uint64
+	}
+	perW := make([]counters, w.Workers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < w.Workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			worker := inst.NewWorker()
+			rng := xrand.New(w.Seed + uint64(id)*0x9e3779b97f4a7c15 + 1)
+			label := uint64(id+1)<<40 | uint64(w.Prefill)
+			var c counters
+			var sink uint64
+			isPusher := id < (w.Workers+1)/2
+			<-start
+			for n := 0; n < opsPerWorker; n++ {
+				push := rng.Float64() < w.PushRatio
+				if w.SplitRoles {
+					push = isPusher
+				}
+				if push {
+					label++
+					worker.Push(label)
+					c.pushes++
+				} else {
+					if _, ok := worker.Pop(); ok {
+						c.pops++
+					} else {
+						c.empty++
+					}
+				}
+				if w.ThinkSpin > 0 {
+					sink = think(w.ThinkSpin, sink)
+				}
+			}
+			_ = sink
+			perW[id] = c
+		}(i)
+	}
+	began := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(began)
+
+	var res Result
+	for _, c := range perW {
+		res.Pushes += c.pushes
+		res.Pops += c.pops
+		res.EmptyPops += c.empty
+	}
+	res.Ops = res.Pushes + res.Pops + res.EmptyPops
+	res.Elapsed = elapsed
+	if sec := elapsed.Seconds(); sec > 0 {
+		res.Throughput = float64(res.Ops) / sec
+	}
+	return res, nil
+}

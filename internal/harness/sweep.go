@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"stack2d/internal/relax"
+	"stack2d/internal/stats"
+)
+
+// Point is one (x, series) measurement of a figure: throughput averaged
+// over repeats plus the quality metric from a dedicated quality run.
+type Point struct {
+	Algorithm relax.Algorithm
+	X         int64 // k for Figure 1, P for Figure 2
+	K         int64 // configured relaxation bound (-1 if unbounded)
+
+	Throughput stats.Summary // ops/s over repeats
+	MeanError  float64       // mean error distance (quality run)
+	MaxError   int           // max observed error distance (quality run)
+	EmptyPops  uint64        // from the throughput runs (summed)
+}
+
+// SweepConfig controls a figure regeneration.
+type SweepConfig struct {
+	Workload Workload // Workers is overridden per point in Figure 2
+	Repeats  int      // the paper averages 5 repeats
+	// Quality enables the oracle run per point (adds one extra run).
+	Quality bool
+	// Progress, when non-nil, receives one line per completed point.
+	Progress io.Writer
+}
+
+// measure runs Repeats throughput runs plus an optional quality run for one
+// factory/workload pair.
+func measure(f Factory, w Workload, sc SweepConfig) (Point, error) {
+	pt := Point{K: f.K}
+	xs := make([]float64, 0, sc.Repeats)
+	for r := 0; r < sc.Repeats; r++ {
+		wr := w
+		wr.Seed = w.Seed + uint64(r)*7919
+		res, err := Run(f, wr)
+		if err != nil {
+			return pt, err
+		}
+		xs = append(xs, res.Throughput)
+		pt.EmptyPops += res.EmptyPops
+	}
+	pt.Throughput = stats.Summarize(xs)
+	if sc.Quality {
+		res, err := RunQuality(f, w)
+		if err != nil {
+			return pt, err
+		}
+		pt.MeanError = res.Quality.Mean()
+		pt.MaxError = res.Quality.Max
+	}
+	return pt, nil
+}
+
+// Figure1Ks is the default relaxation sweep (the paper plots k on a log
+// axis from single digits to tens of thousands).
+func Figure1Ks() []int64 {
+	return []int64{8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+}
+
+// Figure1Sweep regenerates the paper's Figure 1: throughput and accuracy of
+// the k-bounded algorithms as the relaxation bound k increases, at fixed
+// thread count sc.Workload.Workers.
+func Figure1Sweep(ks []int64, sc SweepConfig) ([]Point, error) {
+	if len(ks) == 0 {
+		ks = Figure1Ks()
+	}
+	p := sc.Workload.Workers
+	var out []Point
+	for _, alg := range relax.Figure1Algorithms() {
+		for _, k := range ks {
+			f := Figure1Factory(alg, k, p)
+			pt, err := measure(f, sc.Workload, sc)
+			if err != nil {
+				return nil, fmt.Errorf("figure1 %v k=%d: %w", alg, k, err)
+			}
+			pt.Algorithm = alg
+			pt.X = k
+			out = append(out, pt)
+			progress(sc, "figure1 %-10s k=%-6d thr=%s err=%.2f\n",
+				alg, k, stats.HumanOps(pt.Throughput.Mean), pt.MeanError)
+		}
+	}
+	return out, nil
+}
+
+// Figure2Ps is the paper's thread sweep: 1–8 intra-socket, 9–16 inter.
+func Figure2Ps() []int {
+	return []int{1, 2, 4, 6, 8, 10, 12, 14, 16}
+}
+
+// Figure2Sweep regenerates the paper's Figure 2: throughput and accuracy of
+// all algorithms as concurrency increases.
+func Figure2Sweep(ps []int, sc SweepConfig) ([]Point, error) {
+	if len(ps) == 0 {
+		ps = Figure2Ps()
+	}
+	var out []Point
+	for _, alg := range relax.Figure2Algorithms() {
+		for _, p := range ps {
+			f := Figure2Factory(alg, p)
+			w := sc.Workload
+			w.Workers = p
+			pt, err := measure(f, w, sc)
+			if err != nil {
+				return nil, fmt.Errorf("figure2 %v p=%d: %w", alg, p, err)
+			}
+			pt.Algorithm = alg
+			pt.X = int64(p)
+			out = append(out, pt)
+			progress(sc, "figure2 %-11s P=%-3d thr=%s err=%.2f\n",
+				alg, p, stats.HumanOps(pt.Throughput.Mean), pt.MeanError)
+		}
+	}
+	return out, nil
+}
+
+func progress(sc SweepConfig, format string, args ...any) {
+	if sc.Progress != nil {
+		fmt.Fprintf(sc.Progress, format, args...)
+	}
+}
+
+// RenderPoints formats sweep results as the textual equivalent of a figure:
+// one row per (algorithm, x), with throughput and error columns.
+func RenderPoints(points []Point, xName string) string {
+	tb := stats.NewTable("algorithm", xName, "k", "thr(ops/s)", "thr(min)", "thr(max)", "mean-err", "max-err", "empty-pops")
+	for _, pt := range points {
+		k := "-"
+		if pt.K >= 0 {
+			k = fmt.Sprintf("%d", pt.K)
+		}
+		tb.AddRow(
+			pt.Algorithm.String(),
+			fmt.Sprintf("%d", pt.X),
+			k,
+			fmt.Sprintf("%.0f", pt.Throughput.Mean),
+			fmt.Sprintf("%.0f", pt.Throughput.Min),
+			fmt.Sprintf("%.0f", pt.Throughput.Max),
+			fmt.Sprintf("%.2f", pt.MeanError),
+			fmt.Sprintf("%d", pt.MaxError),
+			fmt.Sprintf("%d", pt.EmptyPops),
+		)
+	}
+	return tb.String()
+}

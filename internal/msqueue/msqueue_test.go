@@ -1,0 +1,183 @@
+package msqueue
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"stack2d/internal/seqspec"
+)
+
+func TestEmptyDequeue(t *testing.T) {
+	q := New[int]()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on empty returned ok")
+	}
+	if !q.Empty() {
+		t.Fatal("fresh queue not Empty")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+}
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New[uint64]()
+	var m seqspec.FIFOModel
+	for v := uint64(0); v < 200; v++ {
+		q.Enqueue(v)
+		m.Enqueue(v)
+		if v%3 == 1 {
+			got, gok := q.Dequeue()
+			want, wok := m.Dequeue()
+			if gok != wok || got != want {
+				t.Fatalf("Dequeue = (%d,%v), want (%d,%v)", got, gok, want, wok)
+			}
+		}
+	}
+	for {
+		want, wok := m.Dequeue()
+		got, gok := q.Dequeue()
+		if gok != wok {
+			t.Fatal("emptiness diverged")
+		}
+		if !wok {
+			break
+		}
+		if got != want {
+			t.Fatalf("Dequeue = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestLenTracksQuiescent(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 10; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	for i := 0; i < 3; i++ {
+		q.Dequeue()
+	}
+	if q.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", q.Len())
+	}
+}
+
+func TestTryDequeue(t *testing.T) {
+	q := New[int]()
+	if _, ok, contended := q.TryDequeue(); ok || contended {
+		t.Fatal("TryDequeue on empty misreported")
+	}
+	q.Enqueue(1)
+	v, ok, contended := q.TryDequeue()
+	if !ok || contended || v != 1 {
+		t.Fatalf("TryDequeue = (%d,%v,%v), want (1,true,false)", v, ok, contended)
+	}
+}
+
+func TestDrainOrder(t *testing.T) {
+	q := New[int]()
+	for i := 1; i <= 5; i++ {
+		q.Enqueue(i)
+	}
+	got := q.Drain()
+	for i, want := range []int{1, 2, 3, 4, 5} {
+		if got[i] != want {
+			t.Fatalf("Drain = %v", got)
+		}
+	}
+	if !q.Empty() {
+		t.Fatal("not empty after drain")
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	const workers, perW = 8, 2500
+	q := New[uint64]()
+	var wg sync.WaitGroup
+	got := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				q.Enqueue(uint64(w*perW + i))
+				if i%2 == 1 {
+					if v, ok := q.Dequeue(); ok {
+						got[w] = append(got[w], v)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]int)
+	for _, vs := range got {
+		for _, v := range vs {
+			seen[v]++
+		}
+	}
+	for _, v := range q.Drain() {
+		seen[v]++
+	}
+	if len(seen) != workers*perW {
+		t.Fatalf("recovered %d distinct values, want %d", len(seen), workers*perW)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d recovered %d times", v, n)
+		}
+	}
+}
+
+func TestConcurrentSPSCOrder(t *testing.T) {
+	// Single producer, single consumer: strict FIFO must be observable.
+	const n = 20000
+	q := New[uint64]()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		want := uint64(0)
+		for want < n {
+			v, ok := q.Dequeue()
+			if !ok {
+				continue
+			}
+			if v != want {
+				t.Errorf("dequeued %d, want %d", v, want)
+				return
+			}
+			want++
+		}
+	}()
+	for v := uint64(0); v < n; v++ {
+		q.Enqueue(v)
+	}
+	<-done
+}
+
+// Property: enqueue-all then drain preserves order.
+func TestPropertyDrainPreservesOrder(t *testing.T) {
+	f := func(vals []uint64) bool {
+		q := New[uint64]()
+		for _, v := range vals {
+			q.Enqueue(v)
+		}
+		out := q.Drain()
+		if len(out) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if out[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

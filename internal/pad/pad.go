@@ -1,0 +1,39 @@
+// Package pad provides cache-line padding helpers used to avoid false
+// sharing between adjacent atomic fields.
+//
+// The 2D-Stack keeps one descriptor pointer per sub-stack in a contiguous
+// array; without padding, CAS traffic on one sub-stack would invalidate the
+// cache line holding its neighbours and silently serialise "disjoint"
+// operations. The paper's design depends on those accesses being truly
+// disjoint, so every per-sub-stack slot is padded to a full cache line.
+package pad
+
+import "sync/atomic"
+
+// CacheLineSize is the assumed size in bytes of a CPU cache line.
+// 64 is correct for all contemporary x86-64 and most ARM64 parts; using a
+// constant keeps the arrays allocatable without runtime probing.
+const CacheLineSize = 64
+
+// CacheLinePad occupies exactly one cache line. Embed it between fields that
+// must not share a line.
+type CacheLinePad struct{ _ [CacheLineSize]byte }
+
+// PointerLine is an atomic.Pointer padded to a full cache line so that a
+// slice of PointerLine places each pointer on its own line.
+type PointerLine[T any] struct {
+	P atomic.Pointer[T]
+	_ [CacheLineSize - 8]byte
+}
+
+// Int64Line is an atomic.Int64 padded to a full cache line.
+type Int64Line struct {
+	V atomic.Int64
+	_ [CacheLineSize - 8]byte
+}
+
+// Uint64Line is an atomic.Uint64 padded to a full cache line.
+type Uint64Line struct {
+	V atomic.Uint64
+	_ [CacheLineSize - 8]byte
+}

@@ -1,0 +1,61 @@
+package pad
+
+import (
+	"testing"
+	"unsafe"
+)
+
+func TestCacheLinePadSize(t *testing.T) {
+	if got := unsafe.Sizeof(CacheLinePad{}); got != CacheLineSize {
+		t.Fatalf("CacheLinePad is %d bytes, want %d", got, CacheLineSize)
+	}
+}
+
+func TestPointerLineFillsALine(t *testing.T) {
+	if got := unsafe.Sizeof(PointerLine[int]{}); got != CacheLineSize {
+		t.Fatalf("PointerLine is %d bytes, want %d", got, CacheLineSize)
+	}
+}
+
+func TestInt64LineFillsALine(t *testing.T) {
+	if got := unsafe.Sizeof(Int64Line{}); got != CacheLineSize {
+		t.Fatalf("Int64Line is %d bytes, want %d", got, CacheLineSize)
+	}
+}
+
+func TestUint64LineFillsALine(t *testing.T) {
+	if got := unsafe.Sizeof(Uint64Line{}); got != CacheLineSize {
+		t.Fatalf("Uint64Line is %d bytes, want %d", got, CacheLineSize)
+	}
+}
+
+func TestSliceOfLinesSeparatesElements(t *testing.T) {
+	// Adjacent slice elements must start exactly one cache line apart, so
+	// no two atomics share a line.
+	lines := make([]PointerLine[int], 4)
+	for i := 1; i < len(lines); i++ {
+		a := uintptr(unsafe.Pointer(&lines[i-1]))
+		b := uintptr(unsafe.Pointer(&lines[i]))
+		if b-a != CacheLineSize {
+			t.Fatalf("elements %d and %d are %d bytes apart, want %d", i-1, i, b-a, CacheLineSize)
+		}
+	}
+}
+
+func TestLinesAreUsableAtomics(t *testing.T) {
+	var p PointerLine[int]
+	v := 7
+	p.P.Store(&v)
+	if got := p.P.Load(); got == nil || *got != 7 {
+		t.Fatal("PointerLine atomic does not round-trip")
+	}
+	var i Int64Line
+	i.V.Store(-3)
+	if i.V.Add(5) != 2 {
+		t.Fatal("Int64Line atomic arithmetic broken")
+	}
+	var u Uint64Line
+	if u.V.Add(9) != 9 {
+		t.Fatal("Uint64Line atomic arithmetic broken")
+	}
+}

@@ -1,0 +1,191 @@
+// Package quality measures relaxation error exactly the way the paper's
+// Section 4 does: a sequential linked list runs alongside the stack under
+// test; every successful Push inserts the item's unique label at the head
+// of the list, every successful Pop searches the list for the popped label,
+// removes it, and records its distance from the head. That distance is the
+// "error distance from the LIFO semantics"; a strict stack always scores 0.
+//
+// The list is guarded by a mutex (it is the measurement instrument, not the
+// system under test), but the stack operations themselves run unlocked, so
+// concurrency-induced reordering is captured. A Pop may observe a label
+// whose Push has completed on the stack but whose list insert has not yet
+// run; Remove spins briefly for it — the insert is guaranteed to arrive
+// because the pushing goroutine has already returned from the stack
+// operation.
+package quality
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// entry is a node of the oracle's sequential list.
+type entry struct {
+	label uint64
+	next  *entry
+}
+
+// Oracle is the sequential side-list. The zero value is ready to use.
+// All methods are safe for concurrent use.
+type Oracle struct {
+	mu   sync.Mutex
+	head *entry
+	n    int
+
+	stats Stats
+}
+
+// Stats accumulates the error-distance distribution of one run.
+type Stats struct {
+	Count uint64  // number of measured pops
+	Sum   float64 // sum of distances
+	Max   int
+	// Hist buckets distances by bit length: bucket i counts distances d
+	// with bits.Len(d) == i, i.e. bucket 0 holds exact-LIFO pops (d = 0),
+	// bucket 1 holds d = 1, bucket 2 holds 2..3, bucket 3 holds 4..7, ...
+	Hist [33]uint64
+}
+
+// Mean returns the mean error distance (the paper's quality metric).
+func (s Stats) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Insert records a pushed label at the head of the list.
+func (o *Oracle) Insert(label uint64) {
+	e := &entry{label: label}
+	o.mu.Lock()
+	e.next = o.head
+	o.head = e
+	o.n++
+	o.mu.Unlock()
+}
+
+// Remove deletes label from the list and records its distance from the
+// head. It spins until the label appears (see package comment); it returns
+// the observed distance.
+func (o *Oracle) Remove(label uint64) int {
+	for {
+		o.mu.Lock()
+		dist := 0
+		var prev *entry
+		for e := o.head; e != nil; e = e.next {
+			if e.label == label {
+				if prev == nil {
+					o.head = e.next
+				} else {
+					prev.next = e.next
+				}
+				o.n--
+				o.stats.Count++
+				o.stats.Sum += float64(dist)
+				if dist > o.stats.Max {
+					o.stats.Max = dist
+				}
+				o.stats.Hist[bits.Len(uint(dist))]++
+				o.mu.Unlock()
+				return dist
+			}
+			prev = e
+			dist++
+		}
+		// Label not present yet: its Push has linearized on the stack but
+		// the pusher has not reached Insert. Yield and retry.
+		o.mu.Unlock()
+		runtime.Gosched()
+	}
+}
+
+// Len returns the current list population.
+func (o *Oracle) Len() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.n
+}
+
+// Snapshot returns a copy of the accumulated statistics.
+func (o *Oracle) Snapshot() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats
+}
+
+// FIFOOracle is the queue counterpart of Oracle: Insert appends at the
+// tail (enqueue order), Remove searches from the head and records the
+// distance from the front — the error distance from FIFO semantics used by
+// the 2D-Queue extension experiments. The zero value is ready to use.
+type FIFOOracle struct {
+	mu   sync.Mutex
+	head *entry
+	tail *entry
+	n    int
+
+	stats Stats
+}
+
+// Insert records an enqueued label at the tail of the list.
+func (o *FIFOOracle) Insert(label uint64) {
+	e := &entry{label: label}
+	o.mu.Lock()
+	if o.tail == nil {
+		o.head = e
+	} else {
+		o.tail.next = e
+	}
+	o.tail = e
+	o.n++
+	o.mu.Unlock()
+}
+
+// Remove deletes label and records its distance from the head (0 = exact
+// FIFO). Like Oracle.Remove it spins until the label's insert arrives.
+func (o *FIFOOracle) Remove(label uint64) int {
+	for {
+		o.mu.Lock()
+		dist := 0
+		var prev *entry
+		for e := o.head; e != nil; e = e.next {
+			if e.label == label {
+				if prev == nil {
+					o.head = e.next
+				} else {
+					prev.next = e.next
+				}
+				if e == o.tail {
+					o.tail = prev
+				}
+				o.n--
+				o.stats.Count++
+				o.stats.Sum += float64(dist)
+				if dist > o.stats.Max {
+					o.stats.Max = dist
+				}
+				o.stats.Hist[bits.Len(uint(dist))]++
+				o.mu.Unlock()
+				return dist
+			}
+			prev = e
+			dist++
+		}
+		o.mu.Unlock()
+		runtime.Gosched()
+	}
+}
+
+// Len returns the current list population.
+func (o *FIFOOracle) Len() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.n
+}
+
+// Snapshot returns a copy of the accumulated statistics.
+func (o *FIFOOracle) Snapshot() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats
+}

@@ -1,0 +1,165 @@
+// Package relax centralises the relaxation-semantics algebra of the
+// reproduction: the k-out-of-order bounds of each algorithm, the mapping
+// from a target relaxation level k to concrete per-algorithm configurations
+// (the x-axis of the paper's Figure 1), and trace checking against those
+// bounds.
+//
+// # Semantics
+//
+// A stack is k-out-of-order relaxed (Henzinger et al., POPL'13) when every
+// Pop returns one of the k+1 topmost items of some linearization, and may
+// report empty only when at most k items are present. k = 0 is the strict
+// sequential stack.
+//
+// # Per-algorithm bounds
+//
+//   - 2D-Stack: k = (2·shift + depth)·(width − 1)   (paper, Theorem 1)
+//   - k-segment: k = s − 1 for segment size s (sequential bound; all items
+//     of the top segment are interchangeable, and items below the top
+//     segment are strictly older).
+//   - k-robin: a handle distributes consecutive operations round-robin over
+//     w sub-stacks, so an item can sink at most w−1 positions per
+//     traversal in each direction; with P concurrent handles the paper
+//     keeps the bound by shrinking w as P grows. We use the estimate
+//     k ≈ 2·P·(w−1) and invert it for configuration.
+//   - random / random-c2: no deterministic bound (a sufficiently unlucky
+//     schedule displaces an item arbitrarily far); they appear only in the
+//     concurrency sweep (Figure 2), as in the paper.
+package relax
+
+import (
+	"fmt"
+
+	"stack2d/internal/core"
+	"stack2d/internal/ksegment"
+	"stack2d/internal/multistack"
+)
+
+// Algorithm enumerates every stack design in the evaluation.
+type Algorithm int
+
+// The algorithms of the paper's Figures 1 and 2, by their paper names.
+const (
+	TwoDStack Algorithm = iota
+	KSegment
+	KRobin
+	RandomStack
+	RandomC2Stack
+	EliminationStack
+	TreiberStack
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case TwoDStack:
+		return "2D-stack"
+	case KSegment:
+		return "k-segment"
+	case KRobin:
+		return "k-robin"
+	case RandomStack:
+		return "random"
+	case RandomC2Stack:
+		return "random-c2"
+	case EliminationStack:
+		return "elimination"
+	case TreiberStack:
+		return "treiber"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// KBounded reports whether the algorithm has a deterministic k-out-of-order
+// bound (and therefore appears in Figure 1).
+func (a Algorithm) KBounded() bool {
+	switch a {
+	case TwoDStack, KSegment, KRobin, TreiberStack:
+		return true
+	default:
+		return false
+	}
+}
+
+// Figure1Algorithms returns the k-bounded relaxed designs compared in
+// Figure 1, in the paper's order.
+func Figure1Algorithms() []Algorithm {
+	return []Algorithm{TwoDStack, KRobin, KSegment}
+}
+
+// Figure2Algorithms returns all designs compared in Figure 2.
+func Figure2Algorithms() []Algorithm {
+	return []Algorithm{
+		TwoDStack, KRobin, KSegment, RandomStack, RandomC2Stack,
+		EliminationStack, TreiberStack,
+	}
+}
+
+// TwoDConfigForK maps a target relaxation k and thread count p to a 2D-Stack
+// configuration following the paper's tuning narrative: grow width
+// (horizontal, disjoint access) until the optimum width 4P, then grow depth
+// (vertical, locality) with shift = depth. The returned configuration's
+// exact bound Config.K() is <= k (never exceeds the budget) and > 0 for
+// k >= 3.
+func TwoDConfigForK(k int64, p int) core.Config {
+	if p < 1 {
+		p = 1
+	}
+	if k < 3 {
+		// No relaxation budget: a strict (width 1) stack.
+		return core.Config{Width: 1, Depth: 64, Shift: 64, RandomHops: 2}
+	}
+	maxWidth := 4 * p
+	// Horizontal phase: depth = shift = 1 gives k = 3(w-1).
+	w := int(k/3) + 1
+	if w <= maxWidth {
+		return core.Config{Width: w, Depth: 1, Shift: 1, RandomHops: 2}
+	}
+	// Vertical phase: width pinned at 4P, k = 3d(w-1) with shift = depth.
+	d := k / (3 * int64(maxWidth-1))
+	if d < 1 {
+		d = 1
+	}
+	return core.Config{Width: maxWidth, Depth: d, Shift: d, RandomHops: 2}
+}
+
+// KSegmentConfigForK maps a target k to a segment size (s = k+1).
+func KSegmentConfigForK(k int64) ksegment.Config {
+	if k < 0 {
+		k = 0
+	}
+	return ksegment.Config{SegmentSize: int(k) + 1}
+}
+
+// KRobinConfigForK maps a target k and thread count p to a round-robin
+// width via the estimate k = 2·P·(w−1); the paper notes k-robin shrinks its
+// width as P grows to hold the bound.
+func KRobinConfigForK(k int64, p int) multistack.Config {
+	if p < 1 {
+		p = 1
+	}
+	w := int(k/(2*int64(p))) + 1
+	if w < 1 {
+		w = 1
+	}
+	return multistack.Config{Width: w, Policy: multistack.RoundRobin}
+}
+
+// KRobinBound is the k estimate for a k-robin configuration at p threads
+// (the inverse of KRobinConfigForK).
+//
+// This is a central estimate, not a guarantee: round-robin scheduling has
+// no tight deterministic bound, because a Pop that lands on a drained
+// sub-stack sweeps forward to the next non-empty one, desynchronising the
+// push and pop cursors. Differential fuzzing (cmd/stackfuzz) observes
+// single-threaded distances up to ≈4.5·(width−1) on adversarial scripts —
+// still Θ(width), so the estimate is the right shape for configuring the
+// Figure 1 sweep, but only the 2D-Stack's window mechanism turns the shape
+// into the hard bound of Theorem 1. That contrast is one of the paper's
+// selling points.
+func KRobinBound(width, p int) int64 {
+	if p < 1 {
+		p = 1
+	}
+	return 2 * int64(p) * int64(width-1)
+}

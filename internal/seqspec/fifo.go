@@ -1,0 +1,132 @@
+package seqspec
+
+import "fmt"
+
+// FIFOModel is a plain sequential queue over uint64 labels, the strict
+// specification of the 2D-Queue extension (see internal/twodqueue). The
+// zero value is an empty queue.
+type FIFOModel struct {
+	items []uint64
+	front int // index of the logical front within items
+}
+
+// Enqueue appends v at the back.
+func (m *FIFOModel) Enqueue(v uint64) { m.items = append(m.items, v) }
+
+// Dequeue removes and returns the front item; ok is false on empty.
+func (m *FIFOModel) Dequeue() (v uint64, ok bool) {
+	if m.front == len(m.items) {
+		return 0, false
+	}
+	v = m.items[m.front]
+	m.front++
+	m.compact()
+	return v, true
+}
+
+// Len reports the number of stored items.
+func (m *FIFOModel) Len() int { return len(m.items) - m.front }
+
+func (m *FIFOModel) compact() {
+	if m.front > 1024 && m.front*2 > len(m.items) {
+		m.items = append(m.items[:0], m.items[m.front:]...)
+		m.front = 0
+	}
+}
+
+// KFIFOModel is the k-out-of-order queue specification: Dequeue may return
+// any of the k+1 frontmost items.
+type KFIFOModel struct {
+	K     int
+	items []uint64
+}
+
+// Enqueue appends v at the back.
+func (m *KFIFOModel) Enqueue(v uint64) { m.items = append(m.items, v) }
+
+// DequeueObserved removes v, requiring it to be within K of the front, and
+// returns its distance from the front (0 = strict FIFO).
+func (m *KFIFOModel) DequeueObserved(v uint64) (dist int, found bool) {
+	hi := len(m.items)
+	if m.K >= 0 && m.K+1 < hi {
+		hi = m.K + 1
+	}
+	for i := 0; i < hi; i++ {
+		if m.items[i] == v {
+			m.items = append(m.items[:i], m.items[i+1:]...)
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// DequeueAnywhere removes v wherever it is, returning its distance from the
+// front; used to measure rather than enforce relaxation.
+func (m *KFIFOModel) DequeueAnywhere(v uint64) (dist int, found bool) {
+	for i := 0; i < len(m.items); i++ {
+		if m.items[i] == v {
+			m.items = append(m.items[:i], m.items[i+1:]...)
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Len reports the number of stored items.
+func (m *KFIFOModel) Len() int { return len(m.items) }
+
+// CheckKOutOfOrderFIFO replays ops (OpPush = enqueue, OpPop = dequeue)
+// against the k-out-of-order queue specification, mirroring
+// CheckKOutOfOrder for stacks: every dequeue must return an item within k
+// of the front, and empty returns are legal only with at most k items
+// present.
+func CheckKOutOfOrderFIFO(ops []Op, k int) (maxDist int, err error) {
+	m := KFIFOModel{K: k}
+	for i, op := range ops {
+		switch op.Kind {
+		case OpPush:
+			m.Enqueue(op.Value)
+		case OpPop:
+			if op.Empty {
+				if m.Len() > k {
+					return maxDist, fmt.Errorf("op %d: dequeue reported empty with %d items present (bound %d)", i, m.Len(), k)
+				}
+				continue
+			}
+			dist, found := m.DequeueObserved(op.Value)
+			if !found {
+				if d, anywhere := m.DequeueAnywhere(op.Value); anywhere {
+					return maxDist, fmt.Errorf("op %d: dequeue of %d at distance %d exceeds k=%d", i, op.Value, d, k)
+				}
+				return maxDist, fmt.Errorf("op %d: dequeue returned %d which is not in the queue", i, op.Value)
+			}
+			if dist > maxDist {
+				maxDist = dist
+			}
+		}
+	}
+	return maxDist, nil
+}
+
+// MeasureDistancesFIFO replays ops, removing dequeued values wherever they
+// are, and returns every observed dequeue distance from the front.
+func MeasureDistancesFIFO(ops []Op) ([]int, error) {
+	m := KFIFOModel{K: -1}
+	dists := make([]int, 0, len(ops)/2)
+	for i, op := range ops {
+		switch op.Kind {
+		case OpPush:
+			m.Enqueue(op.Value)
+		case OpPop:
+			if op.Empty {
+				continue
+			}
+			d, found := m.DequeueAnywhere(op.Value)
+			if !found {
+				return nil, fmt.Errorf("op %d: dequeue returned %d which was never enqueued or already dequeued", i, op.Value)
+			}
+			dists = append(dists, d)
+		}
+	}
+	return dists, nil
+}

@@ -1,0 +1,164 @@
+package seqspec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOModelBasic(t *testing.T) {
+	var m FIFOModel
+	if _, ok := m.Dequeue(); ok {
+		t.Fatal("dequeue on empty returned ok")
+	}
+	for v := uint64(1); v <= 5; v++ {
+		m.Enqueue(v)
+	}
+	if m.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", m.Len())
+	}
+	for want := uint64(1); want <= 5; want++ {
+		v, ok := m.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	if _, ok := m.Dequeue(); ok {
+		t.Fatal("dequeue after drain returned ok")
+	}
+}
+
+func TestFIFOModelCompaction(t *testing.T) {
+	var m FIFOModel
+	// Interleave enough enqueue/dequeue churn to trigger compaction.
+	next := uint64(1)
+	expect := uint64(1)
+	for i := 0; i < 5000; i++ {
+		m.Enqueue(next)
+		next++
+		v, ok := m.Dequeue()
+		if !ok || v != expect {
+			t.Fatalf("step %d: Dequeue = (%d,%v), want (%d,true)", i, v, ok, expect)
+		}
+		expect++
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after balanced churn", m.Len())
+	}
+}
+
+func TestKFIFOWindow(t *testing.T) {
+	m := KFIFOModel{K: 2}
+	for v := uint64(1); v <= 5; v++ {
+		m.Enqueue(v)
+	}
+	// Front is 1; window allows dequeuing 1, 2 or 3.
+	if d, found := m.DequeueObserved(3); !found || d != 2 {
+		t.Fatalf("DequeueObserved(3) = (%d,%v), want (2,true)", d, found)
+	}
+	if _, found := m.DequeueObserved(5); found {
+		t.Fatal("DequeueObserved(5) found item outside window")
+	}
+	if d, found := m.DequeueObserved(1); !found || d != 0 {
+		t.Fatalf("DequeueObserved(1) = (%d,%v), want (0,true)", d, found)
+	}
+}
+
+func TestKFIFODequeueAnywhere(t *testing.T) {
+	m := KFIFOModel{K: 0}
+	for v := uint64(1); v <= 4; v++ {
+		m.Enqueue(v)
+	}
+	if d, found := m.DequeueAnywhere(4); !found || d != 3 {
+		t.Fatalf("DequeueAnywhere(4) = (%d,%v), want (3,true)", d, found)
+	}
+	if _, found := m.DequeueAnywhere(99); found {
+		t.Fatal("found a value never enqueued")
+	}
+}
+
+func TestCheckKOutOfOrderFIFO(t *testing.T) {
+	ops := []Op{
+		{Kind: OpPush, Value: 1},
+		{Kind: OpPush, Value: 2},
+		{Kind: OpPush, Value: 3},
+		{Kind: OpPop, Value: 3}, // distance 2
+	}
+	maxDist, err := CheckKOutOfOrderFIFO(ops, 2)
+	if err != nil || maxDist != 2 {
+		t.Fatalf("CheckKOutOfOrderFIFO = (%d, %v), want (2, nil)", maxDist, err)
+	}
+	if _, err := CheckKOutOfOrderFIFO(ops, 1); err == nil {
+		t.Fatal("distance-2 dequeue accepted with k=1")
+	}
+}
+
+func TestCheckKFIFOEmptyRules(t *testing.T) {
+	ops := []Op{
+		{Kind: OpPush, Value: 1},
+		{Kind: OpPop, Empty: true},
+	}
+	if _, err := CheckKOutOfOrderFIFO(ops, 1); err != nil {
+		t.Fatalf("legal relaxed empty rejected: %v", err)
+	}
+	ops = []Op{
+		{Kind: OpPush, Value: 1},
+		{Kind: OpPush, Value: 2},
+		{Kind: OpPop, Empty: true},
+	}
+	if _, err := CheckKOutOfOrderFIFO(ops, 1); err == nil {
+		t.Fatal("empty with k+1 items accepted")
+	}
+}
+
+func TestCheckKFIFOPhantom(t *testing.T) {
+	ops := []Op{{Kind: OpPop, Value: 9}}
+	if _, err := CheckKOutOfOrderFIFO(ops, 4); err == nil {
+		t.Fatal("phantom dequeue accepted")
+	}
+}
+
+func TestMeasureDistancesFIFO(t *testing.T) {
+	ops := []Op{
+		{Kind: OpPush, Value: 1},
+		{Kind: OpPush, Value: 2},
+		{Kind: OpPush, Value: 3},
+		{Kind: OpPop, Value: 2},    // distance 1
+		{Kind: OpPop, Value: 1},    // distance 0
+		{Kind: OpPop, Empty: true}, // ignored
+		{Kind: OpPop, Value: 3},    // distance 0
+	}
+	dists, err := MeasureDistancesFIFO(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 0, 0}
+	for i := range want {
+		if dists[i] != want[i] {
+			t.Fatalf("dists = %v, want %v", dists, want)
+		}
+	}
+	bad := []Op{{Kind: OpPop, Value: 7}}
+	if _, err := MeasureDistancesFIFO(bad); err == nil {
+		t.Fatal("phantom dequeue not detected")
+	}
+}
+
+// Property: strict FIFO histories are k-legal for every k and score zero
+// distance.
+func TestStrictFIFOHistoriesAreKLegal(t *testing.T) {
+	f := func(vals []uint64, kRaw uint8) bool {
+		k := int(kRaw % 8)
+		ops := make([]Op, 0, 2*len(vals))
+		for _, v := range vals {
+			ops = append(ops, Op{Kind: OpPush, Value: v})
+		}
+		for _, v := range vals {
+			ops = append(ops, Op{Kind: OpPop, Value: v})
+		}
+		maxDist, err := CheckKOutOfOrderFIFO(ops, k)
+		return err == nil && maxDist == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+package seqspec
+
+import "fmt"
+
+// IntervalOp is one operation with its real-time interval, recorded as
+// ticks of a shared monotonic counter read at invocation (Begin) and at
+// response (End). Interval histories support checks that completion-order
+// traces cannot express: real-time causality and provable non-emptiness.
+type IntervalOp struct {
+	Kind  OpKind
+	Value uint64
+	Empty bool
+	Begin int64
+	End   int64
+}
+
+// CheckIntervalSanity verifies necessary conditions for linearizability of
+// a concurrent stack (or queue) history with intervals:
+//
+//  1. Well-formedness: Begin <= End for every op.
+//  2. Conservation: every popped value was pushed exactly once and popped
+//     at most once.
+//  3. Causality: no pop responds before the push of the value it returns
+//     has been invoked (pop.End < push.Begin is impossible in any legal
+//     linearization).
+//  4. Empty sanity: a pop reporting empty must not run entirely inside a
+//     window where more than `emptySlack` values are provably present —
+//     pushed before the pop began and not taken until after it ended. Pass
+//     emptySlack = 0 for strict structures and k for k-out-of-order ones.
+//
+// These are necessary, not sufficient, conditions — a full linearizability
+// check is NP-hard in general — but they catch the practical failure
+// classes: lost updates, duplicated pops, time-travelling values and false
+// empties.
+func CheckIntervalSanity(ops []IntervalOp, emptySlack int) error {
+	type pushInfo struct {
+		idx   int
+		begin int64
+		end   int64
+	}
+	pushes := make(map[uint64]pushInfo, len(ops)/2)
+	popBegin := make(map[uint64]int64, len(ops)/2)
+	popped := make(map[uint64]int, len(ops)/2)
+
+	// Pass 1: well-formedness and push collection. Ops may arrive in any
+	// order (per-worker histories concatenated), so pops are validated in a
+	// second pass once every push is known.
+	for i, op := range ops {
+		if op.Begin > op.End {
+			return fmt.Errorf("op %d: Begin %d > End %d", i, op.Begin, op.End)
+		}
+		if op.Kind == OpPush {
+			if prev, dup := pushes[op.Value]; dup {
+				return fmt.Errorf("op %d: value %d pushed twice (first at op %d)", i, op.Value, prev.idx)
+			}
+			pushes[op.Value] = pushInfo{idx: i, begin: op.Begin, end: op.End}
+		}
+	}
+
+	// Pass 2: pop validation.
+	for i, op := range ops {
+		if op.Kind != OpPop || op.Empty {
+			continue
+		}
+		if prev, dup := popped[op.Value]; dup {
+			return fmt.Errorf("op %d: value %d popped twice (first at op %d)", i, op.Value, prev)
+		}
+		popped[op.Value] = i
+		popBegin[op.Value] = op.Begin
+		push, ok := pushes[op.Value]
+		if !ok {
+			return fmt.Errorf("op %d: value %d popped but never pushed", i, op.Value)
+		}
+		if op.End < push.begin {
+			return fmt.Errorf("op %d: pop of %d responded at %d before its push was invoked at %d", i, op.Value, op.End, push.begin)
+		}
+	}
+
+	// Empty sanity: count values provably present across each empty pop.
+	for i, op := range ops {
+		if op.Kind != OpPop || !op.Empty {
+			continue
+		}
+		present := 0
+		for v, push := range pushes {
+			if push.end >= op.Begin {
+				continue // push not provably complete before the empty pop
+			}
+			if pb, taken := popBegin[v]; taken && pb <= op.End {
+				continue // may have been removed during/before the window
+			}
+			present++
+		}
+		if present > emptySlack {
+			return fmt.Errorf("op %d: pop reported empty while %d values were provably present (allowed slack %d)", i, present, emptySlack)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package seqspec
+
+import "testing"
+
+func TestIntervalSanityAcceptsLegal(t *testing.T) {
+	ops := []IntervalOp{
+		{Kind: OpPush, Value: 1, Begin: 0, End: 1},
+		{Kind: OpPush, Value: 2, Begin: 2, End: 3},
+		{Kind: OpPop, Value: 2, Begin: 4, End: 5},
+		{Kind: OpPop, Value: 1, Begin: 6, End: 7},
+		{Kind: OpPop, Empty: true, Begin: 8, End: 9},
+	}
+	if err := CheckIntervalSanity(ops, 0); err != nil {
+		t.Fatalf("legal history rejected: %v", err)
+	}
+}
+
+func TestIntervalSanityRejectsMalformed(t *testing.T) {
+	ops := []IntervalOp{{Kind: OpPush, Value: 1, Begin: 5, End: 3}}
+	if err := CheckIntervalSanity(ops, 0); err == nil {
+		t.Fatal("Begin > End accepted")
+	}
+}
+
+func TestIntervalSanityRejectsDuplicatePush(t *testing.T) {
+	ops := []IntervalOp{
+		{Kind: OpPush, Value: 7, Begin: 0, End: 1},
+		{Kind: OpPush, Value: 7, Begin: 2, End: 3},
+	}
+	if err := CheckIntervalSanity(ops, 0); err == nil {
+		t.Fatal("duplicate push accepted")
+	}
+}
+
+func TestIntervalSanityRejectsDoublePop(t *testing.T) {
+	ops := []IntervalOp{
+		{Kind: OpPush, Value: 7, Begin: 0, End: 1},
+		{Kind: OpPop, Value: 7, Begin: 2, End: 3},
+		{Kind: OpPop, Value: 7, Begin: 4, End: 5},
+	}
+	if err := CheckIntervalSanity(ops, 0); err == nil {
+		t.Fatal("double pop accepted")
+	}
+}
+
+func TestIntervalSanityRejectsPhantomPop(t *testing.T) {
+	ops := []IntervalOp{{Kind: OpPop, Value: 9, Begin: 0, End: 1}}
+	if err := CheckIntervalSanity(ops, 0); err == nil {
+		t.Fatal("phantom pop accepted")
+	}
+}
+
+func TestIntervalSanityRejectsTimeTravel(t *testing.T) {
+	// Pop responds before the push of its value is invoked.
+	ops := []IntervalOp{
+		{Kind: OpPop, Value: 1, Begin: 0, End: 1},
+		{Kind: OpPush, Value: 1, Begin: 5, End: 6},
+	}
+	if err := CheckIntervalSanity(ops, 0); err == nil {
+		t.Fatal("time-travelling pop accepted")
+	}
+}
+
+func TestIntervalSanityAcceptsOverlappingPushPop(t *testing.T) {
+	// Pop overlaps the push it observes: legal (elimination does this).
+	ops := []IntervalOp{
+		{Kind: OpPush, Value: 1, Begin: 0, End: 10},
+		{Kind: OpPop, Value: 1, Begin: 2, End: 5},
+	}
+	if err := CheckIntervalSanity(ops, 0); err != nil {
+		t.Fatalf("overlapping elimination pair rejected: %v", err)
+	}
+}
+
+func TestIntervalSanityRejectsFalseEmpty(t *testing.T) {
+	// Value 1 provably present across the empty pop.
+	ops := []IntervalOp{
+		{Kind: OpPush, Value: 1, Begin: 0, End: 1},
+		{Kind: OpPop, Empty: true, Begin: 5, End: 6},
+		{Kind: OpPop, Value: 1, Begin: 8, End: 9},
+	}
+	if err := CheckIntervalSanity(ops, 0); err == nil {
+		t.Fatal("provably false empty accepted")
+	}
+	// The same history is legal for a k>=1 relaxed structure.
+	if err := CheckIntervalSanity(ops, 1); err != nil {
+		t.Fatalf("relaxed empty rejected with slack: %v", err)
+	}
+}
+
+func TestIntervalSanityEmptyDuringConcurrentPush(t *testing.T) {
+	// Push overlaps the empty pop: the pop may linearize first; legal.
+	ops := []IntervalOp{
+		{Kind: OpPush, Value: 1, Begin: 0, End: 10},
+		{Kind: OpPop, Empty: true, Begin: 2, End: 5},
+		{Kind: OpPop, Value: 1, Begin: 12, End: 13},
+	}
+	if err := CheckIntervalSanity(ops, 0); err != nil {
+		t.Fatalf("empty concurrent with push rejected: %v", err)
+	}
+}
+
+func TestIntervalSanityEmptyAfterRemoval(t *testing.T) {
+	// Value removed before the empty pop began: legal.
+	ops := []IntervalOp{
+		{Kind: OpPush, Value: 1, Begin: 0, End: 1},
+		{Kind: OpPop, Value: 1, Begin: 2, End: 3},
+		{Kind: OpPop, Empty: true, Begin: 4, End: 5},
+	}
+	if err := CheckIntervalSanity(ops, 0); err != nil {
+		t.Fatalf("legal empty rejected: %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package seqspec provides the sequential specification of a stack and
+// helpers for checking concurrent implementations against it.
+//
+// Two levels of specification are used by the test suite:
+//
+//   - Model: strict LIFO. Every implementation in this repository, relaxed
+//     or not, must behave exactly like Model when driven by one goroutine.
+//   - KModel: k-out-of-order LIFO (Henzinger et al., POPL'13). A Pop may
+//     return any of the k+1 topmost items. The relaxed stacks are checked
+//     against KModel with the bound from relax.Bound.
+package seqspec
+
+// Model is a plain sequential stack over uint64 labels. The zero value is an
+// empty, ready-to-use stack.
+type Model struct {
+	items []uint64
+}
+
+// Push appends v to the top.
+func (m *Model) Push(v uint64) { m.items = append(m.items, v) }
+
+// Pop removes and returns the top item; ok is false on empty.
+func (m *Model) Pop() (v uint64, ok bool) {
+	if len(m.items) == 0 {
+		return 0, false
+	}
+	v = m.items[len(m.items)-1]
+	m.items = m.items[:len(m.items)-1]
+	return v, true
+}
+
+// Peek returns the top item without removing it.
+func (m *Model) Peek() (v uint64, ok bool) {
+	if len(m.items) == 0 {
+		return 0, false
+	}
+	return m.items[len(m.items)-1], true
+}
+
+// Len reports the number of stored items.
+func (m *Model) Len() int { return len(m.items) }
+
+// Snapshot returns a copy of the contents, bottom first.
+func (m *Model) Snapshot() []uint64 {
+	out := make([]uint64, len(m.items))
+	copy(out, m.items)
+	return out
+}
+
+// KModel is a sequential k-out-of-order stack specification: Pop removes
+// one of the k+1 topmost items (the checker chooses whichever the
+// implementation returned, and reports the observed distance). It is used to
+// validate traces of relaxed executions.
+type KModel struct {
+	K     int
+	items []uint64
+}
+
+// Push appends v to the top.
+func (m *KModel) Push(v uint64) { m.items = append(m.items, v) }
+
+// PopObserved removes v from the stack, requiring it to be within K of the
+// top. It returns the error distance from the top (0 = strict LIFO) and
+// whether v was found within the allowed window. If v is not present within
+// the window at all, found is false and the model is unchanged.
+func (m *KModel) PopObserved(v uint64) (dist int, found bool) {
+	n := len(m.items)
+	lo := 0
+	if m.K >= 0 && n-1-m.K > 0 {
+		lo = n - 1 - m.K
+	}
+	for i := n - 1; i >= lo; i-- {
+		if m.items[i] == v {
+			dist = n - 1 - i
+			m.items = append(m.items[:i], m.items[i+1:]...)
+			return dist, true
+		}
+	}
+	return 0, false
+}
+
+// PopAnywhere removes v from the stack wherever it is, returning the error
+// distance from the top; used to *measure* rather than *enforce* relaxation.
+func (m *KModel) PopAnywhere(v uint64) (dist int, found bool) {
+	for i := len(m.items) - 1; i >= 0; i-- {
+		if m.items[i] == v {
+			dist = len(m.items) - 1 - i
+			m.items = append(m.items[:i], m.items[i+1:]...)
+			return dist, true
+		}
+	}
+	return 0, false
+}
+
+// Len reports the number of stored items.
+func (m *KModel) Len() int { return len(m.items) }

@@ -1,0 +1,263 @@
+package seqspec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestModelBasicLIFO(t *testing.T) {
+	var m Model
+	if _, ok := m.Pop(); ok {
+		t.Fatal("pop on empty model returned ok")
+	}
+	m.Push(1)
+	m.Push(2)
+	m.Push(3)
+	if got := m.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if v, ok := m.Peek(); !ok || v != 3 {
+		t.Fatalf("Peek = %d,%v want 3,true", v, ok)
+	}
+	for _, want := range []uint64{3, 2, 1} {
+		v, ok := m.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = %d,%v want %d,true", v, ok, want)
+		}
+	}
+	if _, ok := m.Pop(); ok {
+		t.Fatal("pop after draining returned ok")
+	}
+}
+
+func TestModelSnapshotIsCopy(t *testing.T) {
+	var m Model
+	m.Push(10)
+	m.Push(20)
+	snap := m.Snapshot()
+	snap[0] = 999
+	if v, _ := m.Pop(); v != 20 {
+		t.Fatalf("mutating snapshot affected model: got %d", v)
+	}
+	if v, _ := m.Pop(); v != 10 {
+		t.Fatalf("mutating snapshot affected model bottom: got %d", v)
+	}
+}
+
+func TestKModelWindow(t *testing.T) {
+	m := KModel{K: 2}
+	for v := uint64(1); v <= 5; v++ {
+		m.Push(v)
+	}
+	// Top is 5; window of k=2 allows popping 5, 4, or 3.
+	if d, found := m.PopObserved(3); !found || d != 2 {
+		t.Fatalf("PopObserved(3) = %d,%v want 2,true", d, found)
+	}
+	// 2 is now at distance 3 from top (stack: 1 2 4 5) -> outside window.
+	if _, found := m.PopObserved(1); found {
+		t.Fatal("PopObserved(1) found item outside the k-window")
+	}
+	if d, found := m.PopObserved(5); !found || d != 0 {
+		t.Fatalf("PopObserved(5) = %d,%v want 0,true", d, found)
+	}
+}
+
+func TestKModelPopAnywhere(t *testing.T) {
+	m := KModel{K: 0}
+	for v := uint64(1); v <= 4; v++ {
+		m.Push(v)
+	}
+	if d, found := m.PopAnywhere(1); !found || d != 3 {
+		t.Fatalf("PopAnywhere(1) = %d,%v want 3,true", d, found)
+	}
+	if _, found := m.PopAnywhere(99); found {
+		t.Fatal("PopAnywhere found a value never pushed")
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d after one removal from 4, want 3", m.Len())
+	}
+}
+
+func TestCheckLIFOAcceptsLegal(t *testing.T) {
+	ops := []Op{
+		{Kind: OpPush, Value: 1},
+		{Kind: OpPush, Value: 2},
+		{Kind: OpPop, Value: 2},
+		{Kind: OpPop, Value: 1},
+		{Kind: OpPop, Empty: true},
+	}
+	if err := CheckLIFO(ops); err != nil {
+		t.Fatalf("legal history rejected: %v", err)
+	}
+}
+
+func TestCheckLIFORejectsOutOfOrder(t *testing.T) {
+	ops := []Op{
+		{Kind: OpPush, Value: 1},
+		{Kind: OpPush, Value: 2},
+		{Kind: OpPop, Value: 1}, // violates LIFO
+	}
+	if err := CheckLIFO(ops); err == nil {
+		t.Fatal("out-of-order pop accepted by CheckLIFO")
+	}
+}
+
+func TestCheckLIFORejectsBogusEmpty(t *testing.T) {
+	ops := []Op{
+		{Kind: OpPush, Value: 1},
+		{Kind: OpPop, Empty: true},
+	}
+	if err := CheckLIFO(ops); err == nil {
+		t.Fatal("empty pop with non-empty model accepted")
+	}
+}
+
+func TestCheckLIFORejectsPopFromEmpty(t *testing.T) {
+	ops := []Op{{Kind: OpPop, Value: 7}}
+	if err := CheckLIFO(ops); err == nil {
+		t.Fatal("pop of a value from empty model accepted")
+	}
+}
+
+func TestCheckKOutOfOrderAcceptsWithinBound(t *testing.T) {
+	ops := []Op{
+		{Kind: OpPush, Value: 1},
+		{Kind: OpPush, Value: 2},
+		{Kind: OpPush, Value: 3},
+		{Kind: OpPop, Value: 1}, // distance 2
+	}
+	maxDist, err := CheckKOutOfOrder(ops, 2)
+	if err != nil {
+		t.Fatalf("within-bound history rejected: %v", err)
+	}
+	if maxDist != 2 {
+		t.Fatalf("maxDist = %d, want 2", maxDist)
+	}
+}
+
+func TestCheckKOutOfOrderRejectsBeyondBound(t *testing.T) {
+	ops := []Op{
+		{Kind: OpPush, Value: 1},
+		{Kind: OpPush, Value: 2},
+		{Kind: OpPush, Value: 3},
+		{Kind: OpPop, Value: 1}, // distance 2 > k=1
+	}
+	if _, err := CheckKOutOfOrder(ops, 1); err == nil {
+		t.Fatal("beyond-bound pop accepted")
+	}
+}
+
+func TestCheckKOutOfOrderEmptyRules(t *testing.T) {
+	// k=2: empty return legal with <=2 items present.
+	ops := []Op{
+		{Kind: OpPush, Value: 1},
+		{Kind: OpPop, Empty: true},
+	}
+	if _, err := CheckKOutOfOrder(ops, 2); err != nil {
+		t.Fatalf("legal relaxed empty rejected: %v", err)
+	}
+	// but illegal with 3 items present.
+	ops = []Op{
+		{Kind: OpPush, Value: 1},
+		{Kind: OpPush, Value: 2},
+		{Kind: OpPush, Value: 3},
+		{Kind: OpPop, Empty: true},
+	}
+	if _, err := CheckKOutOfOrder(ops, 2); err == nil {
+		t.Fatal("empty pop with k+1 items accepted")
+	}
+}
+
+func TestMeasureDistances(t *testing.T) {
+	ops := []Op{
+		{Kind: OpPush, Value: 1},
+		{Kind: OpPush, Value: 2},
+		{Kind: OpPush, Value: 3},
+		{Kind: OpPop, Value: 2},    // distance 1
+		{Kind: OpPop, Value: 3},    // distance 0
+		{Kind: OpPop, Empty: true}, // ignored
+		{Kind: OpPop, Value: 1},    // distance 0
+	}
+	dists, err := MeasureDistances(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 0, 0}
+	if len(dists) != len(want) {
+		t.Fatalf("got %v, want %v", dists, want)
+	}
+	for i := range want {
+		if dists[i] != want[i] {
+			t.Fatalf("got %v, want %v", dists, want)
+		}
+	}
+}
+
+func TestMeasureDistancesDetectsPhantomPop(t *testing.T) {
+	ops := []Op{
+		{Kind: OpPush, Value: 1},
+		{Kind: OpPop, Value: 2},
+	}
+	if _, err := MeasureDistances(ops); err == nil {
+		t.Fatal("phantom pop not detected")
+	}
+}
+
+// Property: for any push sequence followed by pops in reverse order,
+// CheckLIFO accepts.
+func TestCheckLIFOPropertyReversedPops(t *testing.T) {
+	f := func(vals []uint64) bool {
+		ops := make([]Op, 0, 2*len(vals))
+		for _, v := range vals {
+			ops = append(ops, Op{Kind: OpPush, Value: v})
+		}
+		for i := len(vals) - 1; i >= 0; i-- {
+			ops = append(ops, Op{Kind: OpPop, Value: vals[i]})
+		}
+		return CheckLIFO(ops) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: strict LIFO histories are k-out-of-order legal for every k>=0
+// and MeasureDistances reports all-zero distances.
+func TestStrictHistoriesAreKLegal(t *testing.T) {
+	f := func(vals []uint64, kRaw uint8) bool {
+		k := int(kRaw % 8)
+		ops := make([]Op, 0, 2*len(vals))
+		for _, v := range vals {
+			ops = append(ops, Op{Kind: OpPush, Value: v})
+		}
+		for i := len(vals) - 1; i >= 0; i-- {
+			ops = append(ops, Op{Kind: OpPop, Value: vals[i]})
+		}
+		maxDist, err := CheckKOutOfOrder(ops, k)
+		if err != nil || maxDist != 0 {
+			return false
+		}
+		dists, err := MeasureDistances(ops)
+		if err != nil {
+			return false
+		}
+		for _, d := range dists {
+			if d != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpPush.String() != "push" || OpPop.String() != "pop" {
+		t.Fatal("OpKind.String mismatch")
+	}
+	if OpKind(9).String() != "OpKind(9)" {
+		t.Fatalf("unknown kind formatting: %s", OpKind(9).String())
+	}
+}

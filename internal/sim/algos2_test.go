@@ -1,0 +1,71 @@
+package sim
+
+import "testing"
+
+func TestFigure1ThroughputValidation(t *testing.T) {
+	m := DefaultMachine()
+	if _, err := Figure1Throughput(m, SimTwoD, 64, 0, 1000); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := Figure1Throughput(m, SimTwoD, 64, 1, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := Figure1Throughput(m, SimTreiber, 64, 1, 1000); err == nil {
+		t.Error("treiber accepted in the k sweep (not a Figure 1 algorithm)")
+	}
+}
+
+func TestFigure1AlgosProduceOps(t *testing.T) {
+	m := DefaultMachine()
+	for _, alg := range Figure1Algos() {
+		for _, k := range []int64{8, 512} {
+			thr, err := Figure1Throughput(m, alg, k, 4, 150000)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", alg, k, err)
+			}
+			if thr <= 0 {
+				t.Fatalf("%s k=%d: zero throughput", alg, k)
+			}
+		}
+	}
+}
+
+// TestSimTwoDThroughputRisesWithK: the paper's headline Figure 1 claim —
+// relaxation buys throughput monotonically for the 2D design.
+func TestSimTwoDThroughputRisesWithK(t *testing.T) {
+	m := DefaultMachine()
+	const horizon = 250000
+	lo, err := Figure1Throughput(m, SimTwoD, 8, 8, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Figure1Throughput(m, SimTwoD, 2048, 8, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("simulated 2D: k=8 %.1f, k=2048 %.1f ops/kcycle", lo, hi)
+	if hi < lo*2 {
+		t.Fatalf("relaxation did not buy throughput: k=8 %.1f vs k=2048 %.1f", lo, hi)
+	}
+}
+
+// TestSimTwoDBeatsKRobinAtHighK: at equal budget and thread count, the 2D
+// design outperforms round-robin (which retries contended lines instead of
+// hopping).
+func TestSimTwoDBeatsKRobinAtHighK(t *testing.T) {
+	m := DefaultMachine()
+	const horizon = 250000
+	const k = 2048
+	d, err := Figure1Throughput(m, SimTwoD, k, 8, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Figure1Throughput(m, SimKRobin, k, 8, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("simulated k=%d P=8: 2D %.1f, k-robin %.1f ops/kcycle", k, d, r)
+	if d < r {
+		t.Fatalf("2D (%.1f) should outperform k-robin (%.1f) at k=%d", d, r, k)
+	}
+}

@@ -1,0 +1,81 @@
+package sim
+
+import "fmt"
+
+// AlgoName selects a simulated algorithm in Figure2Sim.
+type AlgoName string
+
+// Simulated algorithms.
+const (
+	SimTreiber     AlgoName = "treiber"
+	SimRandom      AlgoName = "random"
+	SimTwoD        AlgoName = "2D-stack"
+	SimElimination AlgoName = "elimination"
+)
+
+// Algos returns the simulated algorithm set in display order.
+func Algos() []AlgoName {
+	return []AlgoName{SimTwoD, SimRandom, SimElimination, SimTreiber}
+}
+
+// Throughput runs one simulated experiment: p threads (pinned to cores 0,
+// 1, ... — filling socket 0 first, as the paper pins) executing the named
+// algorithm for `horizon` cycles, prefilled so pops rarely hit empty.
+// It returns completed operations per 1000 cycles (higher is better).
+func Throughput(machine Machine, alg AlgoName, p int, horizon int64) (float64, error) {
+	if p < 1 || p > machine.Cores() {
+		return 0, fmt.Errorf("sim: p=%d outside 1..%d", p, machine.Cores())
+	}
+	if horizon <= 0 {
+		return 0, fmt.Errorf("sim: horizon must be positive")
+	}
+	s, err := New(machine)
+	if err != nil {
+		return 0, err
+	}
+	const prefillPerLine = 1 << 20 // effectively never empty
+	const seed = 0x2d57ac
+	var body func(*T)
+	switch alg {
+	case SimTreiber:
+		top := s.NewWord(prefillPerLine)
+		body = TreiberBody(top, seed)
+	case SimRandom:
+		subs := make([]*Word, 4*p)
+		for i := range subs {
+			subs[i] = s.NewWord(prefillPerLine)
+		}
+		body = RandomMultiBody(subs, seed)
+	case SimTwoD:
+		width := 4 * p
+		subs := make([]*Word, width)
+		for i := range subs {
+			subs[i] = s.NewWord(prefillPerLine)
+		}
+		// The window must straddle the prefill level — pushes valid up to
+		// +depth/2, pops valid down to −depth/2 — mirroring a warmed-up
+		// real stack whose Global has settled around the standing
+		// population.
+		const depth = 64
+		global := s.NewWord(prefillPerLine + depth/2)
+		body = TwoDBody(subs, global, depth, depth, 2, seed)
+	case SimElimination:
+		top := s.NewWord(prefillPerLine)
+		slots := make([]*Word, p)
+		for i := range slots {
+			slots[i] = s.NewWord(0)
+		}
+		body = EliminationBody(top, slots, seed)
+	default:
+		return 0, fmt.Errorf("sim: unknown algorithm %q", alg)
+	}
+	for core := 0; core < p; core++ {
+		s.Go(core, body)
+	}
+	ops := s.Run(horizon)
+	var total int64
+	for _, n := range ops {
+		total += n
+	}
+	return float64(total) * 1000 / float64(horizon), nil
+}

@@ -1,0 +1,101 @@
+// Package stats provides the small statistics toolbox used by the benchmark
+// harness: summary statistics over repeat runs (the paper averages five
+// repeats per point) and fixed-width table rendering for figure series.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64 // sample standard deviation (n-1)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It copies xs and leaves it unsorted.
+// An empty sample returns 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MeanInts averages a slice of integers (error distances, hop counts).
+func MeanInts(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// HumanOps renders an operations-per-second figure compactly, e.g. "12.3M".
+func HumanOps(opsPerSec float64) string {
+	switch {
+	case opsPerSec >= 1e9:
+		return fmt.Sprintf("%.2fG", opsPerSec/1e9)
+	case opsPerSec >= 1e6:
+		return fmt.Sprintf("%.2fM", opsPerSec/1e6)
+	case opsPerSec >= 1e3:
+		return fmt.Sprintf("%.2fk", opsPerSec/1e3)
+	default:
+		return fmt.Sprintf("%.0f", opsPerSec)
+	}
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Stddev != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{5})
+	if s.N != 1 || s.Mean != 5 || s.Stddev != 0 || s.Min != 5 || s.Max != 5 || s.Median != 5 {
+		t.Fatalf("single summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(s.Mean, 5) {
+		t.Errorf("Mean = %g, want 5", s.Mean)
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); !almostEqual(s.Stddev, want) {
+		t.Errorf("Stddev = %g, want %g", s.Stddev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %g/%g, want 2/9", s.Min, s.Max)
+	}
+	if !almostEqual(s.Median, 4.5) {
+		t.Errorf("Median = %g, want 4.5", s.Median)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %g, want 1", got)
+	}
+	if got := Percentile(xs, 100); got != 3 {
+		t.Errorf("P100 = %g, want 3", got)
+	}
+	if got := Percentile(xs, 50); got != 2 {
+		t.Errorf("P50 = %g, want 2", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("P50(nil) = %g, want 0", got)
+	}
+	// Input must stay unsorted (Percentile copies).
+	if xs[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{10, 20}
+	if got := Percentile(xs, 25); !almostEqual(got, 12.5) {
+		t.Errorf("P25 = %g, want 12.5", got)
+	}
+}
+
+func TestMeanInts(t *testing.T) {
+	if got := MeanInts(nil); got != 0 {
+		t.Errorf("MeanInts(nil) = %g", got)
+	}
+	if got := MeanInts([]int{1, 2, 3, 4}); !almostEqual(got, 2.5) {
+		t.Errorf("MeanInts = %g, want 2.5", got)
+	}
+}
+
+func TestHumanOps(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{500, "500"},
+		{1500, "1.50k"},
+		{2.5e6, "2.50M"},
+		{3.25e9, "3.25G"},
+	}
+	for _, c := range cases {
+		if got := HumanOps(c.in); got != c.want {
+			t.Errorf("HumanOps(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("alg", "ops/s")
+	tb.AddRow("treiber", "1.2M")
+	tb.AddRowf("2d-stack", 3.4567)
+	out := tb.String()
+	if !strings.Contains(out, "alg") || !strings.Contains(out, "treiber") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("second line is not a rule: %q", lines[1])
+	}
+}
+
+func TestTableExtraAndMissingCells(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("1", "2", "3") // extra dropped
+	tb.AddRow("only")        // missing rendered empty
+	out := tb.String()
+	if strings.Contains(out, "3") {
+		t.Fatalf("extra cell leaked into output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+// Property: mean lies within [min, max], stddev >= 0, median within range.
+func TestSummarizeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-6 && s.Mean <= s.Max+1e-6 &&
+			s.Stddev >= 0 && s.Median >= s.Min && s.Median <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package trace records completion-ordered operation histories of
+// concurrent stack runs for offline analysis: k-out-of-order checking
+// against internal/seqspec and error-distance measurement without the
+// online oracle's probe effect.
+//
+// Each worker records into a private buffer; a global atomic stamp imposes
+// a total order on operation completions. The order is completion order,
+// not linearization order — concurrent analyses must allow the per-worker
+// skew documented in Recorder.Merge.
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"stack2d/internal/seqspec"
+)
+
+// stamped is one recorded operation with its completion stamp.
+type stamped struct {
+	seq int64
+	op  seqspec.Op
+}
+
+// Recorder coordinates trace collection across workers.
+type Recorder struct {
+	stamp atomic.Int64
+
+	mu      sync.Mutex
+	workers []*Worker
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// NewWorker registers and returns a worker-local trace buffer. Safe for
+// concurrent use; each returned Worker must be used by one goroutine.
+func (r *Recorder) NewWorker() *Worker {
+	w := &Worker{r: r}
+	r.mu.Lock()
+	r.workers = append(r.workers, w)
+	r.mu.Unlock()
+	return w
+}
+
+// Worker is a single goroutine's trace buffer.
+type Worker struct {
+	r   *Recorder
+	buf []stamped
+}
+
+// Push records a push of v. Call it BEFORE invoking the stack operation:
+// stamping at invocation guarantees that any pop of v (stamped at
+// completion) appears after v's push in the merged trace, so the checkers
+// never see a value pop before it exists. The resulting trace is
+// "invocation order for pushes, completion order for pops", and bound
+// checks must allow the per-worker skew documented on Merge.
+func (w *Worker) Push(v uint64) {
+	w.buf = append(w.buf, stamped{w.r.stamp.Add(1), seqspec.Op{Kind: seqspec.OpPush, Value: v}})
+}
+
+// Pop records a pop; ok=false records an empty return. Call it AFTER the
+// stack operation completes (see Push for the ordering contract).
+func (w *Worker) Pop(v uint64, ok bool) {
+	w.buf = append(w.buf, stamped{w.r.stamp.Add(1), seqspec.Op{Kind: seqspec.OpPop, Value: v, Empty: !ok}})
+}
+
+// Len reports how many operations this worker has recorded.
+func (w *Worker) Len() int { return len(w.buf) }
+
+// Merge produces the completion-ordered history of all workers. It must be
+// called after every recording goroutine has finished (quiescence), or the
+// trace would be incomplete; a missing stamp is reported as an error.
+//
+// Interpretation caveat: completion order can differ from linearization
+// order by up to one in-flight operation per worker in each direction.
+// Checks of an exact bound k on a W-worker trace should therefore allow
+// k + 2·W slack (see CheckKWithSlack).
+func (r *Recorder) Merge() ([]seqspec.Op, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	for _, w := range r.workers {
+		total += len(w.buf)
+	}
+	if int64(total) != r.stamp.Load() {
+		return nil, fmt.Errorf("trace: %d ops recorded but stamp is %d (merge before quiescence?)", total, r.stamp.Load())
+	}
+	merged := make([]seqspec.Op, total)
+	filled := make([]bool, total)
+	for _, w := range r.workers {
+		for _, st := range w.buf {
+			i := int(st.seq - 1)
+			if i < 0 || i >= total || filled[i] {
+				return nil, fmt.Errorf("trace: duplicate or out-of-range stamp %d", st.seq)
+			}
+			merged[i] = st.op
+			filled[i] = true
+		}
+	}
+	return merged, nil
+}
+
+// Workers returns how many workers have registered.
+func (r *Recorder) Workers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.workers)
+}
+
+// CheckKWithSlack merges the trace and checks it against the k-out-of-order
+// specification with the completion-order slack for the recorded number of
+// workers: allowed = k + 2·workers. It returns the maximum observed
+// distance.
+func (r *Recorder) CheckKWithSlack(k int64) (maxDist int, err error) {
+	ops, err := r.Merge()
+	if err != nil {
+		return 0, err
+	}
+	allowed := int(k) + 2*r.Workers()
+	return seqspec.CheckKOutOfOrder(ops, allowed)
+}
+
+// Distances merges the trace and returns every pop's error distance in
+// completion order.
+func (r *Recorder) Distances() ([]int, error) {
+	ops, err := r.Merge()
+	if err != nil {
+		return nil, err
+	}
+	return seqspec.MeasureDistances(ops)
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"stack2d/internal/core"
+	"stack2d/internal/seqspec"
+)
+
+func TestSingleWorkerMerge(t *testing.T) {
+	r := NewRecorder()
+	w := r.NewWorker()
+	w.Push(1)
+	w.Push(2)
+	w.Pop(2, true)
+	w.Pop(0, false)
+	ops, err := r.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []seqspec.Op{
+		{Kind: seqspec.OpPush, Value: 1},
+		{Kind: seqspec.OpPush, Value: 2},
+		{Kind: seqspec.OpPop, Value: 2},
+		{Kind: seqspec.OpPop, Empty: true},
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("merged %d ops, want %d", len(ops), len(want))
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("op %d = %+v, want %+v", i, ops[i], want[i])
+		}
+	}
+	if w.Len() != 4 {
+		t.Fatalf("worker Len = %d, want 4", w.Len())
+	}
+}
+
+func TestMultiWorkerStampsAreTotal(t *testing.T) {
+	r := NewRecorder()
+	const workers = 8
+	const perW = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := r.NewWorker()
+			for j := 0; j < perW; j++ {
+				w.Push(uint64(i*perW + j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	ops, err := r.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != workers*perW {
+		t.Fatalf("merged %d ops, want %d", len(ops), workers*perW)
+	}
+	if r.Workers() != workers {
+		t.Fatalf("Workers = %d, want %d", r.Workers(), workers)
+	}
+	seen := make(map[uint64]bool)
+	for _, op := range ops {
+		if op.Kind != seqspec.OpPush || seen[op.Value] {
+			t.Fatalf("bad merged op %+v", op)
+		}
+		seen[op.Value] = true
+	}
+}
+
+func TestDistancesOnStrictSequence(t *testing.T) {
+	r := NewRecorder()
+	w := r.NewWorker()
+	w.Push(1)
+	w.Push(2)
+	w.Pop(1, true) // distance 1
+	dists, err := r.Distances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dists) != 1 || dists[0] != 1 {
+		t.Fatalf("Distances = %v, want [1]", dists)
+	}
+}
+
+// TestCheckKWithSlackOn2DStack is the integration test Theorem 1 deserves:
+// record a concurrent 2D-Stack run and verify the merged trace respects
+// k + 2W.
+func TestCheckKWithSlackOn2DStack(t *testing.T) {
+	cfg := core.Config{Width: 4, Depth: 4, Shift: 2, RandomHops: 1}
+	s := core.MustNew[uint64](cfg)
+	r := NewRecorder()
+	const workers = 4
+	var wg sync.WaitGroup
+	var label struct {
+		mu sync.Mutex
+		n  uint64
+	}
+	nextLabel := func() uint64 {
+		label.mu.Lock()
+		defer label.mu.Unlock()
+		label.n++
+		return label.n
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := s.NewHandle()
+			w := r.NewWorker()
+			for j := 0; j < 3000; j++ {
+				if j%2 == 0 {
+					v := nextLabel()
+					w.Push(v) // record at invocation (see trace.Worker.Push)
+					h.Push(v)
+				} else {
+					v, ok := h.Pop()
+					w.Pop(v, ok)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Drain to complete the history.
+	h := s.NewHandle()
+	w := r.NewWorker()
+	for {
+		v, ok := h.Pop()
+		w.Pop(v, ok)
+		if !ok {
+			break
+		}
+	}
+	maxDist, err := r.CheckKWithSlack(cfg.K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("k=%d workers=%d maxObservedDist=%d", cfg.K(), workers, maxDist)
+}
+
+func TestMergeBeforeQuiescenceDetected(t *testing.T) {
+	r := NewRecorder()
+	w := r.NewWorker()
+	w.Push(1)
+	// Simulate an in-flight op from an unmerged worker by bumping the
+	// stamp directly through another worker that we then discard... the
+	// public route: a second worker records into a buffer that we ignore
+	// by merging from a racing goroutine is unreliable; instead bump the
+	// recorder's stamp without a matching buffer entry.
+	r.stamp.Add(1)
+	if _, err := r.Merge(); err == nil {
+		t.Fatal("Merge with missing stamp succeeded")
+	}
+}

@@ -1,0 +1,241 @@
+package treiber
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"stack2d/internal/seqspec"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Stack[int]
+	if _, ok := s.Pop(); ok {
+		t.Fatal("zero-value stack popped a value")
+	}
+	s.Push(1)
+	if v, ok := s.Pop(); !ok || v != 1 {
+		t.Fatalf("Pop = %d,%v want 1,true", v, ok)
+	}
+}
+
+func TestSequentialLIFO(t *testing.T) {
+	s := New[uint64]()
+	var m seqspec.Model
+	for v := uint64(0); v < 100; v++ {
+		s.Push(v)
+		m.Push(v)
+	}
+	for {
+		want, wok := m.Pop()
+		got, gok := s.Pop()
+		if wok != gok {
+			t.Fatalf("emptiness diverged: model %v stack %v", wok, gok)
+		}
+		if !wok {
+			break
+		}
+		if got != want {
+			t.Fatalf("Pop = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestInterleavedAgainstModel(t *testing.T) {
+	// Deterministic interleaving of pushes and pops must match the model.
+	s := New[uint64]()
+	var m seqspec.Model
+	ops := []struct {
+		push bool
+		v    uint64
+	}{
+		{true, 1}, {true, 2}, {false, 0}, {true, 3}, {false, 0},
+		{false, 0}, {false, 0}, {true, 4}, {false, 0}, {false, 0},
+	}
+	for i, op := range ops {
+		if op.push {
+			s.Push(op.v)
+			m.Push(op.v)
+			continue
+		}
+		got, gok := s.Pop()
+		want, wok := m.Pop()
+		if gok != wok || got != want {
+			t.Fatalf("step %d: Pop = (%d,%v), want (%d,%v)", i, got, gok, want, wok)
+		}
+	}
+}
+
+func TestPeek(t *testing.T) {
+	s := New[string]()
+	if _, ok := s.Peek(); ok {
+		t.Fatal("Peek on empty returned ok")
+	}
+	s.Push("a")
+	s.Push("b")
+	if v, ok := s.Peek(); !ok || v != "b" {
+		t.Fatalf("Peek = %q,%v want b,true", v, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Peek changed Len: %d", s.Len())
+	}
+}
+
+func TestTryPushTryPopSequential(t *testing.T) {
+	s := New[int]()
+	if !s.TryPush(7) {
+		t.Fatal("uncontended TryPush failed")
+	}
+	v, ok, contended := s.TryPop()
+	if !ok || contended || v != 7 {
+		t.Fatalf("TryPop = (%d,%v,%v), want (7,true,false)", v, ok, contended)
+	}
+	_, ok, contended = s.TryPop()
+	if ok || contended {
+		t.Fatalf("TryPop on empty = (_, %v, %v), want (false,false)", ok, contended)
+	}
+}
+
+func TestLenQuiescent(t *testing.T) {
+	s := New[int]()
+	for i := 0; i < 10; i++ {
+		s.Push(i)
+	}
+	if got := s.Len(); got != 10 {
+		t.Fatalf("Len = %d, want 10", got)
+	}
+	for i := 0; i < 4; i++ {
+		s.Pop()
+	}
+	if got := s.Len(); got != 6 {
+		t.Fatalf("Len = %d, want 6", got)
+	}
+	if s.Empty() {
+		t.Fatal("Empty true with 6 items")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s := New[int]()
+	for i := 1; i <= 3; i++ {
+		s.Push(i)
+	}
+	got := s.Drain()
+	want := []int{3, 2, 1}
+	if len(got) != 3 {
+		t.Fatalf("Drain = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Drain = %v, want %v", got, want)
+		}
+	}
+	if !s.Empty() {
+		t.Fatal("stack not empty after Drain")
+	}
+}
+
+// TestConcurrentConservation checks that under heavy concurrent push/pop no
+// value is lost or duplicated (run with -race for full effect).
+func TestConcurrentConservation(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	s := New[uint64]()
+	var wg sync.WaitGroup
+	popped := make([][]uint64, workers)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				s.Push(uint64(w*perW + i))
+				if v, ok := s.Pop(); ok {
+					popped[w] = append(popped[w], v)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	seen := make(map[uint64]int, workers*perW)
+	for _, vs := range popped {
+		for _, v := range vs {
+			seen[v]++
+		}
+	}
+	for _, v := range s.Drain() {
+		seen[v]++
+	}
+	if len(seen) != workers*perW {
+		t.Fatalf("conservation violated: %d distinct values, want %d", len(seen), workers*perW)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d observed %d times", v, n)
+		}
+	}
+}
+
+// TestConcurrentPoppersDrainExactly spawns pure poppers against a prefilled
+// stack and checks each item is returned exactly once.
+func TestConcurrentPoppersDrainExactly(t *testing.T) {
+	const n = 10000
+	s := New[uint64]()
+	for v := uint64(0); v < n; v++ {
+		s.Push(v)
+	}
+	const workers = 8
+	results := make(chan uint64, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := s.Pop()
+				if !ok {
+					return
+				}
+				results <- v
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	seen := make(map[uint64]bool, n)
+	for v := range results {
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("popped %d distinct values, want %d", len(seen), n)
+	}
+}
+
+// Property: pushing any sequence then draining returns its reverse.
+func TestPushDrainPropertyReverses(t *testing.T) {
+	f := func(vals []uint64) bool {
+		s := New[uint64]()
+		for _, v := range vals {
+			s.Push(v)
+		}
+		out := s.Drain()
+		if len(out) != len(vals) {
+			return false
+		}
+		for i, v := range out {
+			if v != vals[len(vals)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

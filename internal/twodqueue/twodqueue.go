@@ -1,0 +1,258 @@
+// Package twodqueue generalises the 2D window technique to a FIFO queue —
+// the direction the paper's conclusion announces as future work ("we are
+// working towards generalizing our design to work for other concurrent data
+// structures").
+//
+// The structure mirrors the 2D-Stack: `width` Michael–Scott sub-queues with
+// two windows, one per end. Each sub-queue carries two monotonic counters,
+// enqueues and dequeues completed. An Enqueue may use a sub-queue only while
+// its enqueue count is below the shared GlobalEnq ceiling; a Dequeue only
+// while its dequeue count is below GlobalDeq. When a full round-robin pass
+// finds every sub-queue at its ceiling, the corresponding window is raised
+// by `shift`. The search (locality anchor, random hops, round-robin
+// fallback, hop-on-contention) is the stack's search verbatim.
+//
+// Relaxation: within one window epoch each sub-queue completes at most
+// `depth` dequeues, so items dequeue at most (2·shift + depth)·(width − 1)
+// positions out of FIFO order in sequential executions — the direct
+// analogue of the stack's Theorem 1. Under concurrency the monotonic
+// counters are incremented after the sub-queue operation completes, adding
+// up to one position of slack per in-flight operation (at most the number
+// of concurrent handles); see K and the tests in twodqueue_test.go.
+package twodqueue
+
+import (
+	"fmt"
+
+	"stack2d/internal/msqueue"
+	"stack2d/internal/pad"
+	"stack2d/internal/xrand"
+)
+
+// Config carries the tuning parameters; they have the same roles as the
+// 2D-Stack's (see internal/core.Config).
+type Config struct {
+	// Width is the number of sub-queues.
+	Width int
+	// Depth is the window height (operations per sub-queue per window).
+	Depth int64
+	// Shift is the window step, 1 <= Shift <= Depth.
+	Shift int64
+	// RandomHops is the number of random probes before round-robin search.
+	RandomHops int
+}
+
+// DefaultConfig mirrors the stack's high-throughput configuration for p
+// expected threads.
+func DefaultConfig(p int) Config {
+	if p < 1 {
+		p = 1
+	}
+	return Config{Width: 4 * p, Depth: 64, Shift: 64, RandomHops: 2}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Width < 1:
+		return fmt.Errorf("twodqueue: Width must be >= 1, got %d", c.Width)
+	case c.Depth < 1:
+		return fmt.Errorf("twodqueue: Depth must be >= 1, got %d", c.Depth)
+	case c.Shift < 1 || c.Shift > c.Depth:
+		return fmt.Errorf("twodqueue: Shift must be in [1, Depth=%d], got %d", c.Depth, c.Shift)
+	case c.RandomHops < 0:
+		return fmt.Errorf("twodqueue: RandomHops must be >= 0, got %d", c.RandomHops)
+	}
+	return nil
+}
+
+// K returns the sequential k-out-of-order bound of this configuration,
+// (2·shift + depth)(width − 1); concurrent executions add at most one
+// position per in-flight operation on top.
+func (c Config) K() int64 {
+	return (2*c.Shift + c.Depth) * int64(c.Width-1)
+}
+
+// subQueue is one sub-structure: the Michael–Scott queue plus its two
+// monotonic window counters, all padded onto private cache lines.
+type subQueue[T any] struct {
+	q    *msqueue.Queue[T]
+	_    pad.CacheLinePad
+	enqs pad.Int64Line // completed enqueues
+	deqs pad.Int64Line // completed dequeues
+}
+
+// Queue is a lock-free 2D relaxed FIFO queue. Create with New; obtain one
+// Handle per goroutine.
+type Queue[T any] struct {
+	cfg       Config
+	subs      []subQueue[T]
+	globalEnq pad.Int64Line
+	globalDeq pad.Int64Line
+	seed      pad.Uint64Line
+}
+
+// New returns an empty 2D-Queue.
+func New[T any](cfg Config) (*Queue[T], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	q := &Queue[T]{cfg: cfg, subs: make([]subQueue[T], cfg.Width)}
+	for i := range q.subs {
+		q.subs[i].q = msqueue.New[T]()
+	}
+	q.globalEnq.V.Store(cfg.Depth)
+	q.globalDeq.V.Store(cfg.Depth)
+	return q, nil
+}
+
+// MustNew is New that panics on config error.
+func MustNew[T any](cfg Config) *Queue[T] {
+	q, err := New[T](cfg)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Config returns the queue's configuration.
+func (q *Queue[T]) Config() Config { return q.cfg }
+
+// Len sums sub-queue populations; approximate under concurrency.
+func (q *Queue[T]) Len() int {
+	n := 0
+	for i := range q.subs {
+		n += q.subs[i].q.Len()
+	}
+	return n
+}
+
+// GlobalEnq exposes the enqueue window ceiling; diagnostics only.
+func (q *Queue[T]) GlobalEnq() int64 { return q.globalEnq.V.Load() }
+
+// GlobalDeq exposes the dequeue window ceiling; diagnostics only.
+func (q *Queue[T]) GlobalDeq() int64 { return q.globalDeq.V.Load() }
+
+// Drain removes all items; teardown/testing helper.
+func (q *Queue[T]) Drain() []T {
+	h := q.NewHandle()
+	var out []T
+	for {
+		v, ok := h.Dequeue()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// Handle is the per-goroutine operation context (locality anchors and
+// RNG). Not safe for concurrent use of the same handle.
+type Handle[T any] struct {
+	q       *Queue[T]
+	rng     *xrand.State
+	lastEnq int
+	lastDeq int
+}
+
+// NewHandle returns an operation handle anchored at random sub-queues.
+func (q *Queue[T]) NewHandle() *Handle[T] {
+	rng := xrand.New(q.seed.V.Add(0x9e3779b97f4a7c15))
+	return &Handle[T]{q: q, rng: rng, lastEnq: rng.Intn(q.cfg.Width), lastDeq: rng.Intn(q.cfg.Width)}
+}
+
+// Enqueue adds v at the (relaxed) back of the queue.
+func (h *Handle[T]) Enqueue(v T) {
+	q := h.q
+	width := q.cfg.Width
+	for {
+		global := q.globalEnq.V.Load()
+		idx := h.lastEnq
+		probes := 0
+		randLeft := q.cfg.RandomHops
+		for probes < width {
+			if g := q.globalEnq.V.Load(); g != global {
+				global = g
+				probes = 0
+				randLeft = q.cfg.RandomHops
+			}
+			sub := &q.subs[idx]
+			if sub.enqs.V.Load() < global {
+				// Valid: the M&S enqueue always succeeds (it is lock-free
+				// internally); count it and return.
+				sub.q.Enqueue(v)
+				sub.enqs.V.Add(1)
+				h.lastEnq = idx
+				return
+			}
+			if randLeft > 0 {
+				randLeft--
+				idx = h.rng.Intn(width)
+				continue
+			}
+			probes++
+			idx++
+			if idx == width {
+				idx = 0
+			}
+		}
+		q.globalEnq.V.CompareAndSwap(global, global+q.cfg.Shift)
+	}
+}
+
+// Dequeue removes and returns a value within the relaxation window; ok is
+// false when every sub-queue was observed empty in one full pass.
+func (h *Handle[T]) Dequeue() (v T, ok bool) {
+	q := h.q
+	width := q.cfg.Width
+	for {
+		global := q.globalDeq.V.Load()
+		idx := h.lastDeq
+		probes := 0
+		randLeft := q.cfg.RandomHops
+		sawInvalidNonEmpty := false
+		for probes < width {
+			if g := q.globalDeq.V.Load(); g != global {
+				global = g
+				probes = 0
+				randLeft = q.cfg.RandomHops
+				sawInvalidNonEmpty = false
+			}
+			sub := &q.subs[idx]
+			if sub.deqs.V.Load() < global {
+				if v, ok, contended := sub.q.TryDequeue(); ok {
+					sub.deqs.V.Add(1)
+					h.lastDeq = idx
+					return v, true
+				} else if contended {
+					// Another dequeuer beat us here: hop away, fresh pass.
+					idx = h.rng.Intn(width)
+					probes = 0
+					randLeft = 0
+					continue
+				}
+				// Valid but empty: treat as a coverage probe.
+			} else if !sub.q.Empty() {
+				sawInvalidNonEmpty = true
+			}
+			if randLeft > 0 {
+				randLeft--
+				idx = h.rng.Intn(width)
+				continue
+			}
+			probes++
+			idx++
+			if idx == width {
+				idx = 0
+			}
+		}
+		if !sawInvalidNonEmpty {
+			// Full coverage saw only empty sub-queues (any non-empty one
+			// was dequeue-valid and yielded nothing): report empty.
+			var zero T
+			return zero, false
+		}
+		// Items exist beyond the current window: raise it and retry.
+		q.globalDeq.V.CompareAndSwap(global, global+q.cfg.Shift)
+	}
+}

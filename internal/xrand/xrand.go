@@ -1,0 +1,82 @@
+// Package xrand provides small, allocation-free pseudo-random number
+// generators suitable for per-goroutine use on hot paths.
+//
+// The 2D-Stack search loop performs a random hop on every CAS failure;
+// math/rand's global generator takes a lock and would itself become the
+// contention point the hop is trying to escape. Each harness worker and each
+// stack operation context therefore owns an xrand.State seeded independently
+// via SplitMix64.
+package xrand
+
+// State is a xoshiro256** generator. The zero value is NOT valid; construct
+// with New or Seed. xoshiro256** passes BigCrush and is among the fastest
+// generators with a 2^256-1 period, more than enough for hop selection and
+// workload coin flips.
+type State struct {
+	s [4]uint64
+}
+
+// splitmix64 advances x and returns the next SplitMix64 output. It is used
+// only for seeding, as recommended by the xoshiro authors, because it
+// diffuses low-entropy seeds (0, 1, 2, ...) into well-distributed states.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Distinct seeds give independent
+// streams; seed 0 is fine.
+func New(seed uint64) *State {
+	var s State
+	s.Seed(seed)
+	return &s
+}
+
+// Seed resets the generator deterministically from seed.
+func (s *State) Seed(seed uint64) {
+	x := seed
+	s.s[0] = splitmix64(&x)
+	s.s[1] = splitmix64(&x)
+	s.s[2] = splitmix64(&x)
+	s.s[3] = splitmix64(&x)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 random bits.
+func (s *State) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32 random bits.
+func (s *State) Uint32() uint32 { return uint32(s.Uint64() >> 32) }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+// It uses Lemire's multiply-shift reduction, which avoids the modulo
+// instruction on the hot path; the slight non-uniformity (< 2^-32 bias for
+// the sub-stack counts used here) is irrelevant for hop selection.
+func (s *State) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int((uint64(s.Uint32()) * uint64(n)) >> 32)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *State) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair coin flip.
+func (s *State) Bool() bool { return s.Uint64()&1 == 1 }

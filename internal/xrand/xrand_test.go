@@ -1,0 +1,145 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeedDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("step %d: streams diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestZeroSeedIsUsable(t *testing.T) {
+	s := New(0)
+	// SplitMix64 seeding must not leave the all-zero xoshiro state, which
+	// would emit zeros forever.
+	allZero := true
+	for i := 0; i < 64; i++ {
+		if s.Uint64() != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		t.Fatal("zero seed produced a degenerate all-zero stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(7)
+	for _, n := range []int{1, 2, 3, 7, 64, 1000} {
+		for i := 0; i < 1000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	s := New(1)
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			s.Intn(n)
+		}()
+	}
+}
+
+func TestIntnRoughlyUniform(t *testing.T) {
+	const n, draws = 8, 80000
+	s := New(99)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Errorf("bucket %d: count %d deviates >10%% from %g", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestBoolIsFair(t *testing.T) {
+	s := New(5)
+	trues := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if s.Bool() {
+			trues++
+		}
+	}
+	if trues < draws*45/100 || trues > draws*55/100 {
+		t.Fatalf("Bool() returned true %d/%d times; expected ~50%%", trues, draws)
+	}
+}
+
+func TestSeedResets(t *testing.T) {
+	s := New(11)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Seed(11)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("after re-seed, step %d: %d != %d", i, got, first[i])
+		}
+	}
+}
+
+// TestIntnPropertyInRange is a quick-check property: every output of Intn is
+// within range for arbitrary seeds and bounds.
+func TestIntnPropertyInRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1024) + 1
+		s := New(seed)
+		for i := 0; i < 32; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,97 @@
+package stack2d
+
+import (
+	"runtime"
+
+	"stack2d/internal/core"
+	"stack2d/internal/relax"
+)
+
+// Option configures a Stack built by New.
+type Option func(*builder)
+
+type builder struct {
+	p    int // expected threads (for defaults and WithRelaxation)
+	k    int64
+	kSet bool
+
+	width   int
+	depth   int64
+	shift   int64
+	hops    int
+	hopsSet bool
+}
+
+// buildConfig resolves the option list into a concrete configuration.
+// Precedence: WithRelaxation derives a structure from the k budget and the
+// expected thread count; explicit structural options (width, depth, shift,
+// hops) then override the derived or default values field by field.
+func buildConfig(opts []Option) core.Config {
+	b := builder{p: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(&b)
+	}
+	base := core.DefaultConfig(b.p)
+	if b.kSet {
+		base = relax.TwoDConfigForK(b.k, b.p)
+	}
+	if b.width != 0 {
+		base.Width = b.width
+	}
+	if b.depth != 0 {
+		base.Depth = b.depth
+		if b.shift == 0 && base.Shift > base.Depth {
+			// Only depth was given: keep shift consistent with it.
+			base.Shift = base.Depth
+		}
+	}
+	if b.shift != 0 {
+		base.Shift = b.shift
+	}
+	if b.hopsSet {
+		base.RandomHops = b.hops
+	}
+	return base
+}
+
+// WithExpectedThreads declares the expected number of concurrent
+// goroutines P. The default structure follows the paper's optimum:
+// width = 4P. Defaults to runtime.GOMAXPROCS(0).
+func WithExpectedThreads(p int) Option {
+	return func(b *builder) { b.p = p }
+}
+
+// WithRelaxation requests a target k-out-of-order budget; the structure
+// (width first, then depth — horizontal before vertical, as in the paper)
+// is derived so that the realised bound K() never exceeds k. Combine with
+// WithExpectedThreads for the width cap.
+func WithRelaxation(k int64) Option {
+	return func(b *builder) {
+		b.k = k
+		b.kSet = true
+	}
+}
+
+// WithWidth sets the number of sub-stacks explicitly.
+func WithWidth(width int) Option {
+	return func(b *builder) { b.width = width }
+}
+
+// WithDepth sets the window height explicitly (and clamps shift down to it
+// when shift is not also set).
+func WithDepth(depth int64) Option {
+	return func(b *builder) { b.depth = depth }
+}
+
+// WithShift sets the window step explicitly (1 <= shift <= depth).
+func WithShift(shift int64) Option {
+	return func(b *builder) { b.shift = shift }
+}
+
+// WithRandomHops sets how many random probes precede round-robin search.
+func WithRandomHops(n int) Option {
+	return func(b *builder) {
+		b.hops = n
+		b.hopsSet = true
+	}
+}

@@ -1,0 +1,92 @@
+package stack2d
+
+import (
+	"stack2d/internal/msqueue"
+	"stack2d/internal/twodqueue"
+)
+
+// Queue is a lock-free relaxed FIFO queue built with the same
+// two-dimensional window technique as the Stack — the generalisation the
+// paper's conclusion announces as future work. Dequeue returns an item at
+// most K() positions out of FIFO order (plus one position per concurrent
+// in-flight operation).
+//
+// Create with NewQueue; use one QueueHandle per goroutine on hot paths.
+type Queue[T any] struct {
+	inner *twodqueue.Queue[T]
+}
+
+// QueueConfig re-exports the 2D-Queue tuning parameters: Width sub-queues,
+// a window of height Depth per end, moved by Shift when exhausted.
+type QueueConfig = twodqueue.Config
+
+// NewQueue builds a 2D-Queue for p expected concurrent goroutines using
+// the default structure (width 4P, depth 64). It panics if p produces an
+// invalid configuration (it cannot); use NewQueueWithConfig for explicit
+// control.
+func NewQueue[T any](p int) *Queue[T] {
+	q, err := NewQueueWithConfig[T](twodqueue.DefaultConfig(p))
+	if err != nil {
+		panic(err) // unreachable: DefaultConfig always validates
+	}
+	return q
+}
+
+// NewQueueWithConfig builds a 2D-Queue from an explicit configuration.
+func NewQueueWithConfig[T any](cfg QueueConfig) (*Queue[T], error) {
+	inner, err := twodqueue.New[T](cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Queue[T]{inner: inner}, nil
+}
+
+// QueueHandle is the per-goroutine operation context for a Queue.
+type QueueHandle[T any] struct {
+	h *twodqueue.Handle[T]
+}
+
+// NewHandle returns a fresh handle anchored at random sub-queues.
+func (q *Queue[T]) NewHandle() *QueueHandle[T] {
+	return &QueueHandle[T]{h: q.inner.NewHandle()}
+}
+
+// Enqueue adds v at the (relaxed) back of the queue.
+func (h *QueueHandle[T]) Enqueue(v T) { h.h.Enqueue(v) }
+
+// Dequeue removes and returns a value from near the front; ok is false
+// when the queue is empty.
+func (h *QueueHandle[T]) Dequeue() (v T, ok bool) { return h.h.Dequeue() }
+
+// Len returns the total number of stored items; exact when quiescent.
+func (q *Queue[T]) Len() int { return q.inner.Len() }
+
+// K returns the queue's sequential k-out-of-order relaxation bound.
+func (q *Queue[T]) K() int64 { return q.inner.Config().K() }
+
+// Config returns the configuration the queue was built with.
+func (q *Queue[T]) Config() QueueConfig { return q.inner.Config() }
+
+// Drain removes and returns all items; teardown helper, not concurrent.
+func (q *Queue[T]) Drain() []T { return q.inner.Drain() }
+
+// StrictQueue is a strict (k = 0) lock-free FIFO queue — the classic
+// Michael–Scott queue — for callers needing exact ordering or a baseline.
+// Create with NewStrictQueue.
+type StrictQueue[T any] struct {
+	inner *msqueue.Queue[T]
+}
+
+// NewStrictQueue returns an empty strict FIFO queue.
+func NewStrictQueue[T any]() *StrictQueue[T] {
+	return &StrictQueue[T]{inner: msqueue.New[T]()}
+}
+
+// Enqueue appends v at the back.
+func (q *StrictQueue[T]) Enqueue(v T) { q.inner.Enqueue(v) }
+
+// Dequeue removes and returns the exact front value; ok is false on empty.
+func (q *StrictQueue[T]) Dequeue() (v T, ok bool) { return q.inner.Dequeue() }
+
+// Len returns the approximate number of items.
+func (q *StrictQueue[T]) Len() int { return q.inner.Len() }

@@ -1,0 +1,131 @@
+package stack2d_test
+
+import (
+	"sync"
+	"testing"
+
+	"stack2d"
+)
+
+func TestQueueBasic(t *testing.T) {
+	q := stack2d.NewQueue[string](2)
+	h := q.NewHandle()
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("dequeue on empty returned ok")
+	}
+	h.Enqueue("a")
+	h.Enqueue("b")
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		v, ok := h.Dequeue()
+		if !ok {
+			t.Fatal("premature empty")
+		}
+		seen[v] = true
+	}
+	if !seen["a"] || !seen["b"] {
+		t.Fatalf("values lost: %v", seen)
+	}
+}
+
+func TestQueueConfigAndK(t *testing.T) {
+	q, err := stack2d.NewQueueWithConfig[int](stack2d.QueueConfig{
+		Width: 3, Depth: 8, Shift: 4, RandomHops: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.K(); got != (2*4+8)*2 {
+		t.Fatalf("K = %d, want 32", got)
+	}
+	if q.Config().Width != 3 {
+		t.Fatalf("Config lost: %+v", q.Config())
+	}
+}
+
+func TestQueueWithConfigRejectsInvalid(t *testing.T) {
+	if _, err := stack2d.NewQueueWithConfig[int](stack2d.QueueConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestQueueWidthOneStrictFIFO(t *testing.T) {
+	q, err := stack2d.NewQueueWithConfig[uint64](stack2d.QueueConfig{
+		Width: 1, Depth: 16, Shift: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := q.NewHandle()
+	for v := uint64(1); v <= 100; v++ {
+		h.Enqueue(v)
+	}
+	for want := uint64(1); want <= 100; want++ {
+		v, ok := h.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+}
+
+func TestQueueConcurrentConservation(t *testing.T) {
+	q := stack2d.NewQueue[uint64](4)
+	const workers, perW = 8, 1500
+	var wg sync.WaitGroup
+	got := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.NewHandle()
+			for i := 0; i < perW; i++ {
+				h.Enqueue(uint64(w*perW + i))
+				if i%2 == 1 {
+					if v, ok := h.Dequeue(); ok {
+						got[w] = append(got[w], v)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]int)
+	for _, vs := range got {
+		for _, v := range vs {
+			seen[v]++
+		}
+	}
+	for _, v := range q.Drain() {
+		seen[v]++
+	}
+	if len(seen) != workers*perW {
+		t.Fatalf("recovered %d distinct values, want %d", len(seen), workers*perW)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d recovered %d times", v, n)
+		}
+	}
+}
+
+func TestStrictQueueFIFO(t *testing.T) {
+	q := stack2d.NewStrictQueue[int]()
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue on empty strict queue returned ok")
+	}
+	for i := 1; i <= 10; i++ {
+		q.Enqueue(i)
+	}
+	if q.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", q.Len())
+	}
+	for want := 1; want <= 10; want++ {
+		v, ok := q.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package stack2d_test
+
+import (
+	"sync"
+	"testing"
+
+	"stack2d"
+)
+
+func TestNewDefaults(t *testing.T) {
+	s := stack2d.New[int]()
+	cfg := s.Config()
+	if cfg.Width < 4 {
+		t.Fatalf("default width = %d, want >= 4", cfg.Width)
+	}
+	if cfg.Depth != 64 || cfg.Shift != 64 {
+		t.Fatalf("default depth/shift = %d/%d, want 64/64", cfg.Depth, cfg.Shift)
+	}
+	if s.K() != cfg.K() {
+		t.Fatalf("K() = %d, want %d", s.K(), cfg.K())
+	}
+}
+
+func TestOptionsStructural(t *testing.T) {
+	s := stack2d.New[int](
+		stack2d.WithWidth(3),
+		stack2d.WithDepth(16),
+		stack2d.WithShift(8),
+		stack2d.WithRandomHops(1),
+	)
+	cfg := s.Config()
+	if cfg.Width != 3 || cfg.Depth != 16 || cfg.Shift != 8 || cfg.RandomHops != 1 {
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+	// (2*8+16)*(3-1) = 64
+	if s.K() != 64 {
+		t.Fatalf("K = %d, want 64", s.K())
+	}
+}
+
+func TestWithDepthClampsShift(t *testing.T) {
+	// Default shift is 64; setting only depth below that must keep the
+	// config valid.
+	s := stack2d.New[int](stack2d.WithDepth(8))
+	cfg := s.Config()
+	if cfg.Shift > cfg.Depth {
+		t.Fatalf("shift %d exceeds depth %d", cfg.Shift, cfg.Depth)
+	}
+}
+
+func TestWithRelaxationBudget(t *testing.T) {
+	for _, k := range []int64{0, 10, 100, 10000} {
+		s := stack2d.New[int](stack2d.WithRelaxation(k), stack2d.WithExpectedThreads(4))
+		if got := s.K(); got > k && k >= 3 {
+			t.Errorf("WithRelaxation(%d): realised K = %d exceeds budget", k, got)
+		}
+	}
+}
+
+func TestWithRelaxationZeroIsStrict(t *testing.T) {
+	s := stack2d.New[uint64](stack2d.WithRelaxation(0))
+	if s.K() != 0 {
+		t.Fatalf("K = %d, want 0", s.K())
+	}
+	h := s.NewHandle()
+	for v := uint64(1); v <= 100; v++ {
+		h.Push(v)
+	}
+	for want := uint64(100); want >= 1; want-- {
+		v, ok := h.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with width -1 did not panic")
+		}
+	}()
+	stack2d.New[int](stack2d.WithWidth(-1))
+}
+
+func TestNewWithConfigError(t *testing.T) {
+	if _, err := stack2d.NewWithConfig[int](stack2d.Config{}); err == nil {
+		t.Fatal("NewWithConfig accepted zero config")
+	}
+	s, err := stack2d.NewWithConfig[int](stack2d.Config{Width: 2, Depth: 4, Shift: 4})
+	if err != nil || s == nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestHandleRoundTrip(t *testing.T) {
+	s := stack2d.New[string](stack2d.WithExpectedThreads(1))
+	h := s.NewHandle()
+	h.Push("a")
+	h.Push("b")
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		v, ok := h.Pop()
+		if !ok {
+			t.Fatal("premature empty")
+		}
+		seen[v] = true
+	}
+	if !seen["a"] || !seen["b"] {
+		t.Fatalf("values lost: %v", seen)
+	}
+	if !s.Empty() {
+		t.Fatal("stack not empty after popping everything")
+	}
+}
+
+func TestHandleTryPop(t *testing.T) {
+	s := stack2d.New[int](stack2d.WithExpectedThreads(1))
+	h := s.NewHandle()
+	if _, ok := h.TryPop(); ok {
+		t.Fatal("TryPop on empty succeeded")
+	}
+	h.Push(5)
+	if v, ok := h.TryPop(); !ok || v != 5 {
+		t.Fatalf("TryPop = (%d,%v), want (5,true)", v, ok)
+	}
+}
+
+func TestPooledConvenienceAPI(t *testing.T) {
+	s := stack2d.New[int](stack2d.WithExpectedThreads(2))
+	const n = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				s.Push(w*n + i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Len(); got != 4*n {
+		t.Fatalf("Len = %d, want %d", got, 4*n)
+	}
+	seen := make(map[int]bool)
+	for {
+		v, ok := s.Pop()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("value %d popped twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 4*n {
+		t.Fatalf("recovered %d values, want %d", len(seen), 4*n)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s := stack2d.New[int]()
+	for i := 0; i < 32; i++ {
+		s.Push(i)
+	}
+	if got := len(s.Drain()); got != 32 {
+		t.Fatalf("Drain returned %d items, want 32", got)
+	}
+}
+
+func TestStrictStack(t *testing.T) {
+	s := stack2d.NewStrict[int]()
+	if _, ok := s.Pop(); ok {
+		t.Fatal("Pop on empty strict stack succeeded")
+	}
+	for i := 1; i <= 10; i++ {
+		s.Push(i)
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	for want := 10; want >= 1; want-- {
+		v, ok := s.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+}
+
+func TestConcurrentMixedHandles(t *testing.T) {
+	s := stack2d.New[uint64](stack2d.WithExpectedThreads(4))
+	const workers, perW = 8, 2000
+	var wg sync.WaitGroup
+	popped := make([][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s.NewHandle()
+			for i := 0; i < perW; i++ {
+				h.Push(uint64(w*perW + i))
+				if i%2 == 1 {
+					if v, ok := h.Pop(); ok {
+						popped[w] = append(popped[w], v)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint64]int)
+	for _, vs := range popped {
+		for _, v := range vs {
+			seen[v]++
+		}
+	}
+	for _, v := range s.Drain() {
+		seen[v]++
+	}
+	if len(seen) != workers*perW {
+		t.Fatalf("recovered %d distinct values, want %d", len(seen), workers*perW)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d recovered %d times", v, n)
+		}
+	}
+}
+
+func TestBatchAPI(t *testing.T) {
+	s := stack2d.New[int](stack2d.WithExpectedThreads(2))
+	h := s.NewHandle()
+	h.PushBatch([]int{1, 2, 3, 4, 5})
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d after PushBatch, want 5", s.Len())
+	}
+	got := h.PopBatch(3)
+	if len(got) != 3 {
+		t.Fatalf("PopBatch(3) returned %d items", len(got))
+	}
+	rest := h.PopBatch(10)
+	if len(rest) != 2 {
+		t.Fatalf("PopBatch(10) returned %d items, want 2", len(rest))
+	}
+	seen := map[int]bool{}
+	for _, v := range append(got, rest...) {
+		if seen[v] {
+			t.Fatalf("value %d returned twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("recovered %d values, want 5", len(seen))
+	}
+}
+
+func TestWithRandomHopsZeroApplies(t *testing.T) {
+	// Zero is a meaningful value (pure round-robin search) and must not be
+	// confused with "unset".
+	s := stack2d.New[int](stack2d.WithRandomHops(0))
+	if got := s.Config().RandomHops; got != 0 {
+		t.Fatalf("RandomHops = %d, want explicit 0", got)
+	}
+	d := stack2d.New[int]()
+	if got := d.Config().RandomHops; got == 0 {
+		t.Fatalf("default RandomHops = 0; expected the paper's hybrid default")
+	}
+}
+
+func TestWithExpectedThreadsScalesWidth(t *testing.T) {
+	s4 := stack2d.New[int](stack2d.WithExpectedThreads(4))
+	s8 := stack2d.New[int](stack2d.WithExpectedThreads(8))
+	if s4.Config().Width != 16 || s8.Config().Width != 32 {
+		t.Fatalf("width 4P rule broken: %d / %d", s4.Config().Width, s8.Config().Width)
+	}
+}
+
+func TestInterfaceCompliance(t *testing.T) {
+	// The three stack-shaped types satisfy Interface (compile-time checks
+	// exist in the package; this keeps them exercised at run time too).
+	var iface stack2d.Interface[int]
+	iface = stack2d.NewStrict[int]()
+	iface.Push(1)
+	if v, ok := iface.Pop(); !ok || v != 1 {
+		t.Fatalf("strict via Interface = (%d,%v)", v, ok)
+	}
+	s := stack2d.New[int]()
+	iface = s
+	iface.Push(2)
+	if v, ok := iface.Pop(); !ok || v != 2 {
+		t.Fatalf("pooled via Interface = (%d,%v)", v, ok)
+	}
+	iface = s.NewHandle()
+	iface.Push(3)
+	if v, ok := iface.Pop(); !ok || v != 3 {
+		t.Fatalf("handle via Interface = (%d,%v)", v, ok)
+	}
+}
