@@ -1,0 +1,98 @@
+package stack2d_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"stack2d"
+)
+
+func TestAdaptiveBasicOps(t *testing.T) {
+	s := stack2d.NewAdaptive[int](stack2d.WithWidth(2), stack2d.WithDepth(8))
+	defer s.Close()
+
+	h := s.NewHandle()
+	for i := 0; i < 100; i++ {
+		h.Push(i)
+	}
+	if got := s.Len(); got != 100 {
+		t.Fatalf("Len = %d, want 100", got)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		v, ok := h.Pop()
+		if !ok {
+			t.Fatalf("pop %d reported empty", i)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("pop on empty adaptive stack returned a value")
+	}
+}
+
+func TestAdaptiveHonoursPolicyCeiling(t *testing.T) {
+	pol := stack2d.AdaptivePolicy{
+		Goal:     stack2d.GoalMaxThroughput,
+		KCeiling: 2048,
+		Tick:     time.Millisecond,
+		MinWidth: 1, MaxWidth: 32,
+		MinDepth: 8, MaxDepth: 128,
+	}
+	s := stack2d.NewAdaptive[uint64](stack2d.WithWidth(1), stack2d.WithDepth(8), stack2d.WithAdaptive(pol))
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := s.NewHandle()
+			label := uint64(id+1) << 40
+			for i := 0; i < 20000; i++ {
+				label++
+				h.Push(label)
+				h.Pop()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s.Close()
+
+	if got := s.K(); got > pol.KCeiling {
+		t.Fatalf("active K %d exceeds policy ceiling %d", got, pol.KCeiling)
+	}
+	for _, rec := range s.Controller().History() {
+		if rec.K > pol.KCeiling {
+			t.Fatalf("tick %d ran with K %d above ceiling %d", rec.Tick, rec.K, pol.KCeiling)
+		}
+	}
+	// The stack must remain consistent and fully usable after Close.
+	h := s.NewHandle()
+	h.Push(7)
+	if v, ok := h.Pop(); !ok || v != 7 {
+		t.Fatalf("post-Close op returned (%d, %v)", v, ok)
+	}
+}
+
+func TestAdaptiveWithConfigErrors(t *testing.T) {
+	if _, err := stack2d.NewAdaptiveWithConfig[int](stack2d.Config{}, stack2d.DefaultAdaptivePolicy()); err == nil {
+		t.Fatal("invalid config was accepted")
+	}
+	bad := stack2d.AdaptivePolicy{Goal: stack2d.GoalMinRelaxation} // no floor
+	if _, err := stack2d.NewAdaptiveWithConfig[int](stack2d.Config{Width: 2, Depth: 8, Shift: 8}, bad); err == nil {
+		t.Fatal("invalid policy was accepted")
+	}
+}
+
+func TestAdaptiveImplementsInterface(t *testing.T) {
+	var s stack2d.Interface[int] = stack2d.NewAdaptive[int]()
+	s.Push(1)
+	if v, ok := s.Pop(); !ok || v != 1 {
+		t.Fatalf("Interface ops via Adaptive: got (%d, %v)", v, ok)
+	}
+}

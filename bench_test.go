@@ -1,6 +1,6 @@
 // Benchmarks regenerating every figure of the paper's evaluation section
 // (the brief announcement has two figures and no tables) plus the ablation
-// studies listed in DESIGN.md §4.
+// studies listed in EXPERIMENTS.md.
 //
 // Figure 1 — throughput vs relaxation bound k (k-bounded algorithms) at a
 // fixed thread count:   go test -bench=Figure1 -benchmem

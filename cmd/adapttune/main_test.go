@@ -1,0 +1,89 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"stack2d/internal/adapt"
+	"stack2d/internal/core"
+	"stack2d/internal/sim"
+)
+
+// TestSimTargetConvergesUnderContention is the acceptance check of the
+// adaptive subsystem in miniature, fully deterministic: on the simulated
+// 16-core machine, a controller starting from a narrow window must widen
+// it under contention, beat the static baseline's throughput, and never
+// exceed the k ceiling.
+func TestSimTargetConvergesUnderContention(t *testing.T) {
+	const (
+		kceil   = 4096
+		p       = 16
+		ticks   = 14
+		horizon = 100000
+	)
+	start := core.Config{Width: 2, Depth: 8, Shift: 8, RandomHops: 2}
+
+	static := &simTarget{machine: sim.DefaultMachine(), cfg: start}
+	var staticOps uint64
+	for i := 0; i < ticks; i++ {
+		w, err := static.segment(p, horizon, uint64(i)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		staticOps += w.Ops
+	}
+
+	st := &simTarget{machine: sim.DefaultMachine(), cfg: start}
+	ctrl, err := adapt.New(st, adapt.Policy{
+		Goal:          adapt.MaxThroughput,
+		KCeiling:      kceil,
+		MinWidth:      start.Width,
+		MaxWidth:      4 * p,
+		MinDepth:      start.Depth,
+		MaxDepth:      64,
+		Cooldown:      1,
+		MinOpsPerTick: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adaptiveOps uint64
+	for i := 0; i < ticks; i++ {
+		w, err := st.segment(p, horizon, uint64(i)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adaptiveOps += w.Ops
+		rec := ctrl.Step(time.Duration(horizon))
+		if rec.K > kceil {
+			t.Fatalf("tick %d ran with k=%d above ceiling %d", rec.Tick, rec.K, kceil)
+		}
+	}
+
+	if st.cfg.Width <= start.Width {
+		t.Fatalf("controller did not widen under simulated contention (still width %d)", st.cfg.Width)
+	}
+	if st.cfg.K() > kceil {
+		t.Fatalf("final geometry k=%d above ceiling", st.cfg.K())
+	}
+	if adaptiveOps <= staticOps {
+		t.Fatalf("adaptive %d ops did not beat static %d ops", adaptiveOps, staticOps)
+	}
+	// The margin should be decisive, not marginal: contention collapse on
+	// a narrow window is the paper's headline effect.
+	if float64(adaptiveOps) < 2*float64(staticOps) {
+		t.Fatalf("adaptive %d ops vs static %d ops: margin below 2x", adaptiveOps, staticOps)
+	}
+}
+
+// TestSimTargetRejectsInvalidGeometry keeps the adapter honest: the
+// controller relies on Reconfigure validating its candidates.
+func TestSimTargetRejectsInvalidGeometry(t *testing.T) {
+	st := &simTarget{machine: sim.DefaultMachine(), cfg: core.Config{Width: 2, Depth: 8, Shift: 8}}
+	if err := st.Reconfigure(core.Config{Width: 0, Depth: 8, Shift: 8}); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+	if st.cfg.Width != 2 {
+		t.Fatal("failed Reconfigure mutated the geometry")
+	}
+}

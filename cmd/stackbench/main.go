@@ -1,6 +1,6 @@
 // Command stackbench regenerates the paper's evaluation: Figure 1
 // (throughput and accuracy vs relaxation bound), Figure 2 (throughput and
-// accuracy vs concurrency) and the ablation studies from DESIGN.md.
+// accuracy vs concurrency) and the ablation studies from EXPERIMENTS.md.
 //
 // Usage:
 //

@@ -29,9 +29,24 @@
 // convenience methods Stack.Push and Stack.Pop manage a pool of handles
 // internally for callers that cannot thread a handle through.
 //
+// # Runtime self-tuning
+//
+// The window geometry need not be fixed: Adaptive wraps a Stack with a
+// feedback controller that samples contention (CAS failures), window
+// churn and search cost at runtime and retunes width and depth on the
+// fly, either maximising throughput under a relaxation ceiling or holding
+// a throughput floor at minimal k (see WithAdaptive and cmd/adapttune).
+//
+//	s := stack2d.NewAdaptive[int](stack2d.WithAdaptive(stack2d.AdaptivePolicy{
+//		Goal:     stack2d.GoalMaxThroughput,
+//		KCeiling: 8192,
+//	}))
+//	defer s.Close()
+//
 // The companion packages under internal implement every baseline of the
 // paper's evaluation (Treiber, elimination back-off, k-segment, and the
 // random / random-c2 / k-robin distributed stacks), the quality oracle and
-// the benchmark harness; see DESIGN.md and EXPERIMENTS.md in the repository
-// root, and cmd/stackbench for regenerating the paper's figures.
+// the benchmark harness; see DESIGN.md in the repository root for the
+// design notes (window mechanism, Theorem 1 bound, reconfiguration
+// invariants), and cmd/stackbench for regenerating the paper's figures.
 package stack2d

@@ -1,0 +1,3 @@
+module stack2d
+
+go 1.24

@@ -1,0 +1,491 @@
+// Package adapt implements a feedback controller that retunes a 2D-Stack's
+// window geometry at runtime — the "continuously relaxes semantics for
+// better performance" direction of the paper's title taken literally.
+//
+// The controller samples the stack's aggregated operation counters
+// (core.Stack.StatsSnapshot) on a fixed tick and computes the three
+// signals the paper's step-complexity analysis identifies as the cost
+// drivers, each steering one geometry knob:
+//
+//   - contention — failed descriptor CASes per operation. High contention
+//     means too many threads collide on too few sub-stacks: widen the
+//     structure (double width — more disjoint access).
+//   - window churn — Global window moves per operation. High churn means
+//     the window band is too shallow for the operation mix: deepen it
+//     (double depth, shift = depth — fewer global coordination events).
+//   - search cost — sub-stack probes per operation. High search cost with
+//     neither of the above means the structure is wider than the offered
+//     load needs: narrow it (halve width — cheaper searches, tighter
+//     semantics).
+//
+// Each decision moves exactly one knob one doubling/halving step, then
+// holds for a cooldown so the signals resettle: movement is monotone per
+// decision and geometry never jumps. Every candidate's Theorem 1 bound
+// k = (2·shift + depth)·(width − 1) is computed before reconfiguring, so
+// the controller never applies a geometry whose bound exceeds the
+// configured k ceiling. The one caveat is inherent to live retuning, not
+// to the controller: while a width shrink's migration completes, the
+// migrated items transiently reorder beyond the steady-state bound
+// (DESIGN.md §4, invariant 2); the MaxThroughput goal only shrinks width
+// when the structure is quiet, which keeps that transient small.
+//
+// Two goals are supported: MaxThroughput holds relaxation under a k
+// ceiling and chases throughput; MinRelaxation holds throughput above a
+// floor and chases the smallest k that sustains it.
+package adapt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"stack2d/internal/core"
+)
+
+// Goal selects what the controller optimises for.
+type Goal int
+
+const (
+	// MaxThroughput maximises operations/second subject to the active
+	// geometry's k bound never exceeding Policy.KCeiling.
+	MaxThroughput Goal = iota
+	// MinRelaxation minimises the k bound subject to throughput staying
+	// above Policy.ThroughputFloor.
+	MinRelaxation
+)
+
+func (g Goal) String() string {
+	switch g {
+	case MaxThroughput:
+		return "max-throughput"
+	case MinRelaxation:
+		return "min-relaxation"
+	default:
+		return fmt.Sprintf("Goal(%d)", int(g))
+	}
+}
+
+// Policy configures a Controller. Zero fields are defaulted at New (see
+// DefaultPolicy); the zero value as a whole selects the MaxThroughput goal
+// with an uncapped ladder sized for GOMAXPROCS.
+type Policy struct {
+	// Goal selects the objective; see the Goal constants.
+	Goal Goal
+	// KCeiling is the hard cap on the active geometry's Theorem 1 bound;
+	// candidates above it are never applied. Zero means uncapped.
+	KCeiling int64
+	// ThroughputFloor is the ops/second the MinRelaxation goal defends.
+	ThroughputFloor float64
+	// FloorMargin is the hysteresis band above the floor: MinRelaxation
+	// narrows only while throughput exceeds floor·(1+margin), so it does
+	// not oscillate at the boundary. Default 0.25.
+	FloorMargin float64
+	// Tick is the sampling interval of the background controller loop.
+	// Default 10ms.
+	Tick time.Duration
+	// HighCAS is the CAS-failures-per-operation level above which the
+	// structure widens. Default 0.05.
+	HighCAS float64
+	// LowCAS is the level below which contention is considered gone and
+	// narrowing becomes admissible. Default 0.005.
+	LowCAS float64
+	// HighMoves is the window-moves-per-operation level above which the
+	// window deepens. Default 0.01.
+	HighMoves float64
+	// LowMoves is the level below which window churn is considered gone
+	// (a narrowing precondition). Default 0.002.
+	LowMoves float64
+	// HighProbes is the probes-per-operation level above which (with low
+	// contention and low churn) the structure narrows. Default 4.
+	HighProbes float64
+	// MinWidth/MaxWidth bound the horizontal knob. Defaults: 1 and
+	// 4·GOMAXPROCS.
+	MinWidth, MaxWidth int
+	// MinDepth/MaxDepth bound the vertical knob (retuned geometries use
+	// shift = depth, the paper's maximum-locality setting). Defaults: 8
+	// and 512.
+	MinDepth, MaxDepth int64
+	// Cooldown is how many decision ticks the controller holds after a
+	// reconfiguration before moving again, letting the signals resettle
+	// on the new geometry. Default 2.
+	Cooldown int
+	// MinOpsPerTick is the minimum operation count a tick must observe to
+	// be considered a signal; quieter ticks are recorded but never trigger
+	// movement. Default 128.
+	MinOpsPerTick uint64
+}
+
+// DefaultPolicy returns the fully defaulted zero policy.
+func DefaultPolicy() Policy {
+	return Policy{}.withDefaults()
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.FloorMargin == 0 {
+		p.FloorMargin = 0.25
+	}
+	if p.Tick == 0 {
+		p.Tick = 10 * time.Millisecond
+	}
+	if p.HighCAS == 0 {
+		p.HighCAS = 0.05
+	}
+	if p.LowCAS == 0 {
+		p.LowCAS = 0.005
+	}
+	if p.HighMoves == 0 {
+		p.HighMoves = 0.01
+	}
+	if p.LowMoves == 0 {
+		p.LowMoves = 0.002
+	}
+	if p.HighProbes == 0 {
+		p.HighProbes = 4
+	}
+	if p.MinWidth == 0 {
+		p.MinWidth = 1
+	}
+	if p.MaxWidth == 0 {
+		p.MaxWidth = 4 * runtime.GOMAXPROCS(0)
+	}
+	if p.MinDepth == 0 {
+		p.MinDepth = 8
+	}
+	if p.MaxDepth == 0 {
+		p.MaxDepth = 512
+	}
+	if p.Cooldown == 0 {
+		p.Cooldown = 2
+	}
+	if p.MinOpsPerTick == 0 {
+		p.MinOpsPerTick = 128
+	}
+	return p
+}
+
+// Validate reports whether the (defaulted) policy is coherent.
+func (p Policy) Validate() error {
+	switch {
+	case p.MinWidth < 1:
+		return fmt.Errorf("adapt: MinWidth must be >= 1, got %d", p.MinWidth)
+	case p.MaxWidth < p.MinWidth:
+		return fmt.Errorf("adapt: MaxWidth %d below MinWidth %d", p.MaxWidth, p.MinWidth)
+	case p.MinDepth < 1:
+		return fmt.Errorf("adapt: MinDepth must be >= 1, got %d", p.MinDepth)
+	case p.MaxDepth < p.MinDepth:
+		return fmt.Errorf("adapt: MaxDepth %d below MinDepth %d", p.MaxDepth, p.MinDepth)
+	case p.Tick <= 0:
+		return fmt.Errorf("adapt: Tick must be positive, got %v", p.Tick)
+	case p.KCeiling < 0:
+		return fmt.Errorf("adapt: KCeiling must be >= 0, got %d", p.KCeiling)
+	case p.Goal == MinRelaxation && p.ThroughputFloor <= 0:
+		return fmt.Errorf("adapt: MinRelaxation goal needs a positive ThroughputFloor")
+	case p.LowCAS > p.HighCAS:
+		return fmt.Errorf("adapt: LowCAS %g above HighCAS %g", p.LowCAS, p.HighCAS)
+	case p.LowMoves > p.HighMoves:
+		return fmt.Errorf("adapt: LowMoves %g above HighMoves %g", p.LowMoves, p.HighMoves)
+	}
+	return nil
+}
+
+// Target is the reconfigurable structure the controller steers — satisfied
+// by *core.Stack[T] for any T, and by simulation adapters in cmd/adapttune.
+type Target interface {
+	Config() core.Config
+	Reconfigure(core.Config) error
+	StatsSnapshot() core.OpStats
+}
+
+// TickRecord is one row of the controller's time series: the interval's
+// signals and the geometry active after the decision. cmd/adapttune prints
+// these as the paper-style convergence figures.
+type TickRecord struct {
+	Tick    int           // 0-based decision index
+	Elapsed time.Duration // interval the signals were measured over
+
+	Ops         uint64  // operations completed in the interval
+	Throughput  float64 // ops/second over the interval
+	CASPerOp    float64 // contention signal (→ width)
+	MovesPerOp  float64 // window-churn signal (→ depth)
+	ProbesPerOp float64 // search-cost signal (→ narrowing)
+	EmptyFrac   float64 // fraction of pops that reported empty
+
+	// Action is what the decision did: "widen-width", "widen-depth",
+	// "narrow-width", "narrow-depth", "hold", "cooldown" or "idle".
+	Action string
+
+	// Geometry active after the decision, and its Theorem 1 bound.
+	Width int
+	Depth int64
+	Shift int64
+	K     int64
+}
+
+// Controller drives a Target's geometry from its observed signals. Create
+// with New; run it in the background with Start/Stop, or call Step
+// manually for deterministic control (tests, simulation).
+type Controller struct {
+	target Target
+	pol    Policy
+
+	mu       sync.Mutex
+	cooldown int
+	prev     core.OpStats
+	hist     []TickRecord
+	started  bool
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+}
+
+// New builds a controller for target; the policy is defaulted, then
+// validated. The target keeps its current geometry until the first
+// decision says otherwise.
+func New(target Target, pol Policy) (*Controller, error) {
+	pol = pol.withDefaults()
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{
+		target: target,
+		pol:    pol,
+		prev:   target.StatsSnapshot(),
+	}, nil
+}
+
+// Policy returns the defaulted policy the controller runs.
+func (c *Controller) Policy() Policy { return c.pol }
+
+// Start launches the background sampling loop. Repeated Starts are no-ops
+// until Stop is called.
+func (c *Controller) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.stopCh = make(chan struct{})
+	c.doneCh = make(chan struct{})
+	stop, done := c.stopCh, c.doneCh
+	c.mu.Unlock()
+	go c.run(stop, done)
+}
+
+// Stop halts the background loop and waits for it to exit. Safe to call
+// when not started; idempotent.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	if !c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = false
+	stop, done := c.stopCh, c.doneCh
+	c.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+func (c *Controller) run(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	tk := time.NewTicker(c.pol.Tick)
+	defer tk.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-tk.C:
+			c.Step(now.Sub(last))
+			last = now
+		}
+	}
+}
+
+// Step performs one control decision over an interval of the given length:
+// sample, compute signals, possibly move one geometry knob one step, and
+// append a TickRecord to the history (also returned). The background loop
+// calls it once per tick; tests and simulators drive it manually.
+func (c *Controller) Step(elapsed time.Duration) TickRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	snap := c.target.StatsSnapshot()
+	d := snap.Sub(c.prev)
+	c.prev = snap
+
+	ops := d.Ops()
+	rec := TickRecord{
+		Tick:    len(c.hist),
+		Elapsed: elapsed,
+		Ops:     ops,
+	}
+	if elapsed > 0 {
+		rec.Throughput = float64(ops) / elapsed.Seconds()
+	}
+	if ops > 0 {
+		fo := float64(ops)
+		rec.CASPerOp = float64(d.CASFailures) / fo
+		rec.MovesPerOp = float64(d.WindowRaises+d.WindowLowers) / fo
+		rec.ProbesPerOp = float64(d.Probes) / fo
+		if pops := d.Pops + d.EmptyPops; pops > 0 {
+			rec.EmptyFrac = float64(d.EmptyPops) / float64(pops)
+		}
+	}
+
+	rec.Action = c.decide(rec)
+
+	cfg := c.target.Config()
+	rec.Width, rec.Depth, rec.Shift, rec.K = cfg.Width, cfg.Depth, cfg.Shift, cfg.K()
+	c.hist = append(c.hist, rec)
+	return rec
+}
+
+// decide applies the goal's rules to the interval signals; c.mu held.
+func (c *Controller) decide(rec TickRecord) string {
+	if rec.Ops < c.pol.MinOpsPerTick {
+		return "idle"
+	}
+	if c.cooldown > 0 {
+		c.cooldown--
+		return "cooldown"
+	}
+	casDominant := rec.CASPerOp >= c.pol.HighCAS
+	churning := rec.MovesPerOp >= c.pol.HighMoves
+	quiet := rec.CASPerOp <= c.pol.LowCAS && rec.MovesPerOp <= c.pol.LowMoves
+	switch c.pol.Goal {
+	case MinRelaxation:
+		if rec.Throughput < c.pol.ThroughputFloor {
+			return c.widen(casDominant || !churning)
+		}
+		if rec.Throughput > c.pol.ThroughputFloor*(1+c.pol.FloorMargin) {
+			return c.narrowK()
+		}
+	default: // MaxThroughput
+		if casDominant {
+			return c.widen(true)
+		}
+		if churning {
+			return c.widen(false)
+		}
+		if quiet && rec.ProbesPerOp >= c.pol.HighProbes {
+			return c.narrowWidth()
+		}
+	}
+	return "hold"
+}
+
+// widen grows the geometry one step: width first when contention is the
+// dominant signal (or no signal points at depth), depth first otherwise,
+// falling back to the other knob when the preferred one is capped by its
+// bound or the k ceiling; c.mu held.
+func (c *Controller) widen(widthFirst bool) string {
+	cur := c.target.Config()
+	widthUp, okW := c.widerWidth(cur)
+	depthUp, okD := c.deeperDepth(cur)
+	if widthFirst {
+		if okW {
+			return c.apply(widthUp, "widen-width")
+		}
+		if okD {
+			return c.apply(depthUp, "widen-depth")
+		}
+	} else {
+		if okD {
+			return c.apply(depthUp, "widen-depth")
+		}
+		if okW {
+			return c.apply(widthUp, "widen-width")
+		}
+	}
+	return "hold"
+}
+
+// narrowWidth halves width (MaxThroughput's only narrowing move: it is
+// what reduces search cost); falls back to shallower depth when width is
+// already minimal; c.mu held.
+func (c *Controller) narrowWidth() string {
+	cur := c.target.Config()
+	if cand, ok := c.narrowerWidth(cur); ok {
+		return c.apply(cand, "narrow-width")
+	}
+	if cand, ok := c.shallowerDepth(cur); ok {
+		return c.apply(cand, "narrow-depth")
+	}
+	return "hold"
+}
+
+// narrowK reduces the relaxation bound for MinRelaxation: shallower window
+// first (k scales linearly in depth and the change needs no migration),
+// then narrower width; c.mu held.
+func (c *Controller) narrowK() string {
+	cur := c.target.Config()
+	if cand, ok := c.shallowerDepth(cur); ok {
+		return c.apply(cand, "narrow-depth")
+	}
+	if cand, ok := c.narrowerWidth(cur); ok {
+		return c.apply(cand, "narrow-width")
+	}
+	return "hold"
+}
+
+func (c *Controller) widerWidth(cur core.Config) (core.Config, bool) {
+	cand := cur
+	cand.Width *= 2
+	if cand.Width > c.pol.MaxWidth {
+		cand.Width = c.pol.MaxWidth
+	}
+	return cand, cand.Width > cur.Width && c.underCeiling(cand)
+}
+
+func (c *Controller) deeperDepth(cur core.Config) (core.Config, bool) {
+	cand := cur
+	cand.Depth *= 2
+	if cand.Depth > c.pol.MaxDepth {
+		cand.Depth = c.pol.MaxDepth
+	}
+	cand.Shift = cand.Depth
+	return cand, cand.Depth > cur.Depth && c.underCeiling(cand)
+}
+
+func (c *Controller) narrowerWidth(cur core.Config) (core.Config, bool) {
+	cand := cur
+	cand.Width /= 2
+	if cand.Width < c.pol.MinWidth {
+		cand.Width = c.pol.MinWidth
+	}
+	return cand, cand.Width < cur.Width
+}
+
+func (c *Controller) shallowerDepth(cur core.Config) (core.Config, bool) {
+	cand := cur
+	cand.Depth /= 2
+	if cand.Depth < c.pol.MinDepth {
+		cand.Depth = c.pol.MinDepth
+	}
+	cand.Shift = cand.Depth
+	return cand, cand.Depth < cur.Depth
+}
+
+func (c *Controller) underCeiling(cand core.Config) bool {
+	return c.pol.KCeiling == 0 || cand.K() <= c.pol.KCeiling
+}
+
+// apply reconfigures the target and arms the cooldown; c.mu held.
+func (c *Controller) apply(cfg core.Config, action string) string {
+	if err := c.target.Reconfigure(cfg); err != nil {
+		return "error:" + err.Error()
+	}
+	c.cooldown = c.pol.Cooldown
+	return action
+}
+
+// History returns a copy of the tick records accumulated so far.
+func (c *Controller) History() []TickRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]TickRecord, len(c.hist))
+	copy(out, c.hist)
+	return out
+}

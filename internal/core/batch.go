@@ -13,22 +13,23 @@ package core
 // sequential loop of Push calls. Values may be split across sub-stacks
 // when window headroom is short.
 func (h *Handle[T]) PushBatch(vs []T) {
+	geo := h.pin()
 	s := h.s
-	width := s.cfg.Width
+	width := geo.width
 	remaining := vs
 	for len(remaining) > 0 {
 		global := s.global.V.Load()
 		idx := h.last
 		probes := 0
-		randLeft := s.cfg.RandomHops
+		randLeft := geo.hops
 		for probes < width && len(remaining) > 0 {
 			if g := s.global.V.Load(); g != global {
 				global = g
 				probes = 0
-				randLeft = s.cfg.RandomHops
+				randLeft = geo.hops
 				h.stats.Restarts++
 			}
-			d := s.subs[idx].load()
+			d := geo.subs[idx].load()
 			h.stats.Probes++
 			if headroom := global - d.count; headroom > 0 {
 				m := int64(len(remaining))
@@ -40,7 +41,7 @@ func (h *Handle[T]) PushBatch(vs []T) {
 				for i := int64(0); i < m; i++ {
 					top = &node[T]{value: remaining[i], next: top}
 				}
-				if s.subs[idx].cas(d, &descriptor[T]{top: top, count: d.count + m}) {
+				if geo.subs[idx].cas(d, &descriptor[T]{top: top, count: d.count + m}) {
 					h.last = idx
 					h.stats.Pushes += uint64(m)
 					remaining = remaining[m:]
@@ -65,12 +66,13 @@ func (h *Handle[T]) PushBatch(vs []T) {
 			}
 		}
 		if len(remaining) == 0 {
-			return
+			break
 		}
-		if s.global.V.CompareAndSwap(global, global+s.cfg.Shift) {
+		if s.global.V.CompareAndSwap(global, global+geo.shift) {
 			h.stats.WindowRaises++
 		}
 	}
+	h.unpin()
 }
 
 // PopBatch removes up to max values, returned topmost-first. It returns a
@@ -80,25 +82,32 @@ func (h *Handle[T]) PopBatch(max int) []T {
 	if max <= 0 {
 		return nil
 	}
+	geo := h.pin()
 	s := h.s
-	width := s.cfg.Width
-	depth := s.cfg.Depth
+	width := geo.width
+	depth := geo.depth
 	out := make([]T, 0, max)
 	for len(out) < max {
 		global := s.global.V.Load()
 		floor := global - depth
+		if floor < 0 {
+			floor = 0
+		}
 		idx := h.last
 		probes := 0
-		randLeft := s.cfg.RandomHops
+		randLeft := geo.hops
 		for probes < width && len(out) < max {
 			if g := s.global.V.Load(); g != global {
 				global = g
 				floor = global - depth
+				if floor < 0 {
+					floor = 0
+				}
 				probes = 0
-				randLeft = s.cfg.RandomHops
+				randLeft = geo.hops
 				h.stats.Restarts++
 			}
-			d := s.subs[idx].load()
+			d := geo.subs[idx].load()
 			h.stats.Probes++
 			if avail := d.count - floor; avail > 0 {
 				m := int64(max - len(out))
@@ -112,7 +121,7 @@ func (h *Handle[T]) PopBatch(max int) []T {
 					taken = append(taken, top.value)
 					top = top.next
 				}
-				if s.subs[idx].cas(d, &descriptor[T]{top: top, count: d.count - m}) {
+				if geo.subs[idx].cas(d, &descriptor[T]{top: top, count: d.count - m}) {
 					h.last = idx
 					h.stats.Pops += uint64(m)
 					out = append(out, taken...)
@@ -137,14 +146,14 @@ func (h *Handle[T]) PopBatch(max int) []T {
 			}
 		}
 		if len(out) >= max {
-			return out
+			break
 		}
-		if global == depth {
+		if global <= depth {
 			// Window at its floor and full coverage found nothing: the
 			// stack is out of items (within the empty-detection slack).
-			return out
+			break
 		}
-		next := global - s.cfg.Shift
+		next := global - geo.shift
 		if next < depth {
 			next = depth
 		}
@@ -152,5 +161,6 @@ func (h *Handle[T]) PopBatch(max int) []T {
 			h.stats.WindowLowers++
 		}
 	}
+	h.unpin()
 	return out
 }

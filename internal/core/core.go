@@ -36,10 +36,25 @@
 // explicit Handle; each goroutine should own one. Handle operations are not
 // safe for concurrent use of the *same* handle; the Stack itself is fully
 // concurrent across handles.
+//
+// # Live reconfiguration
+//
+// The window geometry is not fixed at construction: Reconfigure (and the
+// SetWindow/SetWidth shorthands) swap in a new geometry while operations
+// are running. Every operation pins the active geometry for its duration
+// via a per-handle epoch, so a width shrink can wait for the old epoch to
+// quiesce before migrating the items stranded in dropped sub-stacks; depth,
+// shift and width-growth changes are wait-free parameter swaps. This is the
+// mechanism behind internal/adapt's feedback controller, which retunes the
+// window continuously from the handles' contention counters. See DESIGN.md
+// §4 for the invariants.
 package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"weak"
 
 	"stack2d/internal/pad"
 )
@@ -99,16 +114,37 @@ func (c Config) K() int64 {
 // Stack is a lock-free 2D-Stack. Create with New; use per-goroutine Handles
 // for operations. A Stack must not be copied.
 type Stack[T any] struct {
-	cfg  Config
-	subs []subStack[T]
+	// geo is the active geometry (window parameters + sub-stack array),
+	// replaced wholesale by Reconfigure. Padded away from global so window
+	// movement does not invalidate the read-mostly geometry pointer.
+	geo atomic.Pointer[geometry[T]]
+	_   pad.CacheLinePad
 	// global is the paper's Global counter: the per-sub-stack item ceiling
-	// of the current window. Invariant: global >= cfg.Depth, so the window
-	// floor (global - depth) is never negative. Padded to keep window
-	// movement from false-sharing with the descriptor array.
+	// of the current window. Steady-state invariant: global >= depth, so
+	// the window floor (global - depth) is non-negative; reconfiguration
+	// can break it transiently, which operations tolerate by clamping the
+	// floor at zero.
 	global pad.Int64Line
 	// seed feeds handle RNGs; purely to give each handle an independent
 	// deterministic stream.
 	seed pad.Uint64Line
+
+	// reMu serialises reconfigurations; migrator is the handle the shrink
+	// path uses to re-push stranded items (lazily created, reMu-guarded).
+	reMu     sync.Mutex
+	migrator *Handle[T]
+
+	// hMu guards the handle registry. Handles register at creation through
+	// weak pointers, so an abandoned handle (e.g. one dropped from the
+	// convenience API's sync.Pool on a GC cycle) is collectable; its final
+	// counters are folded into retired by a finalizer and its registry
+	// entry is pruned on the next registration. The registry powers both
+	// epoch quiescence detection and StatsSnapshot.
+	hMu     sync.Mutex
+	handles []weak.Pointer[Handle[T]]
+	// retired accumulates the last published counters of collected
+	// handles, so StatsSnapshot never loses completed work.
+	retired OpStats
 }
 
 // New returns an empty 2D-Stack with the given configuration.
@@ -116,11 +152,8 @@ func New[T any](cfg Config) (*Stack[T], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Stack[T]{cfg: cfg, subs: make([]subStack[T], cfg.Width)}
-	empty := &descriptor[T]{top: nil, count: 0}
-	for i := range s.subs {
-		s.subs[i].desc.P.Store(empty)
-	}
+	s := &Stack[T]{}
+	s.geo.Store(freshGeometry[T](cfg, 1))
 	s.global.V.Store(cfg.Depth)
 	return s, nil
 }
@@ -135,11 +168,17 @@ func MustNew[T any](cfg Config) *Stack[T] {
 	return s
 }
 
-// Config returns the stack's configuration.
-func (s *Stack[T]) Config() Config { return s.cfg }
+// Config returns the stack's active configuration. Under live
+// reconfiguration the value is the geometry current at the call, which a
+// concurrent Reconfigure may immediately supersede.
+func (s *Stack[T]) Config() Config { return s.geo.Load().config() }
 
-// Width returns the number of sub-stacks.
-func (s *Stack[T]) Width() int { return s.cfg.Width }
+// Width returns the current number of sub-stacks.
+func (s *Stack[T]) Width() int { return s.geo.Load().width }
+
+// Epoch returns the active geometry's epoch; it increases by one per
+// successful reconfiguration. Diagnostics only.
+func (s *Stack[T]) Epoch() uint64 { return s.geo.Load().epoch }
 
 // Global exposes the current window ceiling; diagnostics only.
 func (s *Stack[T]) Global() int64 { return s.global.V.Load() }
@@ -148,9 +187,10 @@ func (s *Stack[T]) Global() int64 { return s.global.V.Load() }
 // when quiescent and approximate under concurrency (each addend is an atomic
 // snapshot, but the sum is not).
 func (s *Stack[T]) Len() int {
+	g := s.geo.Load()
 	var n int64
-	for i := range s.subs {
-		n += s.subs[i].load().count
+	for i := range g.subs {
+		n += g.subs[i].load().count
 	}
 	return int(n)
 }
@@ -158,8 +198,9 @@ func (s *Stack[T]) Len() int {
 // Empty reports whether every sub-stack was observed empty. Like Len, the
 // answer is exact only in quiescent states.
 func (s *Stack[T]) Empty() bool {
-	for i := range s.subs {
-		if s.subs[i].load().count != 0 {
+	g := s.geo.Load()
+	for i := range g.subs {
+		if g.subs[i].load().count != 0 {
 			return false
 		}
 	}
@@ -169,9 +210,10 @@ func (s *Stack[T]) Empty() bool {
 // SubCounts returns a snapshot of each sub-stack's item count, used by
 // diagnostics, tests and the relaxtune CLI.
 func (s *Stack[T]) SubCounts() []int64 {
-	out := make([]int64, len(s.subs))
-	for i := range s.subs {
-		out[i] = s.subs[i].load().count
+	g := s.geo.Load()
+	out := make([]int64, len(g.subs))
+	for i := range g.subs {
+		out[i] = g.subs[i].load().count
 	}
 	return out
 }
@@ -193,15 +235,21 @@ func (s *Stack[T]) Drain() []T {
 // CheckInvariants walks every sub-stack and verifies the structural
 // invariants that the descriptor scheme maintains: each descriptor's count
 // equals the actual length of its list, counts are non-negative, and
-// Global has not fallen below Depth. It is intended for quiescent states
-// (tests, debugging); under concurrency a descriptor read is atomic but
-// the whole walk is not.
+// Global is positive (in quiescent states with no reconfiguration in
+// flight it additionally satisfies Global >= Depth, but a pop racing a
+// depth change may legitimately leave it between 1 and the new depth). It
+// is intended for quiescent states (tests, debugging); under concurrency a
+// descriptor read is atomic but the whole walk is not.
 func (s *Stack[T]) CheckInvariants() error {
-	if g := s.global.V.Load(); g < s.cfg.Depth {
-		return fmt.Errorf("core: Global %d below depth %d", g, s.cfg.Depth)
+	if g := s.global.V.Load(); g < 1 {
+		return fmt.Errorf("core: Global %d must be positive", g)
 	}
-	for i := range s.subs {
-		d := s.subs[i].load()
+	geo := s.geo.Load()
+	if len(geo.subs) != geo.width {
+		return fmt.Errorf("core: geometry width %d but %d sub-stacks", geo.width, len(geo.subs))
+	}
+	for i := range geo.subs {
+		d := geo.subs[i].load()
 		if d.count < 0 {
 			return fmt.Errorf("core: sub-stack %d has negative count %d", i, d.count)
 		}

@@ -168,7 +168,7 @@ func TestConcurrentPushersOnly(t *testing.T) {
 		}
 	}
 	// The window keeps sub-stacks within roughly depth+shift of each other.
-	if spread := max - min; spread > 3*(s.cfg.Depth+s.cfg.Shift) {
+	if spread := max - min; spread > 3*(s.Config().Depth+s.Config().Shift) {
 		t.Fatalf("sub-stack spread %d far exceeds window discipline (counts %v)", spread, counts)
 	}
 }

@@ -1,0 +1,203 @@
+package core
+
+import "runtime"
+
+// geometry is one immutable snapshot of the stack's structure: the window
+// parameters plus the sub-stack array they govern. The Stack publishes the
+// active geometry through an atomic pointer; operations pin the pointer for
+// their whole duration (see Handle.pin), so a reconfiguration never changes
+// the rules under a running search — in-flight operations finish on the
+// geometry they started with.
+//
+// Geometries are linked by a monotonically increasing epoch. Width changes
+// build a new sub-stack slice that *shares* the surviving slots with the
+// old geometry (slot pointers, not copies), which is what makes growth free
+// of migration: items stay where they are and simply become visible to the
+// wider geometry. Only a shrink strands items, in the dropped slots; those
+// are migrated after the old epoch quiesces (see Stack.reconfigureLocked).
+type geometry[T any] struct {
+	epoch uint64
+	width int
+	depth int64
+	shift int64
+	hops  int
+	subs  []*subStack[T]
+}
+
+// config re-packages the geometry's parameters as a Config.
+func (g *geometry[T]) config() Config {
+	return Config{Width: g.width, Depth: g.depth, Shift: g.shift, RandomHops: g.hops}
+}
+
+// freshGeometry allocates a geometry with all-new empty sub-stacks.
+func freshGeometry[T any](cfg Config, epoch uint64) *geometry[T] {
+	g := &geometry[T]{
+		epoch: epoch,
+		width: cfg.Width,
+		depth: cfg.Depth,
+		shift: cfg.Shift,
+		hops:  cfg.RandomHops,
+		subs:  make([]*subStack[T], cfg.Width),
+	}
+	empty := &descriptor[T]{}
+	for i := range g.subs {
+		ss := new(subStack[T])
+		ss.desc.P.Store(empty)
+		g.subs[i] = ss
+	}
+	return g
+}
+
+// Reconfigure atomically replaces the stack's geometry with cfg. It is safe
+// to call concurrently with operations (and with other Reconfigure calls,
+// which serialise). Items are never lost or duplicated:
+//
+//   - Depth/shift/hops changes swap only the parameters; the sub-stack
+//     array is shared between the old and new geometry.
+//   - Width growth appends fresh empty sub-stacks; existing slots are
+//     shared, so no item moves.
+//   - Width shrink drops the trailing slots from the new geometry, waits
+//     for every operation pinned to the old geometry to finish (epoch
+//     quiescence), then migrates the stranded items back into the live
+//     window, deepest-first so their relative LIFO order is preserved.
+//
+// Semantics during a transition: operations still in flight on the old
+// geometry follow its window rules, so for the duration of the handover the
+// effective relaxation bound is max(K_old, K_new) plus (for a shrink) the
+// number of migrated items. A shrink additionally makes the stranded items
+// invisible to new-geometry operations until the migration completes
+// (Reconfigure returns only after it has): a concurrent Pop inside that
+// window may report empty even though stranded items exist. Callers that
+// treat empty as terminal — drain loops, shutdown paths — should therefore
+// not shrink width concurrently with consumers racing the stack to empty.
+// Once the migration finishes the active geometry's Theorem 1 bound
+// applies again. See DESIGN.md §4.
+//
+// Reconfigure must not be called from inside an operation on the same
+// stack (there is no way to do so through the public API).
+func (s *Stack[T]) Reconfigure(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	s.reMu.Lock()
+	defer s.reMu.Unlock()
+	return s.reconfigureLocked(cfg)
+}
+
+// SetWindow adjusts depth and shift, keeping width and hops. This is the
+// cheap reconfiguration path: no migration, no quiescence wait.
+func (s *Stack[T]) SetWindow(depth, shift int64) error {
+	s.reMu.Lock()
+	defer s.reMu.Unlock()
+	cfg := s.geo.Load().config()
+	cfg.Depth, cfg.Shift = depth, shift
+	return s.reconfigureLocked(cfg)
+}
+
+// SetWidth adjusts the sub-stack count, keeping the window parameters.
+func (s *Stack[T]) SetWidth(width int) error {
+	s.reMu.Lock()
+	defer s.reMu.Unlock()
+	cfg := s.geo.Load().config()
+	cfg.Width = width
+	return s.reconfigureLocked(cfg)
+}
+
+func (s *Stack[T]) reconfigureLocked(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	old := s.geo.Load()
+	if old.config() == cfg {
+		return nil
+	}
+	next := &geometry[T]{
+		epoch: old.epoch + 1,
+		width: cfg.Width,
+		depth: cfg.Depth,
+		shift: cfg.Shift,
+		hops:  cfg.RandomHops,
+	}
+	var dropped []*subStack[T]
+	switch {
+	case cfg.Width == old.width:
+		next.subs = old.subs
+	case cfg.Width > old.width:
+		next.subs = make([]*subStack[T], cfg.Width)
+		copy(next.subs, old.subs)
+		empty := &descriptor[T]{}
+		for i := old.width; i < cfg.Width; i++ {
+			ss := new(subStack[T])
+			ss.desc.P.Store(empty)
+			next.subs[i] = ss
+		}
+	default: // shrink: keep a prefix, strand the tail for migration
+		next.subs = old.subs[:cfg.Width:cfg.Width]
+		dropped = old.subs[cfg.Width:]
+	}
+	s.geo.Store(next)
+
+	// Re-establish global >= depth so Pop's floor arithmetic starts sane on
+	// the new geometry. (Stale-geometry pops may pull it below again for a
+	// moment; the operations clamp the floor at zero, so this is a
+	// performance nicety, not a safety requirement.)
+	for {
+		g := s.global.V.Load()
+		if g >= cfg.Depth || s.global.V.CompareAndSwap(g, cfg.Depth) {
+			break
+		}
+	}
+
+	if len(dropped) > 0 {
+		// Items in the dropped slots are invisible to the new geometry.
+		// Wait until no operation can touch them through the old one, then
+		// move them into the live window. After quiescence the slots are
+		// exclusively ours (new-geometry searches never index past width).
+		s.waitQuiesce(old.epoch)
+		if s.migrator == nil {
+			s.migrator = s.NewHandle()
+			s.migrator.hidden = true
+		}
+		for _, ss := range dropped {
+			d := ss.load()
+			ss.desc.P.Store(&descriptor[T]{})
+			vals := make([]T, 0, d.count)
+			for n := d.top; n != nil; n = n.next {
+				vals = append(vals, n.value)
+			}
+			// vals is top-first; re-push bottom-first to preserve order.
+			for i := len(vals) - 1; i >= 0; i-- {
+				s.migrator.Push(vals[i])
+			}
+		}
+		s.migrator.FlushStats()
+	}
+	return nil
+}
+
+// waitQuiesce blocks until no handle is pinned to an epoch <= oldEpoch.
+// Operations are lock-free and finite, so this terminates; new operations
+// pin the already-published new geometry and do not delay it. A collected
+// handle (weak pointer gone nil) is idle by definition: a goroutine still
+// running an operation keeps its handle reachable.
+func (s *Stack[T]) waitQuiesce(oldEpoch uint64) {
+	for {
+		busy := false
+		s.hMu.Lock()
+		for _, wp := range s.handles {
+			h := wp.Value()
+			if h == nil {
+				continue
+			}
+			if e := h.epoch.Load(); e != 0 && e <= oldEpoch {
+				busy = true
+				break
+			}
+		}
+		s.hMu.Unlock()
+		if !busy {
+			return
+		}
+		runtime.Gosched()
+	}
+}

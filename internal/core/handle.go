@@ -1,6 +1,12 @@
 package core
 
-import "stack2d/internal/xrand"
+import (
+	"runtime"
+	"sync/atomic"
+	"weak"
+
+	"stack2d/internal/xrand"
+)
 
 // Handle carries the per-thread state of the 2D-Stack algorithm: the index
 // of the sub-stack where the owner last succeeded (the locality anchor), a
@@ -13,13 +19,82 @@ type Handle[T any] struct {
 	rng   *xrand.State
 	last  int // sub-stack index of the most recent success
 	stats OpStats
+
+	// sinceFlush counts operations since stats were last published to
+	// shared (see maybeFlush in stats.go).
+	sinceFlush int
+
+	// epoch is the geometry epoch the handle is currently operating under,
+	// or 0 when idle. Written only by the owner, read by reconfigurers to
+	// detect quiescence of a superseded geometry.
+	epoch atomic.Uint64
+
+	// shared is the periodically flushed, atomically readable copy of
+	// stats, consumed by Stack.StatsSnapshot. It is a separate allocation
+	// so the handle's GC cleanup can still read the final published
+	// counters without keeping the handle itself alive.
+	shared *sharedCounters
+
+	// hidden excludes the handle's counters from StatsSnapshot; set for
+	// the stack's internal migration handle so reconfiguration traffic
+	// does not masquerade as client operations in the controller's
+	// signals. Epoch tracking is unaffected.
+	hidden bool
 }
 
-// NewHandle returns an operation handle anchored at a random sub-stack.
+// NewHandle returns an operation handle anchored at a random sub-stack and
+// registers it with the stack for reconfiguration quiescence tracking and
+// stats aggregation. Registration is through a weak pointer: a handle the
+// caller drops becomes collectable, its last published counters are folded
+// into the stack's retired total by a GC cleanup, and its registry entry
+// is pruned on a later registration — so the convenience API's handle pool
+// does not grow the registry without bound. (Counters not yet flushed when
+// a handle is abandoned — at most statsFlushInterval operations — are
+// lost; call FlushStats before dropping a handle if they matter.) One
+// handle per goroutine is still the intended pattern.
 func (s *Stack[T]) NewHandle() *Handle[T] {
 	seed := s.seed.V.Add(0x9e3779b97f4a7c15)
 	rng := xrand.New(seed)
-	return &Handle[T]{s: s, rng: rng, last: rng.Intn(s.cfg.Width)}
+	h := &Handle[T]{s: s, rng: rng, last: rng.Intn(s.geo.Load().width), shared: &sharedCounters{}}
+	runtime.AddCleanup(h, func(sc *sharedCounters) {
+		s.hMu.Lock()
+		s.retired.Add(sc.load())
+		s.hMu.Unlock()
+	}, h.shared)
+	s.hMu.Lock()
+	live := s.handles[:0]
+	for _, old := range s.handles {
+		if old.Value() != nil {
+			live = append(live, old)
+		}
+	}
+	s.handles = append(live, weak.Make(h))
+	s.hMu.Unlock()
+	return h
+}
+
+// pin publishes the handle as active on the current geometry and returns
+// it. The re-check after the epoch store closes the race with a concurrent
+// geometry swap: once pin returns, any reconfigurer that superseded geo
+// will wait for this handle's unpin before touching stranded sub-stacks.
+func (h *Handle[T]) pin() *geometry[T] {
+	for {
+		geo := h.s.geo.Load()
+		h.epoch.Store(geo.epoch)
+		if h.s.geo.Load() == geo {
+			if h.last >= geo.width {
+				// The anchor can dangle after a width shrink; re-anchor.
+				h.last = h.rng.Intn(geo.width)
+			}
+			return geo
+		}
+	}
+}
+
+// unpin marks the handle idle and periodically publishes its counters.
+func (h *Handle[T]) unpin() {
+	h.epoch.Store(0)
+	h.maybeFlush()
 }
 
 // Push adds v to the stack. It is lock-free: it retries until its CAS
@@ -33,30 +108,32 @@ func (s *Stack[T]) NewHandle() *Handle[T] {
 // raised. A failed CAS (contention) triggers a random hop and restarts the
 // count; any observed Global change restarts the search outright.
 func (h *Handle[T]) Push(v T) {
+	geo := h.pin()
 	s := h.s
-	width := s.cfg.Width
+	width := geo.width
 	n := &node[T]{value: v}
 	for {
 		global := s.global.V.Load()
 		idx := h.last
 		probes := 0 // consecutive round-robin validation failures
-		randLeft := s.cfg.RandomHops
+		randLeft := geo.hops
 		for probes < width {
 			// Track Global on every hop; restart the search on any change.
 			if g := s.global.V.Load(); g != global {
 				global = g
 				probes = 0
-				randLeft = s.cfg.RandomHops
+				randLeft = geo.hops
 				h.stats.Restarts++
 			}
-			d := s.subs[idx].load()
+			d := geo.subs[idx].load()
 			h.stats.Probes++
 			if d.count < global {
 				// Valid for push: attempt the descriptor swap.
 				n.next = d.top
-				if s.subs[idx].cas(d, &descriptor[T]{top: n, count: d.count + 1}) {
+				if geo.subs[idx].cas(d, &descriptor[T]{top: n, count: d.count + 1}) {
 					h.last = idx
 					h.stats.Pushes++
+					h.unpin()
 					return
 				}
 				// Contention: the colliding operation made progress; hop to
@@ -83,7 +160,7 @@ func (h *Handle[T]) Push(v T) {
 		// A full round-robin pass found every sub-stack at the ceiling:
 		// raise the window. Whether our CAS or a competitor's wins, Global
 		// has changed; re-read and retry with a fresh search count.
-		if s.global.V.CompareAndSwap(global, global+s.cfg.Shift) {
+		if s.global.V.CompareAndSwap(global, global+geo.shift) {
 			h.stats.WindowRaises++
 		}
 	}
@@ -94,30 +171,41 @@ func (h *Handle[T]) Push(v T) {
 // threshold zero) and a full round-robin pass saw every sub-stack at count
 // zero.
 func (h *Handle[T]) Pop() (v T, ok bool) {
+	geo := h.pin()
 	s := h.s
-	width := s.cfg.Width
-	depth := s.cfg.Depth
+	width := geo.width
+	depth := geo.depth
 	for {
 		global := s.global.V.Load()
-		floor := global - depth // >= 0 by the global >= depth invariant
+		// Steady state guarantees global >= depth; a racing depth change
+		// can briefly violate it, so clamp the floor at zero (count > 0
+		// then still implies top != nil).
+		floor := global - depth
+		if floor < 0 {
+			floor = 0
+		}
 		idx := h.last
 		probes := 0
-		randLeft := s.cfg.RandomHops
+		randLeft := geo.hops
 		for probes < width {
 			if g := s.global.V.Load(); g != global {
 				global = g
 				floor = global - depth
+				if floor < 0 {
+					floor = 0
+				}
 				probes = 0
-				randLeft = s.cfg.RandomHops
+				randLeft = geo.hops
 				h.stats.Restarts++
 			}
-			d := s.subs[idx].load()
+			d := geo.subs[idx].load()
 			h.stats.Probes++
 			if d.count > floor {
 				// Valid for pop. count > floor >= 0 implies top != nil.
-				if s.subs[idx].cas(d, &descriptor[T]{top: d.top.next, count: d.count - 1}) {
+				if geo.subs[idx].cas(d, &descriptor[T]{top: d.top.next, count: d.count - 1}) {
 					h.last = idx
 					h.stats.Pops++
+					h.unpin()
 					return d.top.value, true
 				}
 				h.stats.CASFailures++
@@ -138,16 +226,17 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 				idx = 0
 			}
 		}
-		if global == depth {
+		if global <= depth {
 			// Window at its floor: the coverage pass proved every
 			// sub-stack held zero items at this Global. Report empty.
 			h.stats.EmptyPops++
+			h.unpin()
 			var zero T
 			return zero, false
 		}
 		// Lower the window (floored at depth so the validity threshold
 		// never goes negative) and retry with a fresh search count.
-		next := global - s.cfg.Shift
+		next := global - geo.shift
 		if next < depth {
 			next = depth
 		}
@@ -162,18 +251,23 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 // miss over window maintenance; ok=false means "nothing in the current
 // window", not necessarily that the stack is empty.
 func (h *Handle[T]) TryPop() (v T, ok bool) {
+	geo := h.pin()
 	s := h.s
-	width := s.cfg.Width
+	width := geo.width
 	global := s.global.V.Load()
-	floor := global - s.cfg.Depth
+	floor := global - geo.depth
+	if floor < 0 {
+		floor = 0
+	}
 	idx := h.last
 	for probes := 0; probes < width; probes++ {
-		d := s.subs[idx].load()
+		d := geo.subs[idx].load()
 		h.stats.Probes++
 		if d.count > floor {
-			if s.subs[idx].cas(d, &descriptor[T]{top: d.top.next, count: d.count - 1}) {
+			if geo.subs[idx].cas(d, &descriptor[T]{top: d.top.next, count: d.count - 1}) {
 				h.last = idx
 				h.stats.Pops++
+				h.unpin()
 				return d.top.value, true
 			}
 			h.stats.CASFailures++
@@ -183,6 +277,7 @@ func (h *Handle[T]) TryPop() (v T, ok bool) {
 			idx = 0
 		}
 	}
+	h.unpin()
 	var zero T
 	return zero, false
 }

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestReconfigureValidation(t *testing.T) {
+	s := MustNew[int](Config{Width: 4, Depth: 8, Shift: 8, RandomHops: 1})
+	if err := s.Reconfigure(Config{Width: 0, Depth: 8, Shift: 8}); err == nil {
+		t.Fatal("Reconfigure accepted Width 0")
+	}
+	if err := s.Reconfigure(Config{Width: 4, Depth: 8, Shift: 16}); err == nil {
+		t.Fatal("Reconfigure accepted Shift > Depth")
+	}
+	if got := s.Config(); got != (Config{Width: 4, Depth: 8, Shift: 8, RandomHops: 1}) {
+		t.Fatalf("failed Reconfigure mutated config: %+v", got)
+	}
+}
+
+func TestReconfigureQuiescent(t *testing.T) {
+	s := MustNew[int](Config{Width: 2, Depth: 4, Shift: 4, RandomHops: 0})
+	h := s.NewHandle()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		h.Push(i)
+	}
+	steps := []Config{
+		{Width: 16, Depth: 4, Shift: 4, RandomHops: 2},   // grow width
+		{Width: 16, Depth: 64, Shift: 32, RandomHops: 2}, // deepen window
+		{Width: 3, Depth: 64, Shift: 32, RandomHops: 2},  // shrink width (migration)
+		{Width: 1, Depth: 8, Shift: 8, RandomHops: 0},    // degenerate to strict
+		{Width: 8, Depth: 16, Shift: 16, RandomHops: 1},  // grow again
+	}
+	epoch := s.Epoch()
+	for _, cfg := range steps {
+		if err := s.Reconfigure(cfg); err != nil {
+			t.Fatalf("Reconfigure(%+v): %v", cfg, err)
+		}
+		if got := s.Config(); got != cfg {
+			t.Fatalf("Config() = %+v after Reconfigure(%+v)", got, cfg)
+		}
+		if got := s.Epoch(); got != epoch+1 {
+			t.Fatalf("Epoch = %d, want %d", got, epoch+1)
+		}
+		epoch++
+		if got := s.Len(); got != n {
+			t.Fatalf("Len = %d after Reconfigure(%+v), want %d", got, cfg, n)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after Reconfigure(%+v): %v", cfg, err)
+		}
+	}
+	// Reconfiguring to the current config is a no-op (same epoch).
+	cur := s.Config()
+	if err := s.Reconfigure(cur); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != epoch {
+		t.Fatalf("no-op Reconfigure bumped epoch %d -> %d", epoch, got)
+	}
+	seen := make(map[int]bool, n)
+	for _, v := range s.Drain() {
+		if seen[v] {
+			t.Fatalf("duplicate item %d after reconfigurations", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("drained %d distinct items, want %d", len(seen), n)
+	}
+}
+
+// TestReconfigureStress hammers the stack from many goroutines while a
+// dedicated goroutine cycles the geometry through grows, shrinks and
+// depth/shift changes. Afterwards every pushed item must be accounted for
+// exactly once across {popped} ∪ {remaining} — live reconfiguration may
+// reorder items but can never lose or duplicate one.
+func TestReconfigureStress(t *testing.T) {
+	s := MustNew[uint64](Config{Width: 4, Depth: 8, Shift: 8, RandomHops: 1})
+
+	const workers = 8
+	duration := 200 * time.Millisecond
+	if testing.Short() {
+		duration = 50 * time.Millisecond
+	}
+
+	geometries := []Config{
+		{Width: 2, Depth: 4, Shift: 4, RandomHops: 1},
+		{Width: 32, Depth: 4, Shift: 2, RandomHops: 2},
+		{Width: 32, Depth: 128, Shift: 128, RandomHops: 2},
+		{Width: 3, Depth: 16, Shift: 8, RandomHops: 0},
+		{Width: 1, Depth: 64, Shift: 64, RandomHops: 0},
+		{Width: 12, Depth: 32, Shift: 16, RandomHops: 2},
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	popped := make([]map[uint64]int, workers)
+	pushedCount := make([]uint64, workers)
+	for i := 0; i < workers; i++ {
+		popped[i] = make(map[uint64]int)
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := s.NewHandle()
+			// Unique labels: worker id in the high bits.
+			label := uint64(id+1) << 40
+			for !stop.Load() {
+				label++
+				h.Push(label)
+				pushedCount[id]++
+				if v, ok := h.Pop(); ok {
+					popped[id][v]++
+				}
+			}
+		}(i)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for !stop.Load() {
+			if err := s.Reconfigure(geometries[i%len(geometries)]); err != nil {
+				t.Errorf("Reconfigure: %v", err)
+				return
+			}
+			i++
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(duration)
+	stop.Store(true)
+	wg.Wait()
+
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after stress: %v", err)
+	}
+
+	var total uint64
+	for _, n := range pushedCount {
+		total += n
+	}
+	seen := make(map[uint64]int, total)
+	var poppedN uint64
+	for _, m := range popped {
+		for v, n := range m {
+			seen[v] += n
+			poppedN += uint64(n)
+		}
+	}
+	remaining := s.Drain()
+	for _, v := range remaining {
+		seen[v]++
+	}
+	if got := poppedN + uint64(len(remaining)); got != total {
+		t.Fatalf("pushed %d items but popped %d + remaining %d = %d", total, poppedN, len(remaining), got)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d seen %d times (lost or duplicated)", v, n)
+		}
+	}
+	// The final geometry must be one of the cycled ones and self-consistent.
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if snap := s.StatsSnapshot(); snap.Ops() == 0 {
+		t.Fatal("StatsSnapshot reported zero operations after a stress run")
+	}
+}
+
+// TestStatsSnapshotTracksHandles verifies the central registry aggregates
+// published handle counters without requiring owner-goroutine access.
+func TestStatsSnapshotTracksHandles(t *testing.T) {
+	s := MustNew[int](Config{Width: 4, Depth: 8, Shift: 8, RandomHops: 1})
+	h1 := s.NewHandle()
+	h2 := s.NewHandle()
+	for i := 0; i < 10; i++ {
+		h1.Push(i)
+	}
+	for i := 0; i < 4; i++ {
+		h2.Pop()
+	}
+	// Below the flush interval nothing is published yet; force it.
+	h1.FlushStats()
+	h2.FlushStats()
+	snap := s.StatsSnapshot()
+	if snap.Pushes != 10 || snap.Pops != 4 {
+		t.Fatalf("snapshot = %+v, want 10 pushes / 4 pops", snap)
+	}
+	// Deltas between snapshots saturate rather than underflow on reset.
+	h1.ResetStats()
+	if d := s.StatsSnapshot().Sub(snap); d.Pushes != 0 {
+		t.Fatalf("delta after reset = %+v, want saturated zero pushes", d)
+	}
+}
+
+// TestHandleRegistryPrunesAndRetiresStats guards the convenience-API path
+// (sync.Pool of handles): abandoned handles must not grow the registry
+// without bound, and their published counters must survive collection in
+// the retired total.
+func TestHandleRegistryPrunesAndRetiresStats(t *testing.T) {
+	s := MustNew[int](Config{Width: 2, Depth: 8, Shift: 8, RandomHops: 1})
+	for i := 0; i < 8; i++ {
+		h := s.NewHandle()
+		for j := 0; j < 10; j++ {
+			h.Push(j)
+		}
+		h.FlushStats()
+	}
+	// All 8 handles are now unreferenced. Registration prunes collected
+	// entries and GC cleanups fold their counters into the retired total;
+	// both are asynchronous, so poll with a deadline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		s.NewHandle() // registering prunes dead entries
+		s.hMu.Lock()
+		entries := len(s.handles)
+		s.hMu.Unlock()
+		snap := s.StatsSnapshot()
+		if entries <= 3 && snap.Pushes == 80 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("registry still holds %d entries, snapshot %+v (want <= 3 entries, 80 pushes)", entries, snap)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

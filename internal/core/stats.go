@@ -1,11 +1,14 @@
 package core
 
+import "sync/atomic"
+
 // OpStats counts the work a Handle performed, supporting the step-
 // complexity analysis the paper's full version develops: how many
 // sub-stacks an operation inspects, how often CAS fails (contention), and
 // how often the window has to move. Counters are handle-local and updated
 // without atomics; read them from the owning goroutine only (or after it
-// has quiesced).
+// has quiesced). For cross-goroutine sampling use Stack.StatsSnapshot,
+// which reads the periodically flushed atomic copies instead.
 type OpStats struct {
 	Pushes    uint64 // completed Push operations
 	Pops      uint64 // Pop operations returning a value
@@ -32,6 +35,16 @@ func (s OpStats) ProbesPerOp() float64 {
 	return float64(s.Probes) / float64(ops)
 }
 
+// CASFailuresPerOp returns the mean number of failed descriptor CASes per
+// operation — the contention signal the adaptive controller steers on.
+func (s OpStats) CASFailuresPerOp() float64 {
+	ops := s.Ops()
+	if ops == 0 {
+		return 0
+	}
+	return float64(s.CASFailures) / float64(ops)
+}
+
 // Add accumulates other into s (for aggregating per-worker stats).
 func (s *OpStats) Add(other OpStats) {
 	s.Pushes += other.Pushes
@@ -45,8 +58,118 @@ func (s *OpStats) Add(other OpStats) {
 	s.Restarts += other.Restarts
 }
 
+// Sub returns s - other field-wise, saturating at zero, for computing
+// per-interval deltas between two snapshots (saturation guards against a
+// handle resetting its counters between samples).
+func (s OpStats) Sub(other OpStats) OpStats {
+	sat := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	return OpStats{
+		Pushes:       sat(s.Pushes, other.Pushes),
+		Pops:         sat(s.Pops, other.Pops),
+		EmptyPops:    sat(s.EmptyPops, other.EmptyPops),
+		Probes:       sat(s.Probes, other.Probes),
+		RandomHops:   sat(s.RandomHops, other.RandomHops),
+		CASFailures:  sat(s.CASFailures, other.CASFailures),
+		WindowRaises: sat(s.WindowRaises, other.WindowRaises),
+		WindowLowers: sat(s.WindowLowers, other.WindowLowers),
+		Restarts:     sat(s.Restarts, other.Restarts),
+	}
+}
+
 // Stats returns a copy of the handle's counters. Owner-goroutine only.
 func (h *Handle[T]) Stats() OpStats { return h.stats }
 
-// ResetStats zeroes the handle's counters. Owner-goroutine only.
-func (h *Handle[T]) ResetStats() { h.stats = OpStats{} }
+// ResetStats zeroes the handle's counters (and their published copy).
+// Owner-goroutine only. Samplers holding a previous StatsSnapshot baseline
+// will see this as a shrinking total; OpStats.Sub saturates, so the
+// affected interval reads as zero rather than garbage.
+func (h *Handle[T]) ResetStats() {
+	h.stats = OpStats{}
+	h.FlushStats()
+}
+
+// statsFlushInterval is how many operations a handle completes between
+// publications of its counters to the shared (atomic) copy. Snapshots are
+// therefore at most this many operations per handle stale — far below the
+// noise floor of any control interval — while the hot path pays only a
+// local counter increment per operation.
+const statsFlushInterval = 64
+
+// sharedCounters is the atomically readable mirror of a handle's OpStats.
+// Single writer (the owning goroutine, via flush); any reader.
+type sharedCounters struct {
+	pushes, pops, emptyPops              atomic.Uint64
+	probes, randomHops, casFailures      atomic.Uint64
+	windowRaises, windowLowers, restarts atomic.Uint64
+}
+
+func (c *sharedCounters) store(st OpStats) {
+	c.pushes.Store(st.Pushes)
+	c.pops.Store(st.Pops)
+	c.emptyPops.Store(st.EmptyPops)
+	c.probes.Store(st.Probes)
+	c.randomHops.Store(st.RandomHops)
+	c.casFailures.Store(st.CASFailures)
+	c.windowRaises.Store(st.WindowRaises)
+	c.windowLowers.Store(st.WindowLowers)
+	c.restarts.Store(st.Restarts)
+}
+
+func (c *sharedCounters) load() OpStats {
+	return OpStats{
+		Pushes:       c.pushes.Load(),
+		Pops:         c.pops.Load(),
+		EmptyPops:    c.emptyPops.Load(),
+		Probes:       c.probes.Load(),
+		RandomHops:   c.randomHops.Load(),
+		CASFailures:  c.casFailures.Load(),
+		WindowRaises: c.windowRaises.Load(),
+		WindowLowers: c.windowLowers.Load(),
+		Restarts:     c.restarts.Load(),
+	}
+}
+
+// maybeFlush publishes the handle's counters every statsFlushInterval
+// completed operations; called from unpin on the owner goroutine.
+func (h *Handle[T]) maybeFlush() {
+	h.sinceFlush++
+	if h.sinceFlush >= statsFlushInterval {
+		h.FlushStats()
+	}
+}
+
+// FlushStats immediately publishes the handle's counters to the shared
+// copy read by Stack.StatsSnapshot. Owner-goroutine only. Useful when a
+// worker quiesces and a sampler should see its final totals at once.
+func (h *Handle[T]) FlushStats() {
+	h.sinceFlush = 0
+	h.shared.store(h.stats)
+}
+
+// StatsSnapshot aggregates the published counters of every live handle
+// plus the retired totals of collected ones. It is safe to call from any
+// goroutine and does not perturb the operation hot path: handles publish
+// their counters every statsFlushInterval operations, so the snapshot
+// trails the truth by at most that many operations per active handle (and
+// by the same amount, permanently, per abandoned handle). Internal
+// migration handles are excluded, so reconfiguration traffic does not
+// read as client operations. This is the feed for internal/adapt's
+// controller.
+func (s *Stack[T]) StatsSnapshot() OpStats {
+	s.hMu.Lock()
+	out := s.retired
+	for _, wp := range s.handles {
+		h := wp.Value()
+		if h == nil || h.hidden {
+			continue
+		}
+		out.Add(h.shared.load())
+	}
+	s.hMu.Unlock()
+	return out
+}

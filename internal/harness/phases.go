@@ -1,0 +1,254 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stack2d/internal/core"
+	"stack2d/internal/quality"
+	"stack2d/internal/xrand"
+)
+
+// Phase is one segment of a phase-shifting workload: for Duration, Workers
+// goroutines (of the run's worker pool) issue operations with the given
+// push ratio and think time. Varying Workers and ThinkSpin across phases
+// moves the offered contention up and down — the traffic shape static
+// window tuning cannot serve and internal/adapt's controller is built for.
+type Phase struct {
+	Name      string
+	Duration  time.Duration
+	Workers   int     // active workers this phase; must be <= PhasedWorkload.MaxWorkers
+	PushRatio float64 // probability an operation is a Push
+	ThinkSpin int     // ALU spin iterations between operations (dilutes contention)
+}
+
+// PhasedWorkload configures a phase-shifting run.
+type PhasedWorkload struct {
+	// MaxWorkers is the worker pool size; phases activate a prefix of it.
+	MaxWorkers int
+	// Prefill is the initial population, as in Workload.
+	Prefill int
+	// Seed makes runs reproducible.
+	Seed uint64
+	// Quality attaches the LIFO error-distance oracle. The oracle's mutex
+	// dampens contention (as in RunQuality), so compare quality runs only
+	// with other quality runs.
+	Quality bool
+}
+
+// Validate reports whether the workload and phase list are runnable.
+func (w PhasedWorkload) Validate(phases []Phase) error {
+	if w.MaxWorkers < 1 {
+		return fmt.Errorf("harness: MaxWorkers must be >= 1, got %d", w.MaxWorkers)
+	}
+	if w.Prefill < 0 {
+		return fmt.Errorf("harness: Prefill must be >= 0, got %d", w.Prefill)
+	}
+	if len(phases) == 0 {
+		return fmt.Errorf("harness: no phases")
+	}
+	for i, p := range phases {
+		switch {
+		case p.Duration <= 0:
+			return fmt.Errorf("harness: phase %d (%s) Duration must be positive", i, p.Name)
+		case p.Workers < 1 || p.Workers > w.MaxWorkers:
+			return fmt.Errorf("harness: phase %d (%s) Workers %d outside [1, %d]", i, p.Name, p.Workers, w.MaxWorkers)
+		case p.PushRatio < 0 || p.PushRatio > 1:
+			return fmt.Errorf("harness: phase %d (%s) PushRatio %g outside [0,1]", i, p.Name, p.PushRatio)
+		case p.ThinkSpin < 0:
+			return fmt.Errorf("harness: phase %d (%s) ThinkSpin must be >= 0", i, p.Name)
+		}
+	}
+	return nil
+}
+
+// PhaseResult summarises one phase of a phased run.
+type PhaseResult struct {
+	Phase      Phase
+	Ops        uint64
+	Pushes     uint64
+	Pops       uint64
+	EmptyPops  uint64
+	Elapsed    time.Duration
+	Throughput float64 // ops/second over the phase
+
+	// MeanDistance is the mean LIFO error distance of pops measured during
+	// this phase; MaxDistanceSoFar is the cumulative maximum at phase end
+	// (the oracle's max is monotone). Zero unless Quality was enabled.
+	MeanDistance     float64
+	MaxDistanceSoFar int
+}
+
+// PhasedResult is the outcome of a whole phased run.
+type PhasedResult struct {
+	Phases   []PhaseResult
+	TotalOps uint64
+	// Quality is the whole-run error-distance distribution (zero unless
+	// measured); Quality.Max is the run's realised worst-case distance,
+	// the number to compare against a configured k ceiling.
+	Quality quality.Stats
+}
+
+// phaseCtl is the coordinator→worker broadcast for the current phase; a
+// negative index tells workers to exit.
+type phaseCtl struct {
+	idx       int
+	workers   int
+	pushRatio float64
+	think     int
+}
+
+// RunPhased drives a phase-shifting workload against a 2D-Stack. The
+// caller owns any controller attached to the stack (start it before, stop
+// it after); RunPhased itself only generates load and measures, so the
+// same function serves both the static baseline and the adaptive run in
+// cmd/adapttune.
+func RunPhased(s *core.Stack[uint64], phases []Phase, w PhasedWorkload) (PhasedResult, error) {
+	var out PhasedResult
+	if err := w.Validate(phases); err != nil {
+		return out, err
+	}
+
+	var oracle *quality.Oracle
+	if w.Quality {
+		oracle = &quality.Oracle{}
+	}
+
+	pre := s.NewHandle()
+	for i := 0; i < w.Prefill; i++ {
+		label := uint64(i) + 1
+		pre.Push(label)
+		if oracle != nil {
+			oracle.Insert(label)
+		}
+	}
+
+	type counters struct {
+		pushes, pops, empty uint64
+	}
+	// perW[worker][phase]
+	perW := make([][]counters, w.MaxWorkers)
+	for i := range perW {
+		perW[i] = make([]counters, len(phases))
+	}
+
+	var ctl atomic.Pointer[phaseCtl]
+	ctl.Store(&phaseCtl{idx: 0, workers: phases[0].Workers, pushRatio: phases[0].PushRatio, think: phases[0].ThinkSpin})
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < w.MaxWorkers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			worker := s.NewHandle()
+			rng := xrand.New(w.Seed + uint64(id)*0x9e3779b97f4a7c15 + 1)
+			label := uint64(id+1)<<40 | uint64(w.Prefill)
+			var sink uint64
+			<-start
+			for {
+				p := ctl.Load()
+				if p.idx < 0 {
+					break
+				}
+				if id >= p.workers {
+					// Benched this phase; stay parked until the shape changes.
+					time.Sleep(50 * time.Microsecond)
+					continue
+				}
+				c := &perW[id][p.idx]
+				if rng.Float64() < p.pushRatio {
+					label++
+					worker.Push(label)
+					if oracle != nil {
+						oracle.Insert(label)
+					}
+					c.pushes++
+				} else {
+					v, ok := worker.Pop()
+					if ok {
+						if oracle != nil {
+							oracle.Remove(v)
+						}
+						c.pops++
+					} else {
+						c.empty++
+					}
+				}
+				if p.think > 0 {
+					sink = think(p.think, sink)
+				}
+			}
+			_ = sink
+			worker.FlushStats()
+		}(i)
+	}
+
+	type boundary struct {
+		elapsed time.Duration
+		q       quality.Stats
+	}
+	marks := make([]boundary, 0, len(phases))
+	close(start)
+	for i, p := range phases {
+		if i > 0 {
+			ctl.Store(&phaseCtl{idx: i, workers: p.Workers, pushRatio: p.PushRatio, think: p.ThinkSpin})
+		}
+		began := time.Now()
+		time.Sleep(p.Duration)
+		var q quality.Stats
+		if oracle != nil {
+			q = oracle.Snapshot()
+		}
+		marks = append(marks, boundary{elapsed: time.Since(began), q: q})
+	}
+	ctl.Store(&phaseCtl{idx: -1})
+	wg.Wait()
+
+	var prevQ quality.Stats
+	for i, p := range phases {
+		res := PhaseResult{Phase: p, Elapsed: marks[i].elapsed}
+		for wi := range perW {
+			c := perW[wi][i]
+			res.Pushes += c.pushes
+			res.Pops += c.pops
+			res.EmptyPops += c.empty
+		}
+		res.Ops = res.Pushes + res.Pops + res.EmptyPops
+		if sec := res.Elapsed.Seconds(); sec > 0 {
+			res.Throughput = float64(res.Ops) / sec
+		}
+		if oracle != nil {
+			q := marks[i].q
+			if dc := q.Count - prevQ.Count; dc > 0 {
+				res.MeanDistance = (q.Sum - prevQ.Sum) / float64(dc)
+			}
+			res.MaxDistanceSoFar = q.Max
+			prevQ = q
+		}
+		out.TotalOps += res.Ops
+		out.Phases = append(out.Phases, res)
+	}
+	if oracle != nil {
+		out.Quality = oracle.Snapshot()
+	}
+	return out, nil
+}
+
+// ContentionPhases builds the canonical low→high→low shape used by
+// cmd/adapttune and the adaptation experiments: a lightly loaded phase (a
+// quarter of the workers, think time diluting contention), a saturating
+// phase (all workers, no think time), then light load again. maxWorkers
+// must be >= 1; each phase lasts d.
+func ContentionPhases(maxWorkers int, d time.Duration) []Phase {
+	low := maxWorkers / 4
+	if low < 1 {
+		low = 1
+	}
+	return []Phase{
+		{Name: "low-1", Duration: d, Workers: low, PushRatio: 0.5, ThinkSpin: 256},
+		{Name: "high", Duration: d, Workers: maxWorkers, PushRatio: 0.5, ThinkSpin: 0},
+		{Name: "low-2", Duration: d, Workers: low, PushRatio: 0.5, ThinkSpin: 256},
+	}
+}

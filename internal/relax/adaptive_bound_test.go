@@ -1,0 +1,127 @@
+package relax
+
+import (
+	"testing"
+	"time"
+
+	"stack2d/internal/adapt"
+	"stack2d/internal/core"
+	"stack2d/internal/quality"
+)
+
+// realisedMax runs a fixed sequential push/pop script against the stack's
+// *current* geometry through the quality oracle and returns the maximum
+// realised error distance. The stack must be empty on entry and is left
+// empty. Sequential executions are where Theorem 1 is exact, so the result
+// is directly comparable to Config.K().
+func realisedMax(t *testing.T, h *core.Handle[uint64], label *uint64) int {
+	t.Helper()
+	o := &quality.Oracle{}
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			*label++
+			h.Push(*label)
+			o.Insert(*label)
+		}
+	}
+	pop := func(n int) {
+		for i := 0; i < n; i++ {
+			v, ok := h.Pop()
+			if !ok {
+				t.Fatal("stack empty mid-script")
+			}
+			o.Remove(v)
+		}
+	}
+	// Interleaved waves: deep prefill, partial drains, refills — enough
+	// churn to walk the window up and down across every sub-stack.
+	push(400)
+	pop(150)
+	push(200)
+	pop(300)
+	push(100)
+	pop(250) // net zero: stack empty again
+	if o.Len() != 0 {
+		t.Fatalf("oracle still holds %d labels after balanced script", o.Len())
+	}
+	return o.Snapshot().Max
+}
+
+// TestRealisedBoundTracksActiveGeometry is the adaptive-subsystem
+// counterpart of the static Theorem 1 tests: as the geometry is retuned
+// tick by tick — by an adapt.Controller and by explicit reconfigurations,
+// growing, deepening and shrinking — the realised error distance of a
+// sequential execution never exceeds the *active* geometry's bound
+// k = (2·shift + depth)·(width − 1).
+func TestRealisedBoundTracksActiveGeometry(t *testing.T) {
+	s := core.MustNew[uint64](core.Config{Width: 2, Depth: 8, Shift: 8, RandomHops: 2})
+	ctrl, err := adapt.New(s, adapt.Policy{
+		Goal:     adapt.MaxThroughput,
+		KCeiling: 4096,
+		MinWidth: 1, MaxWidth: 16,
+		MinDepth: 8, MaxDepth: 64,
+		Cooldown:      1,
+		MinOpsPerTick: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Geometry schedule interleaved with controller ticks: every shape of
+	// transition the reconfiguration path supports.
+	schedule := []core.Config{
+		{Width: 8, Depth: 8, Shift: 8, RandomHops: 2},    // grow width
+		{Width: 8, Depth: 64, Shift: 64, RandomHops: 2},  // deepen
+		{Width: 3, Depth: 64, Shift: 16, RandomHops: 2},  // shrink width, shorten shift
+		{Width: 1, Depth: 8, Shift: 8, RandomHops: 0},    // strict (k = 0)
+		{Width: 16, Depth: 16, Shift: 16, RandomHops: 2}, // grow both
+		{Width: 4, Depth: 32, Shift: 32, RandomHops: 1},  // shrink width, deepen
+	}
+
+	h := s.NewHandle()
+	var label uint64
+	for tick, next := range schedule {
+		// A controller decision happens on every tick (it may retune the
+		// geometry itself; sequential load gives it window-churn signals).
+		ctrl.Step(10 * time.Millisecond)
+		if err := s.Reconfigure(next); err != nil {
+			t.Fatalf("tick %d: Reconfigure(%+v): %v", tick, next, err)
+		}
+
+		active := s.Config()
+		wantK := (2*active.Shift + active.Depth) * int64(active.Width-1)
+		if got := active.K(); got != wantK {
+			t.Fatalf("tick %d: Config.K() = %d, want (2·%d+%d)·(%d−1) = %d",
+				tick, got, active.Shift, active.Depth, active.Width, wantK)
+		}
+
+		if got := realisedMax(t, h, &label); int64(got) > active.K() {
+			t.Fatalf("tick %d: realised distance %d exceeds active geometry's k = %d (%+v)",
+				tick, got, active.K(), active)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("tick %d: %v", tick, err)
+		}
+	}
+
+	// Every controller tick must likewise have run under its recorded
+	// geometry's bound (the record's K is the active bound by definition;
+	// this pins the accounting).
+	for _, rec := range ctrl.History() {
+		if rec.K != (2*rec.Shift+rec.Depth)*int64(rec.Width-1) {
+			t.Fatalf("tick record %d carries inconsistent bound: %+v", rec.Tick, rec)
+		}
+	}
+}
+
+// TestStrictGeometryIsExact pins the degenerate case the controller's
+// narrowing path can reach: width 1 must realise distance 0 — the strict
+// stack — no matter the depth the window arrived with.
+func TestStrictGeometryIsExact(t *testing.T) {
+	s := core.MustNew[uint64](core.Config{Width: 1, Depth: 64, Shift: 64, RandomHops: 0})
+	h := s.NewHandle()
+	var label uint64
+	if got := realisedMax(t, h, &label); got != 0 {
+		t.Fatalf("width-1 stack realised distance %d, want 0", got)
+	}
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+
+	"stack2d/internal/xrand"
+)
+
+// This file supports the adaptive relaxation controller (internal/adapt):
+// an instrumented variant of TwoDBody that counts the controller's input
+// signals — probes, CAS failures, window moves — so the controller can be
+// driven against the simulated multicore machine. The native container
+// this reproduction targets exposes a single hardware thread, where real
+// CAS contention cannot arise; the simulation recovers the coherence
+// behaviour of the paper's 16-core testbed deterministically, which is
+// what cmd/adapttune's convergence demonstration runs on.
+
+// TwoDWork aggregates one simulated segment's instrumented counters,
+// mirroring the fields of core.OpStats the controller consumes.
+type TwoDWork struct {
+	Ops         uint64 // completed operations
+	Pushes      uint64
+	Pops        uint64 // pops returning a value
+	EmptyPops   uint64
+	Probes      uint64 // sub-stack validity checks
+	CASFailures uint64 // failed descriptor CASes (contention)
+	WindowMoves uint64 // Global shift CAS attempts after exhausted windows
+}
+
+// twoDInstrumentedBody is TwoDBody with work counters accumulated into w.
+// Each simulated thread owns its distinct w; sum after Run.
+func twoDInstrumentedBody(subs []*Word, global *Word, depth, shift int64, randomHops int, seed uint64, w *TwoDWork) func(*T) {
+	return func(t *T) {
+		rng := xrand.New(seed + uint64(t.Core())*0x9e3779b97f4a7c15)
+		width := len(subs)
+		anchor := rng.Intn(width)
+		for t.Running() {
+			push := rng.Bool()
+			for t.Running() {
+				g := t.Read(global)
+				idx := anchor
+				probes := 0
+				randLeft := randomHops
+				done := false
+				empty := true
+				for probes < width && t.Running() {
+					c := t.Read(subs[idx])
+					w.Probes++
+					valid := c < g
+					if !push {
+						valid = c > g-depth
+					}
+					if valid {
+						delta := int64(1)
+						if !push {
+							delta = -1
+						}
+						if t.CAS(subs[idx], c, c+delta) {
+							anchor = idx
+							done = true
+							break
+						}
+						w.CASFailures++
+						idx = rng.Intn(width)
+						probes = 0
+						randLeft = 0
+						continue
+					}
+					if c != 0 {
+						empty = false
+					}
+					if randLeft > 0 {
+						randLeft--
+						idx = rng.Intn(width)
+						continue
+					}
+					probes++
+					idx++
+					if idx == width {
+						idx = 0
+					}
+				}
+				if done {
+					if push {
+						w.Pushes++
+					} else {
+						w.Pops++
+					}
+					break
+				}
+				if !push && g == depth && empty {
+					w.EmptyPops++
+					break
+				}
+				w.WindowMoves++
+				if push {
+					t.CAS(global, g, g+shift)
+				} else {
+					next := g - shift
+					if next < depth {
+						next = depth
+					}
+					t.CAS(global, g, next)
+				}
+			}
+			w.Ops++
+			t.OpDone()
+		}
+	}
+}
+
+// TwoDSegment runs one simulated segment: p threads execute the 2D-Stack
+// at the given geometry for horizon cycles on machine, prefilled so pops
+// rarely observe empty (as in the figure harnesses). It returns the summed
+// instrumented work. Deterministic for fixed inputs.
+func TwoDSegment(machine Machine, width int, depth, shift int64, randomHops, p int, horizon int64, seed uint64) (TwoDWork, error) {
+	switch {
+	case width < 1:
+		return TwoDWork{}, errRange("width", width)
+	case depth < 1 || shift < 1 || shift > depth:
+		return TwoDWork{}, fmt.Errorf("sim: bad window depth=%d shift=%d", depth, shift)
+	case randomHops < 0:
+		return TwoDWork{}, errRange("randomHops", randomHops)
+	case p < 1 || p > machine.Cores():
+		return TwoDWork{}, errRange("p", p)
+	case horizon <= 0:
+		return TwoDWork{}, errRange("horizon", int(horizon))
+	}
+	s, err := New(machine)
+	if err != nil {
+		return TwoDWork{}, err
+	}
+	const prefillPerLine = 1 << 20
+	subs := make([]*Word, width)
+	for i := range subs {
+		subs[i] = s.NewWord(prefillPerLine)
+	}
+	global := s.NewWord(prefillPerLine + depth/2)
+	work := make([]TwoDWork, p)
+	for core := 0; core < p; core++ {
+		s.Go(core, twoDInstrumentedBody(subs, global, depth, shift, randomHops, seed, &work[core]))
+	}
+	s.Run(horizon)
+	var total TwoDWork
+	for _, w := range work {
+		total.Ops += w.Ops
+		total.Pushes += w.Pushes
+		total.Pops += w.Pops
+		total.EmptyPops += w.EmptyPops
+		total.Probes += w.Probes
+		total.CASFailures += w.CASFailures
+		total.WindowMoves += w.WindowMoves
+	}
+	return total, nil
+}

@@ -3,11 +3,13 @@ package stack2d
 import (
 	"runtime"
 
+	"stack2d/internal/adapt"
 	"stack2d/internal/core"
 	"stack2d/internal/relax"
 )
 
-// Option configures a Stack built by New.
+// Option configures a Stack built by New (or an Adaptive stack built by
+// NewAdaptive).
 type Option func(*builder)
 
 type builder struct {
@@ -20,6 +22,17 @@ type builder struct {
 	shift   int64
 	hops    int
 	hopsSet bool
+
+	policy *adapt.Policy // set by WithAdaptive; consumed by NewAdaptive
+}
+
+// applyOptions runs the option list over a fresh builder.
+func applyOptions(opts []Option) builder {
+	b := builder{p: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(&b)
+	}
+	return b
 }
 
 // buildConfig resolves the option list into a concrete configuration.
@@ -27,10 +40,11 @@ type builder struct {
 // expected thread count; explicit structural options (width, depth, shift,
 // hops) then override the derived or default values field by field.
 func buildConfig(opts []Option) core.Config {
-	b := builder{p: runtime.GOMAXPROCS(0)}
-	for _, opt := range opts {
-		opt(&b)
-	}
+	return resolveConfig(applyOptions(opts))
+}
+
+// resolveConfig turns a populated builder into a concrete configuration.
+func resolveConfig(b builder) core.Config {
 	base := core.DefaultConfig(b.p)
 	if b.kSet {
 		base = relax.TwoDConfigForK(b.k, b.p)
@@ -94,4 +108,12 @@ func WithRandomHops(n int) Option {
 		b.hops = n
 		b.hopsSet = true
 	}
+}
+
+// WithAdaptive supplies the feedback-controller policy for a self-tuning
+// stack; the structural options then only pick the *initial* geometry. It
+// is consumed by NewAdaptive — a plain New ignores it, since a static
+// Stack has no controller to configure.
+func WithAdaptive(policy AdaptivePolicy) Option {
+	return func(b *builder) { b.policy = &policy }
 }

@@ -1,6 +1,8 @@
 package stack2d
 
 import (
+	"runtime"
+
 	"stack2d/internal/msqueue"
 	"stack2d/internal/twodqueue"
 )
@@ -20,14 +22,88 @@ type Queue[T any] struct {
 // a window of height Depth per end, moved by Shift when exhausted.
 type QueueConfig = twodqueue.Config
 
-// NewQueue builds a 2D-Queue for p expected concurrent goroutines using
-// the default structure (width 4P, depth 64). It panics if p produces an
-// invalid configuration (it cannot); use NewQueueWithConfig for explicit
-// control.
-func NewQueue[T any](p int) *Queue[T] {
-	q, err := NewQueueWithConfig[T](twodqueue.DefaultConfig(p))
+// QueueOption configures a Queue built by NewQueue, mirroring the stack's
+// functional options (so a future adaptive option can apply to both ends).
+type QueueOption func(*queueBuilder)
+
+type queueBuilder struct {
+	p       int
+	width   int
+	depth   int64
+	shift   int64
+	hops    int
+	hopsSet bool
+}
+
+// buildQueueConfig resolves the option list exactly as the stack's
+// buildConfig does: defaults from the expected thread count, then explicit
+// structural options override field by field.
+func buildQueueConfig(opts []QueueOption) QueueConfig {
+	b := queueBuilder{p: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(&b)
+	}
+	base := twodqueue.DefaultConfig(b.p)
+	if b.width != 0 {
+		base.Width = b.width
+	}
+	if b.depth != 0 {
+		base.Depth = b.depth
+		if b.shift == 0 && base.Shift > base.Depth {
+			// Only depth was given: keep shift consistent with it.
+			base.Shift = base.Depth
+		}
+	}
+	if b.shift != 0 {
+		base.Shift = b.shift
+	}
+	if b.hopsSet {
+		base.RandomHops = b.hops
+	}
+	return base
+}
+
+// WithQueueExpectedThreads declares the expected number of concurrent
+// goroutines P; the default structure is width 4P, depth = shift = 64.
+// Defaults to runtime.GOMAXPROCS(0).
+func WithQueueExpectedThreads(p int) QueueOption {
+	return func(b *queueBuilder) { b.p = p }
+}
+
+// WithQueueWidth sets the number of sub-queues explicitly.
+func WithQueueWidth(width int) QueueOption {
+	return func(b *queueBuilder) { b.width = width }
+}
+
+// WithQueueDepth sets the per-end window height explicitly (and clamps
+// shift down to it when shift is not also set).
+func WithQueueDepth(depth int64) QueueOption {
+	return func(b *queueBuilder) { b.depth = depth }
+}
+
+// WithQueueShift sets the window step explicitly (1 <= shift <= depth).
+func WithQueueShift(shift int64) QueueOption {
+	return func(b *queueBuilder) { b.shift = shift }
+}
+
+// WithQueueRandomHops sets how many random probes precede round-robin
+// search.
+func WithQueueRandomHops(n int) QueueOption {
+	return func(b *queueBuilder) {
+		b.hops = n
+		b.hopsSet = true
+	}
+}
+
+// NewQueue builds a 2D-Queue configured by the supplied options; without
+// options it is tuned for runtime.GOMAXPROCS(0) threads (width 4P,
+// depth 64), matching New's behaviour for the stack. Invalid combinations
+// panic, since they are programming errors; use NewQueueWithConfig to
+// handle errors.
+func NewQueue[T any](opts ...QueueOption) *Queue[T] {
+	q, err := NewQueueWithConfig[T](buildQueueConfig(opts))
 	if err != nil {
-		panic(err) // unreachable: DefaultConfig always validates
+		panic(err)
 	}
 	return q
 }

@@ -8,7 +8,7 @@ import (
 )
 
 func TestQueueBasic(t *testing.T) {
-	q := stack2d.NewQueue[string](2)
+	q := stack2d.NewQueue[string](stack2d.WithQueueExpectedThreads(2))
 	h := q.NewHandle()
 	if _, ok := h.Dequeue(); ok {
 		t.Fatal("dequeue on empty returned ok")
@@ -72,7 +72,7 @@ func TestQueueWidthOneStrictFIFO(t *testing.T) {
 }
 
 func TestQueueConcurrentConservation(t *testing.T) {
-	q := stack2d.NewQueue[uint64](4)
+	q := stack2d.NewQueue[uint64](stack2d.WithQueueExpectedThreads(4))
 	const workers, perW = 8, 1500
 	var wg sync.WaitGroup
 	got := make([][]uint64, workers)
@@ -128,4 +128,38 @@ func TestStrictQueueFIFO(t *testing.T) {
 			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, want)
 		}
 	}
+}
+
+func TestQueueOptionsParity(t *testing.T) {
+	// The queue constructor mirrors the stack's functional-options
+	// surface: explicit structural options override the derived defaults
+	// field by field.
+	q := stack2d.NewQueue[int](
+		stack2d.WithQueueWidth(3),
+		stack2d.WithQueueDepth(16),
+		stack2d.WithQueueShift(4),
+		stack2d.WithQueueRandomHops(1),
+	)
+	cfg := q.Config()
+	if cfg.Width != 3 || cfg.Depth != 16 || cfg.Shift != 4 || cfg.RandomHops != 1 {
+		t.Fatalf("explicit options not honoured: %+v", cfg)
+	}
+
+	// Depth-only clamps shift down with it, as WithDepth does.
+	if got := stack2d.NewQueue[int](stack2d.WithQueueDepth(8)).Config(); got.Shift != 8 {
+		t.Fatalf("depth-only option left shift %d, want 8", got.Shift)
+	}
+
+	// Expected threads drive the default width 4P.
+	if got := stack2d.NewQueue[int](stack2d.WithQueueExpectedThreads(3)).Config(); got.Width != 12 {
+		t.Fatalf("WithQueueExpectedThreads(3) gave width %d, want 12", got.Width)
+	}
+
+	// Invalid combinations panic, as for the stack.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid queue options did not panic")
+		}
+	}()
+	stack2d.NewQueue[int](stack2d.WithQueueDepth(4), stack2d.WithQueueShift(9))
 }
