@@ -1,33 +1,39 @@
 // Command adapttune demonstrates the adaptive relaxation controller
 // (internal/adapt) on a phase-shifting workload (low → high → low
-// contention). It runs two experiments:
+// contention). It runs two experiments, for the 2D-Stack by default or for
+// the 2D-Queue with -queue:
 //
 //  1. Simulated convergence (deterministic, machine-independent): the
-//     controller steers a 2D-Stack running on internal/sim's model of the
-//     paper's 2-socket, 16-core testbed, where CAS contention arises
+//     controller steers the structure running on internal/sim's model of
+//     the paper's 2-socket, 16-core testbed, where CAS contention arises
 //     organically from cache-line ping-pong. Starting from a narrow
 //     window, the high-contention phase must drive the geometry wide and
 //     the simulated throughput past the static baseline — the paper's
 //     "continuous relaxation" claim, closed-loop.
 //
-//  2. Native run (this machine): the same controller against a real
-//     core.Stack under internal/harness phases, with the internal/quality
-//     oracle attached, verifying that the realised error distance never
-//     exceeds the configured k ceiling while the window adapts.
+//  2. Native run (this machine): the same controller against the real
+//     structure under internal/harness phases, with the error-distance
+//     oracle attached (LIFO for the stack, FIFO for the queue), verifying
+//     that the geometry's Theorem 1 bound stays at or under the configured
+//     ceiling on every controller tick.
 //
 // Both print the controller time series — (tick, width, depth, k,
 // throughput, cas/op, moves/op, probes/op, action) — and a per-phase
-// static-vs-adaptive comparison. Exit status 1 if the k ceiling is ever
-// violated (by geometry or realised distance) or the simulated adaptive
-// run fails to beat its static baseline under high contention.
+// static-vs-adaptive comparison; -csv additionally appends every tick as a
+// machine-readable row for figure-style plots. Exit status 1 if the k
+// ceiling is ever violated (by geometry, or by realised distance beyond the
+// documented in-flight slack plus the tracked migration displacement) or
+// the simulated adaptive run fails to beat its static baseline under high
+// contention.
 //
 // Usage:
 //
-//	adapttune [-threads 8] [-phase 300ms] [-tick 10ms] [-kceil 8192]
-//	          [-start-width 2] [-start-depth 8] [-sim] [-native]
+//	adapttune [-queue] [-threads 8] [-phase 300ms] [-tick 10ms] [-kceil 8192]
+//	          [-start-width 2] [-start-depth 8] [-sim] [-native] [-csv out.csv]
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +44,7 @@ import (
 	"stack2d/internal/harness"
 	"stack2d/internal/sim"
 	"stack2d/internal/stats"
+	"stack2d/internal/twodqueue"
 )
 
 func main() {
@@ -48,7 +55,7 @@ func main() {
 		kceil      = flag.Int64("kceil", 8192, "relaxation ceiling the controller must respect")
 		startWidth = flag.Int("start-width", 2, "initial (and static-baseline) window width")
 		startDepth = flag.Int64("start-depth", 8, "initial (and static-baseline) window depth (shift = depth)")
-		prefill    = flag.Int("prefill", 32768, "initial native stack population")
+		prefill    = flag.Int("prefill", 32768, "initial native population")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		quality    = flag.Bool("quality", true, "attach the error-distance oracle to the native run")
 		maxDepth   = flag.Int64("max-depth", 512, "geometry depth cap")
@@ -57,6 +64,8 @@ func main() {
 		simThreads = flag.Int("sim-threads", 16, "simulated cores used in the high phase")
 		simTicks   = flag.Int("sim-ticks", 12, "controller ticks per simulated phase")
 		horizon    = flag.Int64("horizon", 200000, "simulated cycles per controller tick")
+		queueMode  = flag.Bool("queue", false, "steer the 2D-Queue instead of the 2D-Stack")
+		csvPath    = flag.String("csv", "", "write the controller time series to this CSV file (overwritten per run)")
 	)
 	flag.Parse()
 
@@ -69,33 +78,126 @@ func main() {
 			start.K(), *kceil)
 	}
 
-	fmt.Printf("# adapttune: runtime self-tuning of the 2D window (k <= %d)\n", *kceil)
+	structure := "stack"
+	if *queueMode {
+		structure = "queue"
+	}
+	fmt.Printf("# adapttune: runtime self-tuning of the 2D %s window (k <= %d)\n", structure, *kceil)
 	fmt.Printf("# start geometry: width %d, depth %d, shift %d (k=%d)\n",
 		start.Width, start.Depth, start.Shift, start.K())
 
+	var sink *csvSink
+	if *csvPath != "" {
+		var err error
+		sink, err = newCSVSink(*csvPath)
+		if err != nil {
+			fatal("-csv: %v", err)
+		}
+	}
+
 	failed := false
 	if *runSim {
-		if !simDemo(start, *kceil, *simThreads, *simTicks, *horizon, *maxDepth) {
+		if !simDemo(structure, start, *kceil, *simThreads, *simTicks, *horizon, *maxDepth, sink) {
 			failed = true
 		}
 	}
 	if *runNative {
-		if !nativeDemo(start, *kceil, *threads, *phaseDur, *tick, *prefill, *seed, *quality, *maxDepth) {
+		var ok bool
+		if *queueMode {
+			ok = nativeQueueDemo(start, *kceil, *threads, *phaseDur, *tick, *prefill, *seed, *quality, *maxDepth, sink)
+		} else {
+			ok = nativeDemo(start, *kceil, *threads, *phaseDur, *tick, *prefill, *seed, *quality, *maxDepth, sink)
+		}
+		if !ok {
 			failed = true
 		}
+	}
+	if sink != nil {
+		if err := sink.close(); err != nil {
+			fatal("-csv: %v", err)
+		}
+		fmt.Printf("\ncsv time series written to %s (%d rows)\n", *csvPath, sink.rows)
 	}
 	if failed {
 		os.Exit(1)
 	}
 }
 
-// simTarget adapts the discrete-event simulation to adapt.Target: each
-// controller tick corresponds to one simulated segment at the current
+// csvSink accumulates controller tick rows across all experiments of one
+// invocation, in a format gnuplot/pandas consume directly (ROADMAP's
+// figure-style-plots item).
+type csvSink struct {
+	f      *os.File
+	w      *csv.Writer
+	rows   int
+	closed bool
+}
+
+func newCSVSink(path string) (*csvSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &csvSink{f: f, w: csv.NewWriter(f)}
+	if err := s.w.Write([]string{
+		"experiment", "phase", "tick", "width", "depth", "shift", "k",
+		"ops", "throughput", "cas_per_op", "moves_per_op", "probes_per_op", "action",
+	}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// record appends one controller tick under the given experiment label
+// ("sim-stack", "native-queue", ...); phase is empty for native runs, whose
+// ticks are not phase-aligned. Nil-safe, so call sites need no guards.
+func (s *csvSink) record(experiment, phase string, rec adapt.TickRecord) {
+	if s == nil {
+		return
+	}
+	s.rows++
+	s.w.Write([]string{
+		experiment, phase,
+		fmt.Sprintf("%d", rec.Tick),
+		fmt.Sprintf("%d", rec.Width),
+		fmt.Sprintf("%d", rec.Depth),
+		fmt.Sprintf("%d", rec.Shift),
+		fmt.Sprintf("%d", rec.K),
+		fmt.Sprintf("%d", rec.Ops),
+		fmt.Sprintf("%.2f", rec.Throughput),
+		fmt.Sprintf("%.5f", rec.CASPerOp),
+		fmt.Sprintf("%.5f", rec.MovesPerOp),
+		fmt.Sprintf("%.3f", rec.ProbesPerOp),
+		rec.Action,
+	})
+}
+
+func (s *csvSink) close() error {
+	if s == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	s.w.Flush()
+	if err := s.w.Error(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// segmentFunc is the simulated-segment signature shared by the stack
+// (sim.TwoDSegment) and queue (sim.TwoDQueueSegment) models.
+type segmentFunc func(m sim.Machine, width int, depth, shift int64, randomHops, p int, horizon int64, seed uint64) (sim.TwoDWork, error)
+
+// simTarget adapts the discrete-event simulation to adapt.Reconfigurable:
+// each controller tick corresponds to one simulated segment at the current
 // geometry, whose instrumented counters accumulate into an OpStats.
 type simTarget struct {
 	machine sim.Machine
 	cfg     core.Config
 	acc     core.OpStats
+	seg     segmentFunc // nil selects the stack model
 }
 
 func (st *simTarget) Config() core.Config { return st.cfg }
@@ -113,7 +215,11 @@ func (st *simTarget) StatsSnapshot() core.OpStats { return st.acc }
 // segment simulates horizon cycles at the current geometry with p threads
 // and folds the work into the accumulated stats.
 func (st *simTarget) segment(p int, horizon int64, seed uint64) (sim.TwoDWork, error) {
-	w, err := sim.TwoDSegment(st.machine, st.cfg.Width, st.cfg.Depth, st.cfg.Shift, st.cfg.RandomHops, p, horizon, seed)
+	seg := st.seg
+	if seg == nil {
+		seg = sim.TwoDSegment
+	}
+	w, err := seg(st.machine, st.cfg.Width, st.cfg.Depth, st.cfg.Shift, st.cfg.RandomHops, p, horizon, seed)
 	if err != nil {
 		return w, err
 	}
@@ -126,12 +232,16 @@ func (st *simTarget) segment(p int, horizon int64, seed uint64) (sim.TwoDWork, e
 	return w, nil
 }
 
-// simDemo runs the deterministic convergence experiment; returns true on
-// success.
-func simDemo(start core.Config, kceil int64, simThreads, simTicks int, horizon, maxDepth int64) bool {
+// simDemo runs the deterministic convergence experiment for the given
+// structure ("stack" or "queue"); returns true on success.
+func simDemo(structure string, start core.Config, kceil int64, simThreads, simTicks int, horizon, maxDepth int64, sink *csvSink) bool {
 	machine := sim.DefaultMachine()
 	if simThreads > machine.Cores() {
 		fatal("sim-threads %d exceeds the simulated machine's %d cores", simThreads, machine.Cores())
+	}
+	var seg segmentFunc = sim.TwoDSegment
+	if structure == "queue" {
+		seg = sim.TwoDQueueSegment
 	}
 	low := simThreads / 4
 	if low < 1 {
@@ -144,13 +254,13 @@ func simDemo(start core.Config, kceil int64, simThreads, simTicks int, horizon, 
 		{"low-1", low}, {"high", simThreads}, {"low-2", low},
 	}
 
-	fmt.Printf("\n## simulated convergence (2×%d-core machine model, %d cycles/tick)\n",
-		machine.CoresPerSocket, horizon)
+	fmt.Printf("\n## simulated %s convergence (2×%d-core machine model, %d cycles/tick)\n",
+		structure, machine.CoresPerSocket, horizon)
 
 	// Static baseline: same segments, geometry pinned at start.
 	staticOps := make([]uint64, len(phases))
 	{
-		st := &simTarget{machine: machine, cfg: start}
+		st := &simTarget{machine: machine, cfg: start, seg: seg}
 		for pi, ph := range phases {
 			for t := 0; t < simTicks; t++ {
 				w, err := st.segment(ph.threads, horizon, uint64(pi*simTicks+t)+1)
@@ -163,7 +273,7 @@ func simDemo(start core.Config, kceil int64, simThreads, simTicks int, horizon, 
 	}
 
 	// Adaptive run: the real controller steps once per segment.
-	st := &simTarget{machine: machine, cfg: start}
+	st := &simTarget{machine: machine, cfg: start, seg: seg}
 	ctrl, err := adapt.New(st, adapt.Policy{
 		Goal:          adapt.MaxThroughput,
 		KCeiling:      kceil,
@@ -193,6 +303,7 @@ func simDemo(start core.Config, kceil int64, simThreads, simTicks int, horizon, 
 			adaptiveOps[pi] += w.Ops
 			rec := ctrl.Step(time.Duration(horizon)) // 1 simulated cycle ≡ 1ns
 			rows = append(rows, row{phases[pi].name, rec, w.Ops})
+			sink.record("sim-"+structure, phases[pi].name, rec)
 		}
 	}
 
@@ -243,16 +354,16 @@ func simDemo(start core.Config, kceil int64, simThreads, simTicks int, horizon, 
 	return ok
 }
 
-// nativeDemo runs the phased workload on this machine; returns true on
-// success (ceiling violations fail it; a missing throughput margin only
+// nativeDemo runs the phased stack workload on this machine; returns true
+// on success (ceiling violations fail it; a missing throughput margin only
 // warns, since native contention depends on the hardware).
 func nativeDemo(start core.Config, kceil int64, threads int, phaseDur, tick time.Duration,
-	prefill int, seed uint64, quality bool, maxDepth int64) bool {
+	prefill int, seed uint64, quality bool, maxDepth int64, sink *csvSink) bool {
 
 	phases := harness.ContentionPhases(threads, phaseDur)
 	w := harness.PhasedWorkload{MaxWorkers: threads, Prefill: prefill, Seed: seed, Quality: quality}
 
-	fmt.Printf("\n## native run (P=%d, %v/phase, quality=%v)\n", threads, phaseDur, quality)
+	fmt.Printf("\n## native stack run (P=%d, %v/phase, quality=%v)\n", threads, phaseDur, quality)
 
 	staticStack := core.MustNew[uint64](start)
 	staticRes, err := harness.RunPhased(staticStack, phases, w)
@@ -280,6 +391,90 @@ func nativeDemo(start core.Config, kceil int64, threads int, phaseDur, tick time
 		fatal("adaptive run failed: %v", err)
 	}
 
+	// The stack's realised distance is checked against the bare ceiling, as
+	// before the queue generalisation.
+	ok := reportNative("native-stack", ctrl, staticRes, adaptRes, kceil, quality, 0, 0, sink)
+
+	final := adaptStack.Config()
+	fmt.Printf("native final geometry: width %d, depth %d, shift %d (k=%d, started at k=%d)\n",
+		final.Width, final.Depth, final.Shift, final.K(), start.K())
+	if err := adaptStack.CheckInvariants(); err != nil {
+		fmt.Printf("FAIL: invariants after adaptive run: %v\n", err)
+		ok = false
+	}
+	return ok
+}
+
+// nativeQueueDemo is nativeDemo for the 2D-Queue: the same phased workload
+// and controller, driving the queue through the twodqueue.Steer adapter,
+// with the FIFO error-distance oracle instead of the LIFO one.
+func nativeQueueDemo(start core.Config, kceil int64, threads int, phaseDur, tick time.Duration,
+	prefill int, seed uint64, quality bool, maxDepth int64, sink *csvSink) bool {
+
+	phases := harness.ContentionPhases(threads, phaseDur)
+	w := harness.PhasedWorkload{MaxWorkers: threads, Prefill: prefill, Seed: seed, Quality: quality}
+
+	fmt.Printf("\n## native queue run (P=%d, %v/phase, quality=%v)\n", threads, phaseDur, quality)
+
+	staticQueue := twodqueue.MustNew[uint64](twodqueue.FromCore(start))
+	staticRes, err := harness.RunPhasedQueue(staticQueue, phases, w)
+	if err != nil {
+		fatal("static run failed: %v", err)
+	}
+
+	adaptQueue := twodqueue.MustNew[uint64](twodqueue.FromCore(start))
+	ctrl, err := adapt.New(twodqueue.Steer(adaptQueue), adapt.Policy{
+		Goal:     adapt.MaxThroughput,
+		KCeiling: kceil,
+		Tick:     tick,
+		MinWidth: start.Width,
+		MaxWidth: 4 * threads,
+		MinDepth: start.Depth,
+		MaxDepth: maxDepth,
+	})
+	if err != nil {
+		fatal("controller: %v", err)
+	}
+	ctrl.Start()
+	adaptRes, err := harness.RunPhasedQueue(adaptQueue, phases, w)
+	ctrl.Stop()
+	if err != nil {
+		fatal("adaptive run failed: %v", err)
+	}
+
+	// Concurrent executions may exceed the sequential bound by one position
+	// per in-flight operation, and the invocation-order oracle recording
+	// adds the same again (see twodqueue.Config.K and harness.runPhased),
+	// so the realised FIFO distance is checked against ceiling + 2·threads.
+	// Width-shrink migrations legitimately displace items further (DESIGN.md
+	// §5); the queue tracks that displacement exactly, so the check budgets
+	// it instead of being waived.
+	migAllowance := adaptQueue.ShrinkDisplacementBound()
+	ok := reportNative("native-queue", ctrl, staticRes, adaptRes, kceil, quality, 2*int64(threads), migAllowance, sink)
+
+	final := adaptQueue.Config()
+	fmt.Printf("native final geometry: width %d, depth %d, shift %d (k=%d, started at k=%d)\n",
+		final.Width, final.Depth, final.Shift, final.K(), start.K())
+
+	// Conservation: every enqueue must still be accounted for. The workers
+	// flushed their counters at run end, so the snapshot is exact.
+	snap := adaptQueue.StatsSnapshot()
+	if got, want := adaptQueue.Len(), int(snap.Pushes)-int(snap.Pops); got != want {
+		fmt.Printf("FAIL: queue holds %d items but counters say %d (items lost or duplicated)\n", got, want)
+		ok = false
+	}
+	return ok
+}
+
+// reportNative prints the shared tick/phase tables for a native run and
+// applies the ceiling checks: every tick's geometry bound must be at or
+// under kceil, and (when quality is on) the realised error distance must be
+// within kceil plus the structure's concurrency slack plus the tracked
+// migration allowance (non-zero only when width shrinks actually migrated
+// items, and bounded by the populations they displaced).
+func reportNative(experiment string, ctrl *adapt.Controller, staticRes, adaptRes harness.PhasedResult,
+	kceil int64, quality bool, distanceSlack, migrationAllowance int64, sink *csvSink) bool {
+
 	ts := stats.NewTable("tick", "width", "depth", "k", "thr(ops/s)", "cas/op", "moves/op", "probes/op", "action")
 	for _, rec := range ctrl.History() {
 		ts.AddRow(
@@ -293,6 +488,7 @@ func nativeDemo(start core.Config, kceil int64, threads int, phaseDur, tick time
 			fmt.Sprintf("%.2f", rec.ProbesPerOp),
 			rec.Action,
 		)
+		sink.record(experiment, "", rec)
 	}
 	ts.Render(os.Stdout)
 
@@ -315,21 +511,26 @@ func nativeDemo(start core.Config, kceil int64, threads int, phaseDur, tick time
 
 	ok := true
 	fmt.Println()
-	final := adaptStack.Config()
-	fmt.Printf("native final geometry: width %d, depth %d, shift %d (k=%d, started at k=%d)\n",
-		final.Width, final.Depth, final.Shift, final.K(), start.K())
 	for _, rec := range ctrl.History() {
 		if rec.K > kceil {
-			fmt.Printf("FAIL: native tick %d ran with k=%d above the ceiling %d\n", rec.Tick, rec.K, kceil)
+			fmt.Printf("FAIL: %s tick %d ran with k=%d above the ceiling %d\n", experiment, rec.Tick, rec.K, kceil)
 			ok = false
 		}
 	}
 	if quality {
-		if int64(adaptRes.Quality.Max) > kceil {
-			fmt.Printf("FAIL: realised error distance %d exceeds the ceiling %d\n", adaptRes.Quality.Max, kceil)
+		allowed := kceil + distanceSlack + migrationAllowance
+		switch max := int64(adaptRes.Quality.Max); {
+		case max > allowed:
+			fmt.Printf("FAIL: realised error distance %d exceeds the ceiling %d (+%d concurrency slack, +%d migration)\n",
+				max, kceil, distanceSlack, migrationAllowance)
 			ok = false
-		} else {
-			fmt.Printf("realised max error distance %d <= ceiling %d: OK\n", adaptRes.Quality.Max, kceil)
+		case max > kceil+distanceSlack:
+			fmt.Printf("note: realised error distance %d above ceiling %d (+%d slack) but within the "+
+				"tracked width-shrink migration displacement (+%d): OK\n",
+				max, kceil, distanceSlack, migrationAllowance)
+		default:
+			fmt.Printf("realised max error distance %d <= ceiling %d (+%d slack): OK\n",
+				max, kceil, distanceSlack)
 		}
 	}
 	sHigh, aHigh := staticRes.Phases[1].Throughput, adaptRes.Phases[1].Throughput
@@ -338,10 +539,6 @@ func nativeDemo(start core.Config, kceil int64, threads int, phaseDur, tick time
 			"where the window has no contention to relieve (see the simulated section)\n", aHigh/sHigh)
 	} else {
 		fmt.Printf("native high-contention phase: adaptive %.2fx static\n", aHigh/sHigh)
-	}
-	if err := adaptStack.CheckInvariants(); err != nil {
-		fmt.Printf("FAIL: invariants after adaptive run: %v\n", err)
-		ok = false
 	}
 	return ok
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -85,5 +88,117 @@ func TestSimTargetRejectsInvalidGeometry(t *testing.T) {
 	}
 	if st.cfg.Width != 2 {
 		t.Fatal("failed Reconfigure mutated the geometry")
+	}
+}
+
+// TestQueueSimTargetConvergesUnderContention is the queue-mode acceptance
+// check, fully deterministic: on the simulated 16-core machine a controller
+// starting from a narrow window must widen the 2D-Queue under contention,
+// beat the static baseline decisively, and never exceed the k ceiling on
+// any tick.
+func TestQueueSimTargetConvergesUnderContention(t *testing.T) {
+	const (
+		kceil   = 4096
+		p       = 16
+		ticks   = 14
+		horizon = 100000
+	)
+	start := core.Config{Width: 2, Depth: 8, Shift: 8, RandomHops: 2}
+
+	static := &simTarget{machine: sim.DefaultMachine(), cfg: start, seg: sim.TwoDQueueSegment}
+	var staticOps uint64
+	for i := 0; i < ticks; i++ {
+		w, err := static.segment(p, horizon, uint64(i)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		staticOps += w.Ops
+	}
+
+	st := &simTarget{machine: sim.DefaultMachine(), cfg: start, seg: sim.TwoDQueueSegment}
+	ctrl, err := adapt.New(st, adapt.Policy{
+		Goal:          adapt.MaxThroughput,
+		KCeiling:      kceil,
+		MinWidth:      start.Width,
+		MaxWidth:      4 * p,
+		MinDepth:      start.Depth,
+		MaxDepth:      64,
+		Cooldown:      1,
+		MinOpsPerTick: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adaptiveOps uint64
+	for i := 0; i < ticks; i++ {
+		w, err := st.segment(p, horizon, uint64(i)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adaptiveOps += w.Ops
+		rec := ctrl.Step(time.Duration(horizon))
+		if rec.K > kceil {
+			t.Fatalf("tick %d ran with k=%d above ceiling %d", rec.Tick, rec.K, kceil)
+		}
+	}
+
+	if st.cfg.Width <= start.Width {
+		t.Fatalf("controller did not widen the queue under simulated contention (still width %d)", st.cfg.Width)
+	}
+	if st.cfg.K() > kceil {
+		t.Fatalf("final geometry k=%d above ceiling", st.cfg.K())
+	}
+	if float64(adaptiveOps) < 2*float64(staticOps) {
+		t.Fatalf("adaptive %d ops vs static %d ops: margin below 2x", adaptiveOps, staticOps)
+	}
+}
+
+// TestCSVSinkWritesTimeSeries pins the -csv output format so CI can consume
+// it without it silently rotting.
+func TestCSVSinkWritesTimeSeries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ts.csv")
+	sink, err := newCSVSink(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.record("sim-queue", "high", adapt.TickRecord{
+		Tick: 3, Width: 8, Depth: 16, Shift: 16, K: 336,
+		Ops: 1000, Throughput: 123.4, CASPerOp: 0.05, MovesPerOp: 0.01, ProbesPerOp: 2.5,
+		Action: "widen-width",
+	})
+	// A nil sink must be a silent no-op (the demos call it unconditionally).
+	var nilSink *csvSink
+	nilSink.record("x", "", adapt.TickRecord{})
+	if err := nilSink.close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want header + 1", len(rows))
+	}
+	wantHeader := []string{"experiment", "phase", "tick", "width", "depth", "shift", "k",
+		"ops", "throughput", "cas_per_op", "moves_per_op", "probes_per_op", "action"}
+	for i, col := range wantHeader {
+		if rows[0][i] != col {
+			t.Fatalf("header[%d] = %q, want %q", i, rows[0][i], col)
+		}
+	}
+	if rows[1][0] != "sim-queue" || rows[1][1] != "high" || rows[1][6] != "336" || rows[1][12] != "widen-width" {
+		t.Fatalf("data row mismatch: %v", rows[1])
 	}
 }

@@ -43,6 +43,31 @@
 //	}))
 //	defer s.Close()
 //
+// # The 2D-Queue
+//
+// The paper's conclusion announces generalising the window technique to
+// other structures; Queue is that generalisation for a FIFO queue. It
+// spreads items over `width` Michael–Scott sub-queues with one window per
+// end (enqueue and dequeue), dequeuing at most K() positions out of FIFO
+// order, and a width-1 configuration degenerates to the strict queue
+// (also available directly as StrictQueue). The constructor mirrors the
+// stack's: functional options over GOMAXPROCS-derived defaults.
+//
+//	q := stack2d.NewQueue[int](stack2d.WithQueueExpectedThreads(8))
+//	h := q.NewHandle() // one per goroutine
+//	h.Enqueue(42)
+//	v, ok := h.Dequeue()
+//
+// The queue self-tunes exactly like the stack: AdaptiveQueue attaches the
+// same feedback controller to the queue's two-ended window geometry (see
+// WithQueueAdaptive and cmd/adapttune -queue).
+//
+//	q := stack2d.NewAdaptiveQueue[int](stack2d.WithQueueAdaptive(stack2d.AdaptivePolicy{
+//		Goal:     stack2d.GoalMaxThroughput,
+//		KCeiling: 8192,
+//	}))
+//	defer q.Close()
+//
 // The companion packages under internal implement every baseline of the
 // paper's evaluation (Treiber, elimination back-off, k-segment, and the
 // random / random-c2 / k-robin distributed stacks), the quality oracle and

@@ -189,9 +189,15 @@ func (p Policy) Validate() error {
 	return nil
 }
 
-// Target is the reconfigurable structure the controller steers — satisfied
-// by *core.Stack[T] for any T, and by simulation adapters in cmd/adapttune.
-type Target interface {
+// Reconfigurable is the structure the controller steers: anything that
+// exposes a 2D window geometry, accepts live reconfiguration, and
+// aggregates its handles' operation counters. It is satisfied by
+// *core.Stack[T] for any T, by the 2D-Queue through twodqueue.Steer (whose
+// structurally identical Config converts via Config.Core/FromCore), and by
+// the simulation adapters in cmd/adapttune — one controller implementation
+// drives all of them, because the decision logic reads only the
+// geometry-normalised signals, never the structure itself.
+type Reconfigurable interface {
 	Config() core.Config
 	Reconfigure(core.Config) error
 	StatsSnapshot() core.OpStats
@@ -222,11 +228,11 @@ type TickRecord struct {
 	K     int64
 }
 
-// Controller drives a Target's geometry from its observed signals. Create
+// Controller drives a Reconfigurable's geometry from its observed signals. Create
 // with New; run it in the background with Start/Stop, or call Step
 // manually for deterministic control (tests, simulation).
 type Controller struct {
-	target Target
+	target Reconfigurable
 	pol    Policy
 
 	mu       sync.Mutex
@@ -241,7 +247,7 @@ type Controller struct {
 // New builds a controller for target; the policy is defaulted, then
 // validated. The target keeps its current geometry until the first
 // decision says otherwise.
-func New(target Target, pol Policy) (*Controller, error) {
+func New(target Reconfigurable, pol Policy) (*Controller, error) {
 	pol = pol.withDefaults()
 	if err := pol.Validate(); err != nil {
 		return nil, err

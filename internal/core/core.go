@@ -54,7 +54,6 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
-	"weak"
 
 	"stack2d/internal/pad"
 )
@@ -134,16 +133,18 @@ type Stack[T any] struct {
 	reMu     sync.Mutex
 	migrator *Handle[T]
 
-	// hMu guards the handle registry. Handles register at creation through
-	// weak pointers, so an abandoned handle (e.g. one dropped from the
-	// convenience API's sync.Pool on a GC cycle) is collectable; its final
-	// counters are folded into retired by a finalizer and its registry
-	// entry is pruned on the next registration. The registry powers both
-	// epoch quiescence detection and StatsSnapshot.
+	// hMu guards the handle registry, which powers both epoch quiescence
+	// detection and StatsSnapshot. Each entry holds its handle weakly — so
+	// an abandoned handle (e.g. one dropped from the convenience API's
+	// sync.Pool on a GC cycle) is collectable — but the handle's published
+	// counters strongly: a collected handle's final counters stay readable
+	// until a later registration prunes the entry and folds them into
+	// retired. StatsSnapshot is therefore exact with no dependence on
+	// GC-cleanup timing (the same scheme as internal/twodqueue's).
 	hMu     sync.Mutex
-	handles []weak.Pointer[Handle[T]]
-	// retired accumulates the last published counters of collected
-	// handles, so StatsSnapshot never loses completed work.
+	handles []handleEntry[T]
+	// retired accumulates the last published counters of pruned handles,
+	// so StatsSnapshot never loses completed work.
 	retired OpStats
 }
 

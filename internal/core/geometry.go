@@ -184,8 +184,8 @@ func (s *Stack[T]) waitQuiesce(oldEpoch uint64) {
 	for {
 		busy := false
 		s.hMu.Lock()
-		for _, wp := range s.handles {
-			h := wp.Value()
+		for _, entry := range s.handles {
+			h := entry.wp.Value()
 			if h == nil {
 				continue
 			}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"runtime"
 	"sync/atomic"
 	"weak"
 
@@ -30,10 +29,10 @@ type Handle[T any] struct {
 	epoch atomic.Uint64
 
 	// shared is the periodically flushed, atomically readable copy of
-	// stats, consumed by Stack.StatsSnapshot. It is a separate allocation
-	// so the handle's GC cleanup can still read the final published
-	// counters without keeping the handle itself alive.
-	shared *sharedCounters
+	// stats, consumed by Stack.StatsSnapshot. It is a separate allocation,
+	// held strongly by the handle registry, so the final published
+	// counters outlive the handle itself.
+	shared *SharedCounters
 
 	// hidden excludes the handle's counters from StatsSnapshot; set for
 	// the stack's internal migration handle so reconfiguration traffic
@@ -42,33 +41,40 @@ type Handle[T any] struct {
 	hidden bool
 }
 
+// handleEntry is one registry slot: the weak handle for liveness/epoch
+// checks plus a strong reference to its atomic counter mirror. A dead
+// entry is never a hidden (migration) handle — the stack itself keeps its
+// migrator strongly reachable — so pruning can fold every dead entry's
+// counters into retired unconditionally.
+type handleEntry[T any] struct {
+	wp     weak.Pointer[Handle[T]]
+	shared *SharedCounters
+}
+
 // NewHandle returns an operation handle anchored at a random sub-stack and
 // registers it with the stack for reconfiguration quiescence tracking and
-// stats aggregation. Registration is through a weak pointer: a handle the
-// caller drops becomes collectable, its last published counters are folded
-// into the stack's retired total by a GC cleanup, and its registry entry
-// is pruned on a later registration — so the convenience API's handle pool
-// does not grow the registry without bound. (Counters not yet flushed when
-// a handle is abandoned — at most statsFlushInterval operations — are
-// lost; call FlushStats before dropping a handle if they matter.) One
-// handle per goroutine is still the intended pattern.
+// stats aggregation. The handle itself is held weakly: one the caller
+// drops becomes collectable, its registry entry is pruned on a later
+// registration (folding its last published counters into the retired
+// total), so the convenience API's handle pool does not grow the registry
+// without bound. (Counters not yet flushed when a handle is abandoned — at
+// most statsFlushInterval operations — are lost; call FlushStats before
+// dropping a handle if they matter.) One handle per goroutine is still the
+// intended pattern.
 func (s *Stack[T]) NewHandle() *Handle[T] {
 	seed := s.seed.V.Add(0x9e3779b97f4a7c15)
 	rng := xrand.New(seed)
-	h := &Handle[T]{s: s, rng: rng, last: rng.Intn(s.geo.Load().width), shared: &sharedCounters{}}
-	runtime.AddCleanup(h, func(sc *sharedCounters) {
-		s.hMu.Lock()
-		s.retired.Add(sc.load())
-		s.hMu.Unlock()
-	}, h.shared)
+	h := &Handle[T]{s: s, rng: rng, last: rng.Intn(s.geo.Load().width), shared: &SharedCounters{}}
 	s.hMu.Lock()
 	live := s.handles[:0]
 	for _, old := range s.handles {
-		if old.Value() != nil {
+		if old.wp.Value() != nil {
 			live = append(live, old)
+		} else {
+			s.retired.Add(old.shared.Load())
 		}
 	}
-	s.handles = append(live, weak.Make(h))
+	s.handles = append(live, handleEntry[T]{wp: weak.Make(h), shared: h.shared})
 	s.hMu.Unlock()
 	return h
 }

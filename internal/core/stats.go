@@ -100,15 +100,15 @@ func (h *Handle[T]) ResetStats() {
 // local counter increment per operation.
 const statsFlushInterval = 64
 
-// sharedCounters is the atomically readable mirror of a handle's OpStats.
+// SharedCounters is the atomically readable mirror of a handle's OpStats.
 // Single writer (the owning goroutine, via flush); any reader.
-type sharedCounters struct {
+type SharedCounters struct {
 	pushes, pops, emptyPops              atomic.Uint64
 	probes, randomHops, casFailures      atomic.Uint64
 	windowRaises, windowLowers, restarts atomic.Uint64
 }
 
-func (c *sharedCounters) store(st OpStats) {
+func (c *SharedCounters) Store(st OpStats) {
 	c.pushes.Store(st.Pushes)
 	c.pops.Store(st.Pops)
 	c.emptyPops.Store(st.EmptyPops)
@@ -120,7 +120,7 @@ func (c *sharedCounters) store(st OpStats) {
 	c.restarts.Store(st.Restarts)
 }
 
-func (c *sharedCounters) load() OpStats {
+func (c *SharedCounters) Load() OpStats {
 	return OpStats{
 		Pushes:       c.pushes.Load(),
 		Pops:         c.pops.Load(),
@@ -148,27 +148,29 @@ func (h *Handle[T]) maybeFlush() {
 // worker quiesces and a sampler should see its final totals at once.
 func (h *Handle[T]) FlushStats() {
 	h.sinceFlush = 0
-	h.shared.store(h.stats)
+	h.shared.Store(h.stats)
 }
 
-// StatsSnapshot aggregates the published counters of every live handle
-// plus the retired totals of collected ones. It is safe to call from any
-// goroutine and does not perturb the operation hot path: handles publish
-// their counters every statsFlushInterval operations, so the snapshot
-// trails the truth by at most that many operations per active handle (and
-// by the same amount, permanently, per abandoned handle). Internal
+// StatsSnapshot aggregates the published counters of every registered
+// handle plus the retired totals of pruned ones. It is safe to call from
+// any goroutine and does not perturb the operation hot path: handles
+// publish their counters every statsFlushInterval operations, so the
+// snapshot trails the truth by at most that many operations per active
+// handle (and by the same amount, permanently, per abandoned handle).
+// Because the registry holds each handle's counter mirror strongly, a
+// collected-but-not-yet-pruned handle's work is still read here — the
+// snapshot never transiently loses completed operations. Internal
 // migration handles are excluded, so reconfiguration traffic does not
 // read as client operations. This is the feed for internal/adapt's
 // controller.
 func (s *Stack[T]) StatsSnapshot() OpStats {
 	s.hMu.Lock()
 	out := s.retired
-	for _, wp := range s.handles {
-		h := wp.Value()
-		if h == nil || h.hidden {
+	for _, e := range s.handles {
+		if h := e.wp.Value(); h != nil && h.hidden {
 			continue
 		}
-		out.Add(h.shared.load())
+		out.Add(e.shared.Load())
 	}
 	s.hMu.Unlock()
 	return out

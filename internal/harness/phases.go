@@ -100,23 +100,54 @@ type phaseCtl struct {
 	think     int
 }
 
+// phasedOracle is the error-distance instrument of a phased run: the LIFO
+// oracle for stacks, the FIFO oracle for queues (both in internal/quality).
+type phasedOracle interface {
+	Insert(label uint64)
+	Remove(label uint64) int
+	Snapshot() quality.Stats
+}
+
 // RunPhased drives a phase-shifting workload against a 2D-Stack. The
 // caller owns any controller attached to the stack (start it before, stop
 // it after); RunPhased itself only generates load and measures, so the
 // same function serves both the static baseline and the adaptive run in
 // cmd/adapttune.
 func RunPhased(s *core.Stack[uint64], phases []Phase, w PhasedWorkload) (PhasedResult, error) {
+	var oracle phasedOracle
+	if w.Quality {
+		oracle = &quality.Oracle{}
+	}
+	return runPhased(func() (Worker, func()) {
+		h := s.NewHandle()
+		return h, h.FlushStats
+	}, oracle, false, phases, w)
+}
+
+// runPhased is the shared engine behind RunPhased and RunPhasedQueue:
+// mkWorker builds one per-goroutine worker plus its end-of-run stats flush
+// (so a sampling controller sees final totals), oracle is nil when quality
+// measurement is off.
+//
+// insertFirst selects when a push is recorded in the oracle. The stack
+// records after the push completes (the paper's §4 methodology; the LIFO
+// oracle inserts at the head, so a late insert can only shrink a distance).
+// The queue must record at invocation: the FIFO oracle inserts at the tail,
+// and a pusher preempted between the structure operation and a late insert
+// lets its item be dequeued first, after which the spin-waiting Remove
+// scores it against the entire resident population — a measurement artifact
+// of queue length magnitude, not a property of the structure. Recording at
+// invocation keeps the oracle order a valid linearisation candidate (no
+// dequeue of v can precede v's record) at the cost of at most one position
+// of slack per in-flight operation — the same convention as the seqspec
+// trace tests.
+func runPhased(mkWorker func() (Worker, func()), oracle phasedOracle, insertFirst bool, phases []Phase, w PhasedWorkload) (PhasedResult, error) {
 	var out PhasedResult
 	if err := w.Validate(phases); err != nil {
 		return out, err
 	}
 
-	var oracle *quality.Oracle
-	if w.Quality {
-		oracle = &quality.Oracle{}
-	}
-
-	pre := s.NewHandle()
+	pre, preFlush := mkWorker()
 	for i := 0; i < w.Prefill; i++ {
 		label := uint64(i) + 1
 		pre.Push(label)
@@ -124,6 +155,7 @@ func RunPhased(s *core.Stack[uint64], phases []Phase, w PhasedWorkload) (PhasedR
 			oracle.Insert(label)
 		}
 	}
+	preFlush()
 
 	type counters struct {
 		pushes, pops, empty uint64
@@ -142,7 +174,7 @@ func RunPhased(s *core.Stack[uint64], phases []Phase, w PhasedWorkload) (PhasedR
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			worker := s.NewHandle()
+			worker, flush := mkWorker()
 			rng := xrand.New(w.Seed + uint64(id)*0x9e3779b97f4a7c15 + 1)
 			label := uint64(id+1)<<40 | uint64(w.Prefill)
 			var sink uint64
@@ -160,8 +192,11 @@ func RunPhased(s *core.Stack[uint64], phases []Phase, w PhasedWorkload) (PhasedR
 				c := &perW[id][p.idx]
 				if rng.Float64() < p.pushRatio {
 					label++
+					if oracle != nil && insertFirst {
+						oracle.Insert(label)
+					}
 					worker.Push(label)
-					if oracle != nil {
+					if oracle != nil && !insertFirst {
 						oracle.Insert(label)
 					}
 					c.pushes++
@@ -181,7 +216,7 @@ func RunPhased(s *core.Stack[uint64], phases []Phase, w PhasedWorkload) (PhasedR
 				}
 			}
 			_ = sink
-			worker.FlushStats()
+			flush()
 		}(i)
 	}
 

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"stack2d/internal/msqueue"
+	"stack2d/internal/quality"
 	"stack2d/internal/twodqueue"
 )
 
@@ -45,4 +46,21 @@ func NewMSQueueFactory() Factory {
 		K:    0,
 		New:  func() Instance { return msQueueInstance{msqueue.New[uint64]()} },
 	}
+}
+
+// RunPhasedQueue drives a phase-shifting workload against a 2D-Queue —
+// Push = Enqueue, Pop = Dequeue, and the quality instrument is the FIFO
+// error-distance oracle instead of the LIFO one. As with RunPhased, the
+// caller owns any controller attached to the queue, so the same function
+// serves both the static baseline and the adaptive run in
+// cmd/adapttune -queue.
+func RunPhasedQueue(q *twodqueue.Queue[uint64], phases []Phase, w PhasedWorkload) (PhasedResult, error) {
+	var oracle phasedOracle
+	if w.Quality {
+		oracle = &quality.FIFOOracle{}
+	}
+	return runPhased(func() (Worker, func()) {
+		h := q.NewHandle()
+		return queueHandleWorker{h}, h.FlushStats
+	}, oracle, true, phases, w)
 }

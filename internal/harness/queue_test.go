@@ -104,3 +104,79 @@ func TestThinkSpinSlowsThroughput(t *testing.T) {
 			sres.Throughput, fres.Throughput)
 	}
 }
+
+// TestRunPhasedQueue drives the queue phased runner end to end: ops in
+// every phase, quality measured with the FIFO oracle, and conservation of
+// the population implied by the counters.
+func TestRunPhasedQueue(t *testing.T) {
+	q := twodqueue.MustNew[uint64](twodqueue.Config{Width: 4, Depth: 16, Shift: 16, RandomHops: 1})
+	phases := ContentionPhases(4, 25*time.Millisecond)
+	res, err := RunPhasedQueue(q, phases, PhasedWorkload{MaxWorkers: 4, Prefill: 2048, Seed: 7, Quality: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 3 || res.TotalOps == 0 {
+		t.Fatalf("unexpected result shape: %d phases, %d ops", len(res.Phases), res.TotalOps)
+	}
+	for _, p := range res.Phases {
+		if p.Ops == 0 {
+			t.Fatalf("phase %s completed zero operations", p.Phase.Name)
+		}
+	}
+	if res.Quality.Count == 0 {
+		t.Fatal("FIFO oracle measured zero dequeues")
+	}
+	// The realised distance must stay within the sequential bound plus the
+	// documented concurrency slack (one position per in-flight operation,
+	// doubled for the invocation-order oracle recording).
+	bound := q.Config().K() + 2*4
+	if int64(res.Quality.Max) > bound {
+		t.Fatalf("realised FIFO distance %d exceeds bound %d", res.Quality.Max, bound)
+	}
+	snap := q.StatsSnapshot()
+	if got, want := q.Len(), int(snap.Pushes)-int(snap.Pops); got != want {
+		t.Fatalf("queue holds %d items but counters say %d", got, want)
+	}
+}
+
+// TestRunPhasedQueueWithReconfiguration runs the phased workload while the
+// geometry cycles underneath it, mirroring the adaptive path without a
+// controller in the loop.
+func TestRunPhasedQueueWithReconfiguration(t *testing.T) {
+	q := twodqueue.MustNew[uint64](twodqueue.Config{Width: 2, Depth: 8, Shift: 8, RandomHops: 1})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		geoms := []twodqueue.Config{
+			{Width: 8, Depth: 16, Shift: 16, RandomHops: 2},
+			{Width: 2, Depth: 8, Shift: 8, RandomHops: 1},
+			{Width: 4, Depth: 64, Shift: 64, RandomHops: 2},
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				if err := q.Reconfigure(geoms[i%len(geoms)]); err != nil {
+					t.Errorf("Reconfigure: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	res, err := RunPhasedQueue(q, ContentionPhases(4, 25*time.Millisecond),
+		PhasedWorkload{MaxWorkers: 4, Prefill: 1024, Seed: 3})
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalOps == 0 {
+		t.Fatal("no operations completed under live reconfiguration")
+	}
+	snap := q.StatsSnapshot()
+	if got, want := q.Len(), int(snap.Pushes)-int(snap.Pops); got != want {
+		t.Fatalf("queue holds %d items but counters say %d (reconfiguration lost items)", got, want)
+	}
+}

@@ -76,7 +76,13 @@ func (q *Queue[T]) Dequeue() (v T, ok bool) {
 		}
 		if q.head.CompareAndSwap(head, next) {
 			q.length.Add(-1)
-			return next.value, true
+			// next is now the dummy; clear its value so the queue does not
+			// pin the dequeued item for the GC until the following dequeue.
+			// Safe: only the CAS winner reads next.value.
+			v = next.value
+			var zero T
+			next.value = zero
+			return v, true
 		}
 	}
 }
@@ -97,10 +103,35 @@ func (q *Queue[T]) TryDequeue() (v T, ok bool, contended bool) {
 	}
 	if q.head.CompareAndSwap(head, next) {
 		q.length.Add(-1)
-		return next.value, true, false
+		// As in Dequeue: the winner moves the value out of the new dummy.
+		v = next.value
+		var zero T
+		next.value = zero
+		return v, true, false
 	}
 	var zero T
 	return zero, false, true
+}
+
+// TryEnqueue attempts a single CAS round to append v. It reports whether it
+// succeeded; a false return means another enqueuer interfered (or the tail
+// was lagging and was helped forward). It exists for the 2D-Queue's window
+// search, which treats a failed attempt as a contention signal and hops to
+// another sub-queue instead of spinning here.
+func (q *Queue[T]) TryEnqueue(v T) bool {
+	n := &node[T]{value: v}
+	tail := q.tail.Load()
+	next := tail.next.Load()
+	if next != nil {
+		q.tail.CompareAndSwap(tail, next)
+		return false
+	}
+	if tail.next.CompareAndSwap(nil, n) {
+		q.tail.CompareAndSwap(tail, n)
+		q.length.Add(1)
+		return true
+	}
+	return false
 }
 
 // Empty reports whether the queue was observed empty.

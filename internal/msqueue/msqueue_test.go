@@ -1,9 +1,11 @@
 package msqueue
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"stack2d/internal/seqspec"
 )
@@ -179,5 +181,89 @@ func TestPropertyDrainPreservesOrder(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDequeuedValueIsCollectable is the regression test for the dummy-node
+// value pinning bug: before the fix, the node a winning Dequeue turned into
+// the new dummy kept its value field, so the most recently dequeued item
+// stayed reachable from the queue until the next dequeue advanced past it.
+// With a finalizer on the dequeued allocation, collection after the dequeue
+// proves the queue dropped its reference.
+func TestDequeuedValueIsCollectable(t *testing.T) {
+	q := New[*[]byte]()
+	big := new([]byte)
+	*big = make([]byte, 1<<16)
+	collected := make(chan struct{})
+	runtime.SetFinalizer(big, func(*[]byte) { close(collected) })
+	q.Enqueue(big)
+	q.Enqueue(new([]byte)) // second item so the queue stays non-empty
+	got, ok := q.Dequeue()
+	if !ok || got != big {
+		t.Fatalf("Dequeue = (%p,%v), want the enqueued pointer", got, ok)
+	}
+	got, big = nil, nil
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			if v, ok := q.Dequeue(); !ok || v == nil {
+				t.Fatal("queue lost its remaining item")
+			}
+			return
+		case <-deadline:
+			t.Fatal("dequeued value still reachable: the dummy node pinned it")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestTryDequeuedValueIsCollectable covers the TryDequeue path of the same
+// pinning bug.
+func TestTryDequeuedValueIsCollectable(t *testing.T) {
+	q := New[*[]byte]()
+	big := new([]byte)
+	*big = make([]byte, 1<<16)
+	collected := make(chan struct{})
+	runtime.SetFinalizer(big, func(*[]byte) { close(collected) })
+	q.Enqueue(big)
+	q.Enqueue(new([]byte))
+	got, ok, _ := q.TryDequeue()
+	if !ok || got != big {
+		t.Fatalf("TryDequeue = (%p,%v), want the enqueued pointer", got, ok)
+	}
+	got, big = nil, nil
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		case <-deadline:
+			t.Fatal("try-dequeued value still reachable: the dummy node pinned it")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestTryEnqueue exercises the single-round enqueue used by the 2D-Queue's
+// contention-hopping search.
+func TestTryEnqueue(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 100; i++ {
+		for !q.TryEnqueue(i) {
+		}
+	}
+	for want := 0; want < 100; want++ {
+		v, ok := q.Dequeue()
+		if !ok || v != want {
+			t.Fatalf("Dequeue = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("queue not empty after drain")
 	}
 }

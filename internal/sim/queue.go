@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+
+	"stack2d/internal/xrand"
+)
+
+// This file models the 2D-Queue (internal/twodqueue) on the simulated
+// multicore machine, the queue counterpart of TwoDSegment in adaptive.go:
+// cmd/adapttune -queue runs its convergence demonstration on it, since the
+// native container exposes a single hardware thread where real CAS
+// contention cannot arise.
+//
+// The model keeps the structure's coherence-relevant skeleton and drops the
+// rest: each sub-queue end is one Word holding its monotonic window counter
+// (enqueues or dequeues completed), CAS-incremented by the winning
+// operation — the cache-line ping-pong on those counters and on the two
+// Global ceilings is what the controller's signals are made of. The
+// Michael–Scott list bodies are not modelled, and the queue is treated as
+// heavily prefilled (a dequeue always finds an item), matching the
+// prefilled native harness runs.
+
+// twoDQueueInstrumentedBody simulates one thread of the 2D-Queue with work
+// counters accumulated into w. Enqueue-end and dequeue-end window moves are
+// both counted in WindowMoves. Unlike the stack body there is no depth
+// parameter: both ends' validity is simply counter < ceiling (depth only
+// sizes the initial ceilings, in TwoDQueueSegment).
+func twoDQueueInstrumentedBody(enqs, deqs []*Word, globalEnq, globalDeq *Word, shift int64, randomHops int, seed uint64, w *TwoDWork) func(*T) {
+	return func(t *T) {
+		rng := xrand.New(seed + uint64(t.Core())*0x9e3779b97f4a7c15)
+		width := len(enqs)
+		anchorE := rng.Intn(width)
+		anchorD := rng.Intn(width)
+		for t.Running() {
+			enq := rng.Bool()
+			subs, global, anchor := deqs, globalDeq, &anchorD
+			if enq {
+				subs, global, anchor = enqs, globalEnq, &anchorE
+			}
+			for t.Running() {
+				g := t.Read(global)
+				idx := *anchor
+				probes := 0
+				randLeft := randomHops
+				done := false
+				for probes < width && t.Running() {
+					c := t.Read(subs[idx])
+					w.Probes++
+					if c < g {
+						if t.CAS(subs[idx], c, c+1) {
+							*anchor = idx
+							done = true
+							break
+						}
+						w.CASFailures++
+						idx = rng.Intn(width)
+						probes = 0
+						randLeft = 0
+						continue
+					}
+					if randLeft > 0 {
+						randLeft--
+						idx = rng.Intn(width)
+						continue
+					}
+					probes++
+					idx++
+					if idx == width {
+						idx = 0
+					}
+				}
+				if done {
+					if enq {
+						w.Pushes++
+					} else {
+						w.Pops++
+					}
+					break
+				}
+				// Full coverage at the ceiling: raise this end's window.
+				w.WindowMoves++
+				t.CAS(global, g, g+shift)
+			}
+			w.Ops++
+			t.OpDone()
+		}
+	}
+}
+
+// TwoDQueueSegment runs one simulated segment: p threads execute the
+// 2D-Queue at the given geometry for horizon cycles on machine, returning
+// the summed instrumented work. Deterministic for fixed inputs.
+func TwoDQueueSegment(machine Machine, width int, depth, shift int64, randomHops, p int, horizon int64, seed uint64) (TwoDWork, error) {
+	switch {
+	case width < 1:
+		return TwoDWork{}, errRange("width", width)
+	case depth < 1 || shift < 1 || shift > depth:
+		return TwoDWork{}, fmt.Errorf("sim: bad window depth=%d shift=%d", depth, shift)
+	case randomHops < 0:
+		return TwoDWork{}, errRange("randomHops", randomHops)
+	case p < 1 || p > machine.Cores():
+		return TwoDWork{}, errRange("p", p)
+	case horizon <= 0:
+		return TwoDWork{}, errRange("horizon", int(horizon))
+	}
+	s, err := New(machine)
+	if err != nil {
+		return TwoDWork{}, err
+	}
+	// Counters start at zero; the ceilings open half a window of headroom,
+	// as TwoDSegment does relative to its prefill.
+	g0 := depth / 2
+	if g0 < 1 {
+		g0 = 1
+	}
+	enqs := make([]*Word, width)
+	deqs := make([]*Word, width)
+	for i := range enqs {
+		enqs[i] = s.NewWord(0)
+		deqs[i] = s.NewWord(0)
+	}
+	globalEnq := s.NewWord(g0)
+	globalDeq := s.NewWord(g0)
+	work := make([]TwoDWork, p)
+	for core := 0; core < p; core++ {
+		s.Go(core, twoDQueueInstrumentedBody(enqs, deqs, globalEnq, globalDeq, shift, randomHops, seed, &work[core]))
+	}
+	s.Run(horizon)
+	var total TwoDWork
+	for _, w := range work {
+		total.Ops += w.Ops
+		total.Pushes += w.Pushes
+		total.Pops += w.Pops
+		total.EmptyPops += w.EmptyPops
+		total.Probes += w.Probes
+		total.CASFailures += w.CASFailures
+		total.WindowMoves += w.WindowMoves
+	}
+	return total, nil
+}

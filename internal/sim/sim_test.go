@@ -209,3 +209,58 @@ func TestTwoDBeatsTreiberUnderContention(t *testing.T) {
 		t.Fatalf("simulated 2D-stack (%.1f) does not clearly beat treiber (%.1f) at P=16", d16, t16)
 	}
 }
+
+// TestTwoDQueueSegmentDeterministicAndContended checks the queue model the
+// adapttune -queue convergence runs on: identical inputs reproduce
+// identical work, and widening the structure relieves contention (fewer CAS
+// failures per operation, more completed operations) exactly as the stack
+// model does.
+func TestTwoDQueueSegmentDeterministicAndContended(t *testing.T) {
+	m := DefaultMachine()
+	a, err := TwoDQueueSegment(m, 4, 8, 8, 2, 16, 100000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TwoDQueueSegment(m, 4, 8, 8, 2, 16, 100000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("segment not deterministic: %+v vs %+v", a, b)
+	}
+	wide, err := TwoDQueueSegment(m, 32, 8, 8, 2, 16, 100000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Ops <= a.Ops {
+		t.Fatalf("widening did not raise throughput: %d -> %d ops", a.Ops, wide.Ops)
+	}
+	narrowCAS := float64(a.CASFailures) / float64(a.Ops)
+	wideCAS := float64(wide.CASFailures) / float64(wide.Ops)
+	if wideCAS >= narrowCAS {
+		t.Fatalf("widening did not relieve contention: %.3f -> %.3f cas/op", narrowCAS, wideCAS)
+	}
+}
+
+func TestTwoDQueueSegmentValidation(t *testing.T) {
+	m := DefaultMachine()
+	cases := []struct {
+		width      int
+		depth, shf int64
+		hops, p    int
+		horizon    int64
+	}{
+		{0, 8, 8, 2, 4, 1000},
+		{4, 0, 1, 2, 4, 1000},
+		{4, 8, 9, 2, 4, 1000},
+		{4, 8, 8, -1, 4, 1000},
+		{4, 8, 8, 2, 0, 1000},
+		{4, 8, 8, 2, m.Cores() + 1, 1000},
+		{4, 8, 8, 2, 4, 0},
+	}
+	for _, c := range cases {
+		if _, err := TwoDQueueSegment(m, c.width, c.depth, c.shf, c.hops, c.p, c.horizon, 1); err == nil {
+			t.Errorf("TwoDQueueSegment(%+v) accepted invalid input", c)
+		}
+	}
+}

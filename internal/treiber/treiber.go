@@ -46,6 +46,12 @@ func (s *Stack[T]) Push(v T) {
 
 // Pop removes and returns the top value. ok is false if the stack was
 // observed empty.
+//
+// Unlike the Michael–Scott queue's dummy-node scheme (see
+// msqueue.Queue.Dequeue), the winning CAS unlinks the popped node from the
+// structure entirely, so the stack retains no reference to the popped value
+// — there is no GC-pinning analogue to clear here (regression-guarded by
+// TestPoppedValueIsCollectable).
 func (s *Stack[T]) Pop() (v T, ok bool) {
 	for {
 		old := s.top.Load()

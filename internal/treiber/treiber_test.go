@@ -1,9 +1,11 @@
 package treiber
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"stack2d/internal/seqspec"
 )
@@ -237,5 +239,36 @@ func TestPushDrainPropertyReverses(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPoppedValueIsCollectable documents the audit for the msqueue
+// dummy-node pinning bug: the Treiber pop unlinks the popped node wholesale,
+// so the stack must retain no reference to a popped value. A finalizer on
+// the popped allocation proves it.
+func TestPoppedValueIsCollectable(t *testing.T) {
+	s := New[*[]byte]()
+	big := new([]byte)
+	*big = make([]byte, 1<<16)
+	collected := make(chan struct{})
+	runtime.SetFinalizer(big, func(*[]byte) { close(collected) })
+	s.Push(new([]byte))
+	s.Push(big) // top, so the popped node's next still points into the list
+	got, ok := s.Pop()
+	if !ok || got != big {
+		t.Fatalf("Pop = (%p,%v), want the pushed pointer", got, ok)
+	}
+	got, big = nil, nil
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		case <-deadline:
+			t.Fatal("popped value still reachable from the stack")
+		default:
+			time.Sleep(time.Millisecond)
+		}
 	}
 }

@@ -1,0 +1,208 @@
+package twodqueue
+
+import (
+	"runtime"
+
+	"stack2d/internal/pad"
+)
+
+// geometry is one immutable snapshot of the queue's structure: the window
+// parameters plus the sub-queue array they govern. The Queue publishes the
+// active geometry through an atomic pointer; operations pin the pointer for
+// their whole duration (Handle.pin), so a reconfiguration never changes the
+// rules under a running search. Geometries are linked by a monotonically
+// increasing epoch; width changes share the surviving sub-queue slots with
+// the previous geometry (pointers, not copies), so growth moves no item and
+// only a shrink strands items for migration.
+type geometry[T any] struct {
+	epoch uint64
+	width int
+	depth int64
+	shift int64
+	hops  int
+	subs  []*subQueue[T]
+}
+
+// config re-packages the geometry's parameters as a Config.
+func (g *geometry[T]) config() Config {
+	return Config{Width: g.width, Depth: g.depth, Shift: g.shift, RandomHops: g.hops}
+}
+
+// freshGeometry allocates a geometry with all-new empty sub-queues (counters
+// at zero — construction time, before the windows have moved).
+func freshGeometry[T any](cfg Config, epoch uint64) *geometry[T] {
+	g := &geometry[T]{
+		epoch: epoch,
+		width: cfg.Width,
+		depth: cfg.Depth,
+		shift: cfg.Shift,
+		hops:  cfg.RandomHops,
+		subs:  make([]*subQueue[T], cfg.Width),
+	}
+	for i := range g.subs {
+		g.subs[i] = newSubQueue[T](0, 0)
+	}
+	return g
+}
+
+// Reconfigure atomically replaces the queue's geometry with cfg. It is safe
+// to call concurrently with operations (and with other Reconfigure calls,
+// which serialise). Items are never lost or duplicated:
+//
+//   - Depth/shift/hops changes swap only the parameters; the sub-queue
+//     array is shared between the old and new geometry.
+//   - Width growth appends fresh empty sub-queues whose window counters
+//     start at the current window floors (see newSubQueue), so they absorb
+//     at most `depth` operations per window like every surviving slot.
+//   - Width shrink drops the trailing slots, waits for every operation
+//     pinned to the old geometry to finish (epoch quiescence), then
+//     re-enqueues the stranded items front-first so their relative FIFO
+//     order is preserved.
+//
+// Semantics during a transition mirror the stack's (core.Stack.Reconfigure):
+// in-flight operations follow the window rules of the geometry they pinned.
+// Because items placed under the old windows are still being dequeued under
+// the new ones, the two regimes' displacements can add — the effective
+// bound during the handover is K_old + K_new, settling back to the active
+// geometry's K once the pre-transition items have drained; a shrink
+// additionally hides the stranded items until its migration completes
+// (Reconfigure returns only after it has), and the migrated items re-enter
+// at the back of the live window — the transient reordering recorded in
+// DESIGN.md §5. Callers that treat an empty Dequeue as terminal should not
+// shrink width concurrently with consumers racing the queue to empty.
+func (q *Queue[T]) Reconfigure(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	q.reMu.Lock()
+	defer q.reMu.Unlock()
+	return q.reconfigureLocked(cfg)
+}
+
+// SetWindow adjusts depth and shift, keeping width and hops — the cheap
+// reconfiguration path: no migration, no quiescence wait.
+func (q *Queue[T]) SetWindow(depth, shift int64) error {
+	q.reMu.Lock()
+	defer q.reMu.Unlock()
+	cfg := q.geo.Load().config()
+	cfg.Depth, cfg.Shift = depth, shift
+	return q.reconfigureLocked(cfg)
+}
+
+// SetWidth adjusts the sub-queue count, keeping the window parameters.
+func (q *Queue[T]) SetWidth(width int) error {
+	q.reMu.Lock()
+	defer q.reMu.Unlock()
+	cfg := q.geo.Load().config()
+	cfg.Width = width
+	return q.reconfigureLocked(cfg)
+}
+
+func (q *Queue[T]) reconfigureLocked(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	old := q.geo.Load()
+	if old.config() == cfg {
+		return nil
+	}
+	next := &geometry[T]{
+		epoch: old.epoch + 1,
+		width: cfg.Width,
+		depth: cfg.Depth,
+		shift: cfg.Shift,
+		hops:  cfg.RandomHops,
+	}
+	var dropped []*subQueue[T]
+	switch {
+	case cfg.Width == old.width:
+		next.subs = old.subs
+	case cfg.Width > old.width:
+		next.subs = make([]*subQueue[T], cfg.Width)
+		copy(next.subs, old.subs)
+		enqFloor := q.globalEnq.V.Load() - cfg.Depth
+		if enqFloor < 0 {
+			enqFloor = 0
+		}
+		deqFloor := q.globalDeq.V.Load() - cfg.Depth
+		if deqFloor < 0 {
+			deqFloor = 0
+		}
+		for i := old.width; i < cfg.Width; i++ {
+			next.subs[i] = newSubQueue[T](enqFloor, deqFloor)
+		}
+	default: // shrink: keep a prefix, strand the tail for migration
+		next.subs = old.subs[:cfg.Width:cfg.Width]
+		dropped = old.subs[cfg.Width:]
+	}
+	q.geo.Store(next)
+
+	// Keep both ceilings at or above the new depth so the windows start
+	// sane on the new geometry (the globals are monotone, so a simple
+	// raise-if-below CAS loop suffices).
+	for _, g := range [...]*pad.Int64Line{&q.globalEnq, &q.globalDeq} {
+		for {
+			cur := g.V.Load()
+			if cur >= cfg.Depth || g.V.CompareAndSwap(cur, cfg.Depth) {
+				break
+			}
+		}
+	}
+
+	if len(dropped) > 0 {
+		// Items in the dropped slots are invisible to the new geometry.
+		// Wait until no operation can touch them through the old one, then
+		// re-enqueue them into the live window, front-first so their
+		// relative FIFO order survives.
+		q.waitQuiesce(old.epoch)
+		if q.migrator == nil {
+			q.migrator = q.NewHandle()
+			q.migrator.hidden = true
+		}
+		// A migrated item re-enters behind everything resident: the live
+		// population plus the other stranded items.
+		stranded := 0
+		for _, sq := range dropped {
+			stranded += sq.q.Len()
+		}
+		q.shrinkDisp.Add(int64(q.Len() + stranded))
+		for _, sq := range dropped {
+			for {
+				v, ok := sq.q.Dequeue()
+				if !ok {
+					break
+				}
+				q.migrator.Enqueue(v)
+			}
+		}
+		q.migrator.FlushStats()
+	}
+	return nil
+}
+
+// waitQuiesce blocks until no handle is pinned to an epoch <= oldEpoch.
+// Operations are lock-free and finite, so this terminates; new operations
+// pin the already-published new geometry and do not delay it. A collected
+// handle (weak pointer gone nil) is idle by definition: a goroutine still
+// running an operation keeps its handle reachable.
+func (q *Queue[T]) waitQuiesce(oldEpoch uint64) {
+	for {
+		busy := false
+		q.hMu.Lock()
+		for _, entry := range q.handles {
+			h := entry.wp.Value()
+			if h == nil {
+				continue
+			}
+			if e := h.epoch.Load(); e != 0 && e <= oldEpoch {
+				busy = true
+				break
+			}
+		}
+		q.hMu.Unlock()
+		if !busy {
+			return
+		}
+		runtime.Gosched()
+	}
+}

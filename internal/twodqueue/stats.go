@@ -1,0 +1,87 @@
+package twodqueue
+
+import (
+	"stack2d/internal/core"
+)
+
+// The queue reuses the stack's counter vocabulary (core.OpStats) so one
+// controller reads both structures through identical signals:
+//
+//	Pushes/Pops/EmptyPops   — enqueues, non-empty dequeues, empty dequeues
+//	Probes, RandomHops      — sub-queue validations / exploratory hops
+//	CASFailures             — contended sub-queue CAS rounds (either end)
+//	WindowRaises            — enqueue-end window moves
+//	WindowLowers            — dequeue-end window moves
+//	Restarts                — searches restarted by an observed window move
+//
+// Counters are handle-local on the hot path and published to an atomic
+// mirror every statsFlushInterval operations, exactly as in internal/core.
+const statsFlushInterval = 64
+
+// Stats returns a copy of the handle's counters. Owner-goroutine only.
+func (h *Handle[T]) Stats() core.OpStats { return h.stats }
+
+// ResetStats zeroes the handle's counters (and their published copy).
+// Owner-goroutine only; samplers see a saturated-zero interval, as with the
+// stack (core.OpStats.Sub).
+func (h *Handle[T]) ResetStats() {
+	h.stats = core.OpStats{}
+	h.FlushStats()
+}
+
+// maybeFlush publishes the handle's counters every statsFlushInterval
+// completed operations; called from unpin on the owner goroutine.
+func (h *Handle[T]) maybeFlush() {
+	h.sinceFlush++
+	if h.sinceFlush >= statsFlushInterval {
+		h.FlushStats()
+	}
+}
+
+// FlushStats immediately publishes the handle's counters to the shared copy
+// read by Queue.StatsSnapshot. Owner-goroutine only.
+func (h *Handle[T]) FlushStats() {
+	h.sinceFlush = 0
+	h.shared.Store(h.stats)
+}
+
+// StatsSnapshot aggregates the published counters of every registered
+// handle plus the retired totals of pruned ones; safe from any goroutine,
+// trailing the truth by at most statsFlushInterval operations per active
+// handle. Because the registry keeps each handle's counter mirror strongly
+// (see handleEntry), a collected-but-not-yet-pruned handle's work is still
+// read here — the snapshot never transiently loses completed operations.
+// Internal migration handles are excluded, so reconfiguration traffic does
+// not read as client operations. This is the feed for internal/adapt's
+// controller.
+func (q *Queue[T]) StatsSnapshot() core.OpStats {
+	q.hMu.Lock()
+	out := q.retired
+	for _, e := range q.handles {
+		if h := e.wp.Value(); h != nil && h.hidden {
+			continue
+		}
+		out.Add(e.shared.Load())
+	}
+	q.hMu.Unlock()
+	return out
+}
+
+// Steerable adapts the queue to internal/adapt's Reconfigurable interface
+// (which speaks core.Config), so the same controller implementation drives
+// stack and queue: adapt.New(twodqueue.Steer(q), policy).
+type Steerable[T any] struct{ Q *Queue[T] }
+
+// Steer wraps q for the adaptive controller.
+func Steer[T any](q *Queue[T]) Steerable[T] { return Steerable[T]{Q: q} }
+
+// Config returns the active geometry in the controller's currency.
+func (s Steerable[T]) Config() core.Config { return s.Q.Config().Core() }
+
+// Reconfigure applies a controller-chosen geometry to the queue.
+func (s Steerable[T]) Reconfigure(cfg core.Config) error {
+	return s.Q.Reconfigure(FromCore(cfg))
+}
+
+// StatsSnapshot exposes the queue's aggregated counters to the controller.
+func (s Steerable[T]) StatsSnapshot() core.OpStats { return s.Q.StatsSnapshot() }

@@ -19,11 +19,29 @@
 // counters are incremented after the sub-queue operation completes, adding
 // up to one position of slack per in-flight operation (at most the number
 // of concurrent handles); see K and the tests in twodqueue_test.go.
+//
+// # Live reconfiguration
+//
+// Like the stack (internal/core), the queue's geometry is not frozen at
+// construction: the window parameters and the sub-queue array live behind an
+// atomic pointer, every operation pins the active geometry through a
+// per-handle epoch, and Reconfigure swaps in a new geometry while operations
+// run. Depth/shift changes and width growth are wait-free parameter swaps;
+// a width shrink waits for the superseded epoch to quiesce, then migrates
+// the items stranded in dropped sub-queues back into the live window. Each
+// handle also keeps the same operation counters as the stack's handles
+// (probes, CAS failures, window moves), aggregated race-safely by
+// Queue.StatsSnapshot — the input signals of internal/adapt's feedback
+// controller, which steers the queue through the Steerable adapter.
 package twodqueue
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"weak"
 
+	"stack2d/internal/core"
 	"stack2d/internal/msqueue"
 	"stack2d/internal/pad"
 	"stack2d/internal/xrand"
@@ -73,23 +91,87 @@ func (c Config) K() int64 {
 	return (2*c.Shift + c.Depth) * int64(c.Width-1)
 }
 
+// Core converts to the structurally identical stack configuration, the
+// currency of internal/adapt's controller.
+func (c Config) Core() core.Config {
+	return core.Config{Width: c.Width, Depth: c.Depth, Shift: c.Shift, RandomHops: c.RandomHops}
+}
+
+// FromCore converts a stack configuration back; see Config.Core.
+func FromCore(c core.Config) Config {
+	return Config{Width: c.Width, Depth: c.Depth, Shift: c.Shift, RandomHops: c.RandomHops}
+}
+
 // subQueue is one sub-structure: the Michael–Scott queue plus its two
-// monotonic window counters, all padded onto private cache lines.
+// monotonic window counters, all padded onto private cache lines. Slots are
+// held by pointer so successive geometries can share surviving sub-queues
+// without moving an item.
 type subQueue[T any] struct {
 	q    *msqueue.Queue[T]
 	_    pad.CacheLinePad
-	enqs pad.Int64Line // completed enqueues
-	deqs pad.Int64Line // completed dequeues
+	enqs pad.Int64Line // completed enqueues (plus the join floor, see newSubQueue)
+	deqs pad.Int64Line // completed dequeues (plus the join floor)
+}
+
+// newSubQueue allocates an empty sub-queue joining the structure at the
+// given counter floors. A sub-queue added by a width growth must not start
+// its counters at zero: the windows have typically advanced far past zero,
+// and a zero-count newcomer would be enqueue-valid for the whole distance —
+// an unbounded relaxation hole. Starting at the current window floor lets it
+// absorb at most `depth` operations per window, like every other sub-queue.
+func newSubQueue[T any](enqFloor, deqFloor int64) *subQueue[T] {
+	sq := &subQueue[T]{q: msqueue.New[T]()}
+	sq.enqs.V.Store(enqFloor)
+	sq.deqs.V.Store(deqFloor)
+	return sq
 }
 
 // Queue is a lock-free 2D relaxed FIFO queue. Create with New; obtain one
-// Handle per goroutine.
+// Handle per goroutine. A Queue must not be copied.
 type Queue[T any] struct {
-	cfg       Config
-	subs      []subQueue[T]
+	// geo is the active geometry (window parameters + sub-queue array),
+	// replaced wholesale by Reconfigure; padded away from the globals so
+	// window movement does not invalidate the read-mostly pointer.
+	geo atomic.Pointer[geometry[T]]
+	_   pad.CacheLinePad
+	// globalEnq/globalDeq are the per-end window ceilings. Unlike the
+	// stack's Global they are monotone non-decreasing: both ends only ever
+	// advance.
 	globalEnq pad.Int64Line
 	globalDeq pad.Int64Line
 	seed      pad.Uint64Line
+
+	// reMu serialises reconfigurations; migrator is the hidden handle the
+	// shrink path uses to re-enqueue stranded items (lazily created).
+	reMu     sync.Mutex
+	migrator *Handle[T]
+	// shrinkDisp accumulates, over all width shrinks, the resident
+	// population at each migration — an upper bound on the extra FIFO
+	// displacement the migrations can have caused (each migrated item
+	// re-enters at the back, jumping at most the then-resident population;
+	// see ShrinkDisplacementBound).
+	shrinkDisp atomic.Int64
+
+	// hMu guards the handle registry, which powers both epoch-quiescence
+	// detection and StatsSnapshot. Each entry holds the handle weakly (so
+	// abandoned handles are collectable) but its published counters
+	// strongly: a collected handle's final counters stay readable until a
+	// later registration prunes the entry and folds them into retired.
+	// This makes StatsSnapshot exact with no dependence on GC-cleanup
+	// timing — the same scheme as core.Stack's registry.
+	hMu     sync.Mutex
+	handles []handleEntry[T]
+	retired core.OpStats
+}
+
+// handleEntry is one registry slot: the weak handle for liveness/epoch
+// checks plus a strong reference to its atomic counter mirror. A dead entry
+// is never a hidden (migration) handle — the queue itself keeps its
+// migrator strongly reachable — so pruning can fold every dead entry's
+// counters into retired unconditionally.
+type handleEntry[T any] struct {
+	wp     weak.Pointer[Handle[T]]
+	shared *core.SharedCounters
 }
 
 // New returns an empty 2D-Queue.
@@ -97,10 +179,8 @@ func New[T any](cfg Config) (*Queue[T], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	q := &Queue[T]{cfg: cfg, subs: make([]subQueue[T], cfg.Width)}
-	for i := range q.subs {
-		q.subs[i].q = msqueue.New[T]()
-	}
+	q := &Queue[T]{}
+	q.geo.Store(freshGeometry[T](cfg, 1))
 	q.globalEnq.V.Store(cfg.Depth)
 	q.globalDeq.V.Store(cfg.Depth)
 	return q, nil
@@ -115,14 +195,23 @@ func MustNew[T any](cfg Config) *Queue[T] {
 	return q
 }
 
-// Config returns the queue's configuration.
-func (q *Queue[T]) Config() Config { return q.cfg }
+// Config returns the queue's active configuration. Under live
+// reconfiguration the value is the geometry current at the call.
+func (q *Queue[T]) Config() Config { return q.geo.Load().config() }
+
+// Width returns the current number of sub-queues.
+func (q *Queue[T]) Width() int { return q.geo.Load().width }
+
+// Epoch returns the active geometry's epoch; it increases by one per
+// successful reconfiguration. Diagnostics only.
+func (q *Queue[T]) Epoch() uint64 { return q.geo.Load().epoch }
 
 // Len sums sub-queue populations; approximate under concurrency.
 func (q *Queue[T]) Len() int {
+	g := q.geo.Load()
 	n := 0
-	for i := range q.subs {
-		n += q.subs[i].q.Len()
+	for i := range g.subs {
+		n += g.subs[i].q.Len()
 	}
 	return n
 }
@@ -132,6 +221,24 @@ func (q *Queue[T]) GlobalEnq() int64 { return q.globalEnq.V.Load() }
 
 // GlobalDeq exposes the dequeue window ceiling; diagnostics only.
 func (q *Queue[T]) GlobalDeq() int64 { return q.globalDeq.V.Load() }
+
+// ShrinkDisplacementBound returns the cumulative upper bound on FIFO
+// displacement attributable to width-shrink migrations: the sum over all
+// shrinks of the population resident when the stranded items were
+// re-enqueued. Zero while no shrink has migrated anything. Diagnostics —
+// cmd/adapttune uses it to budget its realised-distance check.
+func (q *Queue[T]) ShrinkDisplacementBound() int64 { return q.shrinkDisp.Load() }
+
+// SubLens returns a snapshot of each sub-queue's population; diagnostics
+// and tests.
+func (q *Queue[T]) SubLens() []int {
+	g := q.geo.Load()
+	out := make([]int, len(g.subs))
+	for i := range g.subs {
+		out[i] = g.subs[i].q.Len()
+	}
+	return out
+}
 
 // Drain removes all items; teardown/testing helper.
 func (q *Queue[T]) Drain() []T {
@@ -146,47 +253,127 @@ func (q *Queue[T]) Drain() []T {
 	}
 }
 
-// Handle is the per-goroutine operation context (locality anchors and
-// RNG). Not safe for concurrent use of the same handle.
+// Handle is the per-goroutine operation context (locality anchors, RNG and
+// work counters). Not safe for concurrent use of the same handle; the Queue
+// is fully concurrent across handles.
 type Handle[T any] struct {
 	q       *Queue[T]
 	rng     *xrand.State
-	lastEnq int
+	lastEnq int // sub-queue index of the most recent enqueue success
 	lastDeq int
+	stats   core.OpStats
+
+	// sinceFlush counts operations since stats were last published (see
+	// maybeFlush in stats.go).
+	sinceFlush int
+
+	// epoch is the geometry epoch the handle is currently operating under,
+	// or 0 when idle. Written only by the owner, read by reconfigurers to
+	// detect quiescence of a superseded geometry.
+	epoch atomic.Uint64
+
+	// shared is the periodically flushed, atomically readable copy of
+	// stats, consumed by Queue.StatsSnapshot; a separate allocation so the
+	// GC cleanup can read the final counters without keeping the handle
+	// alive.
+	shared *core.SharedCounters
+
+	// hidden excludes the handle from StatsSnapshot (the internal migration
+	// handle), so reconfiguration traffic does not masquerade as client
+	// operations in the controller's signals.
+	hidden bool
 }
 
-// NewHandle returns an operation handle anchored at random sub-queues.
+// NewHandle returns an operation handle anchored at random sub-queues and
+// registers it for quiescence tracking and stats aggregation. Registration
+// is weak for the handle itself, so an abandoned handle is collectable; its
+// last published counters live on in the registry entry until the next
+// registration prunes it into the retired total.
 func (q *Queue[T]) NewHandle() *Handle[T] {
-	rng := xrand.New(q.seed.V.Add(0x9e3779b97f4a7c15))
-	return &Handle[T]{q: q, rng: rng, lastEnq: rng.Intn(q.cfg.Width), lastDeq: rng.Intn(q.cfg.Width)}
+	seed := q.seed.V.Add(0x9e3779b97f4a7c15)
+	rng := xrand.New(seed)
+	width := q.geo.Load().width
+	h := &Handle[T]{q: q, rng: rng, lastEnq: rng.Intn(width), lastDeq: rng.Intn(width), shared: &core.SharedCounters{}}
+	q.hMu.Lock()
+	live := q.handles[:0]
+	for _, old := range q.handles {
+		if old.wp.Value() != nil {
+			live = append(live, old)
+		} else {
+			q.retired.Add(old.shared.Load())
+		}
+	}
+	q.handles = append(live, handleEntry[T]{wp: weak.Make(h), shared: h.shared})
+	q.hMu.Unlock()
+	return h
 }
 
-// Enqueue adds v at the (relaxed) back of the queue.
+// pin publishes the handle as active on the current geometry and returns
+// it; the re-check after the epoch store closes the race with a concurrent
+// geometry swap (see core.Handle.pin).
+func (h *Handle[T]) pin() *geometry[T] {
+	for {
+		geo := h.q.geo.Load()
+		h.epoch.Store(geo.epoch)
+		if h.q.geo.Load() == geo {
+			if h.lastEnq >= geo.width {
+				h.lastEnq = h.rng.Intn(geo.width)
+			}
+			if h.lastDeq >= geo.width {
+				h.lastDeq = h.rng.Intn(geo.width)
+			}
+			return geo
+		}
+	}
+}
+
+// unpin marks the handle idle and periodically publishes its counters.
+func (h *Handle[T]) unpin() {
+	h.epoch.Store(0)
+	h.maybeFlush()
+}
+
+// Enqueue adds v at the (relaxed) back of the queue. The search mirrors the
+// stack's Push: locality anchor, random hops, round-robin coverage, a hop on
+// contention (a failed single-round sub-enqueue), restart on any observed
+// window move.
 func (h *Handle[T]) Enqueue(v T) {
+	geo := h.pin()
 	q := h.q
-	width := q.cfg.Width
+	width := geo.width
 	for {
 		global := q.globalEnq.V.Load()
 		idx := h.lastEnq
 		probes := 0
-		randLeft := q.cfg.RandomHops
+		randLeft := geo.hops
 		for probes < width {
 			if g := q.globalEnq.V.Load(); g != global {
 				global = g
 				probes = 0
-				randLeft = q.cfg.RandomHops
+				randLeft = geo.hops
+				h.stats.Restarts++
 			}
-			sub := &q.subs[idx]
+			sub := geo.subs[idx]
+			h.stats.Probes++
 			if sub.enqs.V.Load() < global {
-				// Valid: the M&S enqueue always succeeds (it is lock-free
-				// internally); count it and return.
-				sub.q.Enqueue(v)
-				sub.enqs.V.Add(1)
-				h.lastEnq = idx
-				return
+				if sub.q.TryEnqueue(v) {
+					sub.enqs.V.Add(1)
+					h.lastEnq = idx
+					h.stats.Pushes++
+					h.unpin()
+					return
+				}
+				// Contention: another enqueuer made progress here; hop to a
+				// random sub-queue and restart the coverage count.
+				h.stats.CASFailures++
+				idx = h.rng.Intn(width)
+				probes = 0
+				randLeft = 0
+				continue
 			}
 			if randLeft > 0 {
 				randLeft--
+				h.stats.RandomHops++
 				idx = h.rng.Intn(width)
 				continue
 			}
@@ -196,36 +383,47 @@ func (h *Handle[T]) Enqueue(v T) {
 				idx = 0
 			}
 		}
-		q.globalEnq.V.CompareAndSwap(global, global+q.cfg.Shift)
+		if q.globalEnq.V.CompareAndSwap(global, global+geo.shift) {
+			h.stats.WindowRaises++
+		}
 	}
 }
 
 // Dequeue removes and returns a value within the relaxation window; ok is
-// false when every sub-queue was observed empty in one full pass.
+// false when every sub-queue was observed empty in one full pass. Dequeue-
+// end window moves are counted as WindowLowers — the front-end analogue of
+// the stack's downward moves — so the controller's churn signal sums both
+// ends.
 func (h *Handle[T]) Dequeue() (v T, ok bool) {
+	geo := h.pin()
 	q := h.q
-	width := q.cfg.Width
+	width := geo.width
 	for {
 		global := q.globalDeq.V.Load()
 		idx := h.lastDeq
 		probes := 0
-		randLeft := q.cfg.RandomHops
+		randLeft := geo.hops
 		sawInvalidNonEmpty := false
 		for probes < width {
 			if g := q.globalDeq.V.Load(); g != global {
 				global = g
 				probes = 0
-				randLeft = q.cfg.RandomHops
+				randLeft = geo.hops
 				sawInvalidNonEmpty = false
+				h.stats.Restarts++
 			}
-			sub := &q.subs[idx]
+			sub := geo.subs[idx]
+			h.stats.Probes++
 			if sub.deqs.V.Load() < global {
-				if v, ok, contended := sub.q.TryDequeue(); ok {
+				if val, got, contended := sub.q.TryDequeue(); got {
 					sub.deqs.V.Add(1)
 					h.lastDeq = idx
-					return v, true
+					h.stats.Pops++
+					h.unpin()
+					return val, true
 				} else if contended {
 					// Another dequeuer beat us here: hop away, fresh pass.
+					h.stats.CASFailures++
 					idx = h.rng.Intn(width)
 					probes = 0
 					randLeft = 0
@@ -237,6 +435,7 @@ func (h *Handle[T]) Dequeue() (v T, ok bool) {
 			}
 			if randLeft > 0 {
 				randLeft--
+				h.stats.RandomHops++
 				idx = h.rng.Intn(width)
 				continue
 			}
@@ -249,10 +448,14 @@ func (h *Handle[T]) Dequeue() (v T, ok bool) {
 		if !sawInvalidNonEmpty {
 			// Full coverage saw only empty sub-queues (any non-empty one
 			// was dequeue-valid and yielded nothing): report empty.
+			h.stats.EmptyPops++
+			h.unpin()
 			var zero T
 			return zero, false
 		}
 		// Items exist beyond the current window: raise it and retry.
-		q.globalDeq.V.CompareAndSwap(global, global+q.cfg.Shift)
+		if q.globalDeq.V.CompareAndSwap(global, global+geo.shift) {
+			h.stats.WindowLowers++
+		}
 	}
 }

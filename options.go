@@ -17,13 +17,49 @@ type builder struct {
 	k    int64
 	kSet bool
 
+	geom geomOverrides
+
+	policy *adapt.Policy // set by WithAdaptive; consumed by NewAdaptive
+}
+
+// geomOverrides carries the explicit structural options shared by the stack
+// and queue builders; resolve applies them over a base configuration. It is
+// the single copy of the override/consistency rules (depth-only clamps
+// shift down; shift-only lifts depth up), which used to be duplicated —
+// and, on the shift-only path, buggy — in buildQueueConfig.
+type geomOverrides struct {
 	width   int
 	depth   int64
 	shift   int64
 	hops    int
 	hopsSet bool
+}
 
-	policy *adapt.Policy // set by WithAdaptive; consumed by NewAdaptive
+// resolve applies the overrides field by field. A lone depth override drags
+// shift down with it (shift <= depth must hold); a lone shift override
+// lifts depth up to match, since the intent — a larger window step — is
+// unambiguous and shift = depth is the paper's maximum-locality setting.
+// When both are given they are taken verbatim, so contradictory pairs still
+// fail validation.
+func (o geomOverrides) resolve(width *int, depth, shift *int64, hops *int) {
+	if o.width != 0 {
+		*width = o.width
+	}
+	if o.depth != 0 {
+		*depth = o.depth
+		if o.shift == 0 && *shift > *depth {
+			*shift = *depth
+		}
+	}
+	if o.shift != 0 {
+		*shift = o.shift
+		if o.depth == 0 && *depth < *shift {
+			*depth = *shift
+		}
+	}
+	if o.hopsSet {
+		*hops = o.hops
+	}
 }
 
 // applyOptions runs the option list over a fresh builder.
@@ -49,22 +85,7 @@ func resolveConfig(b builder) core.Config {
 	if b.kSet {
 		base = relax.TwoDConfigForK(b.k, b.p)
 	}
-	if b.width != 0 {
-		base.Width = b.width
-	}
-	if b.depth != 0 {
-		base.Depth = b.depth
-		if b.shift == 0 && base.Shift > base.Depth {
-			// Only depth was given: keep shift consistent with it.
-			base.Shift = base.Depth
-		}
-	}
-	if b.shift != 0 {
-		base.Shift = b.shift
-	}
-	if b.hopsSet {
-		base.RandomHops = b.hops
-	}
+	b.geom.resolve(&base.Width, &base.Depth, &base.Shift, &base.RandomHops)
 	return base
 }
 
@@ -88,25 +109,26 @@ func WithRelaxation(k int64) Option {
 
 // WithWidth sets the number of sub-stacks explicitly.
 func WithWidth(width int) Option {
-	return func(b *builder) { b.width = width }
+	return func(b *builder) { b.geom.width = width }
 }
 
 // WithDepth sets the window height explicitly (and clamps shift down to it
 // when shift is not also set).
 func WithDepth(depth int64) Option {
-	return func(b *builder) { b.depth = depth }
+	return func(b *builder) { b.geom.depth = depth }
 }
 
-// WithShift sets the window step explicitly (1 <= shift <= depth).
+// WithShift sets the window step explicitly (and lifts depth up to it when
+// depth is not also set, keeping 1 <= shift <= depth satisfiable).
 func WithShift(shift int64) Option {
-	return func(b *builder) { b.shift = shift }
+	return func(b *builder) { b.geom.shift = shift }
 }
 
 // WithRandomHops sets how many random probes precede round-robin search.
 func WithRandomHops(n int) Option {
 	return func(b *builder) {
-		b.hops = n
-		b.hopsSet = true
+		b.geom.hops = n
+		b.geom.hopsSet = true
 	}
 }
 

@@ -3,6 +3,7 @@ package stack2d
 import (
 	"runtime"
 
+	"stack2d/internal/adapt"
 	"stack2d/internal/msqueue"
 	"stack2d/internal/twodqueue"
 )
@@ -22,45 +23,38 @@ type Queue[T any] struct {
 // a window of height Depth per end, moved by Shift when exhausted.
 type QueueConfig = twodqueue.Config
 
-// QueueOption configures a Queue built by NewQueue, mirroring the stack's
-// functional options (so a future adaptive option can apply to both ends).
+// QueueOption configures a Queue built by NewQueue (or an AdaptiveQueue
+// built by NewAdaptiveQueue), mirroring the stack's functional options.
 type QueueOption func(*queueBuilder)
 
 type queueBuilder struct {
-	p       int
-	width   int
-	depth   int64
-	shift   int64
-	hops    int
-	hopsSet bool
+	p      int
+	geom   geomOverrides
+	policy *adapt.Policy // set by WithQueueAdaptive; consumed by NewAdaptiveQueue
 }
 
-// buildQueueConfig resolves the option list exactly as the stack's
-// buildConfig does: defaults from the expected thread count, then explicit
-// structural options override field by field.
-func buildQueueConfig(opts []QueueOption) QueueConfig {
+// applyQueueOptions runs the option list over a fresh queue builder.
+func applyQueueOptions(opts []QueueOption) queueBuilder {
 	b := queueBuilder{p: runtime.GOMAXPROCS(0)}
 	for _, opt := range opts {
 		opt(&b)
 	}
+	return b
+}
+
+// resolveQueueConfig turns a populated queue builder into a concrete
+// configuration: defaults from the expected thread count, then the shared
+// structural-override rules (see geomOverrides.resolve) — the same
+// resolution the stack's resolveConfig performs, deduplicated.
+func resolveQueueConfig(b queueBuilder) QueueConfig {
 	base := twodqueue.DefaultConfig(b.p)
-	if b.width != 0 {
-		base.Width = b.width
-	}
-	if b.depth != 0 {
-		base.Depth = b.depth
-		if b.shift == 0 && base.Shift > base.Depth {
-			// Only depth was given: keep shift consistent with it.
-			base.Shift = base.Depth
-		}
-	}
-	if b.shift != 0 {
-		base.Shift = b.shift
-	}
-	if b.hopsSet {
-		base.RandomHops = b.hops
-	}
+	b.geom.resolve(&base.Width, &base.Depth, &base.Shift, &base.RandomHops)
 	return base
+}
+
+// buildQueueConfig resolves the option list into a concrete configuration.
+func buildQueueConfig(opts []QueueOption) QueueConfig {
+	return resolveQueueConfig(applyQueueOptions(opts))
 }
 
 // WithQueueExpectedThreads declares the expected number of concurrent
@@ -72,27 +66,36 @@ func WithQueueExpectedThreads(p int) QueueOption {
 
 // WithQueueWidth sets the number of sub-queues explicitly.
 func WithQueueWidth(width int) QueueOption {
-	return func(b *queueBuilder) { b.width = width }
+	return func(b *queueBuilder) { b.geom.width = width }
 }
 
 // WithQueueDepth sets the per-end window height explicitly (and clamps
 // shift down to it when shift is not also set).
 func WithQueueDepth(depth int64) QueueOption {
-	return func(b *queueBuilder) { b.depth = depth }
+	return func(b *queueBuilder) { b.geom.depth = depth }
 }
 
-// WithQueueShift sets the window step explicitly (1 <= shift <= depth).
+// WithQueueShift sets the window step explicitly (and lifts depth up to it
+// when depth is not also set, keeping 1 <= shift <= depth satisfiable).
 func WithQueueShift(shift int64) QueueOption {
-	return func(b *queueBuilder) { b.shift = shift }
+	return func(b *queueBuilder) { b.geom.shift = shift }
 }
 
 // WithQueueRandomHops sets how many random probes precede round-robin
 // search.
 func WithQueueRandomHops(n int) QueueOption {
 	return func(b *queueBuilder) {
-		b.hops = n
-		b.hopsSet = true
+		b.geom.hops = n
+		b.geom.hopsSet = true
 	}
+}
+
+// WithQueueAdaptive supplies the feedback-controller policy for a
+// self-tuning queue; the structural options then only pick the *initial*
+// geometry. It is consumed by NewAdaptiveQueue — a plain NewQueue ignores
+// it, since a static Queue has no controller to configure.
+func WithQueueAdaptive(policy AdaptivePolicy) QueueOption {
+	return func(b *queueBuilder) { b.policy = &policy }
 }
 
 // NewQueue builds a 2D-Queue configured by the supplied options; without
@@ -140,7 +143,9 @@ func (q *Queue[T]) Len() int { return q.inner.Len() }
 // K returns the queue's sequential k-out-of-order relaxation bound.
 func (q *Queue[T]) K() int64 { return q.inner.Config().K() }
 
-// Config returns the configuration the queue was built with.
+// Config returns the queue's active configuration — under live
+// reconfiguration (AdaptiveQueue, or a running controller) the geometry
+// current at the call, which may immediately be superseded.
 func (q *Queue[T]) Config() QueueConfig { return q.inner.Config() }
 
 // Drain removes and returns all items; teardown helper, not concurrent.

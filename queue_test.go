@@ -163,3 +163,18 @@ func TestQueueOptionsParity(t *testing.T) {
 	}()
 	stack2d.NewQueue[int](stack2d.WithQueueDepth(4), stack2d.WithQueueShift(9))
 }
+
+func TestQueueShiftOnlyLiftsDepth(t *testing.T) {
+	// Regression: WithQueueShift(s) with s beyond the default depth used to
+	// panic in Validate even though the intent is unambiguous — a lone
+	// shift override lifts depth to match.
+	q := stack2d.NewQueue[int](stack2d.WithQueueShift(128))
+	cfg := q.Config()
+	if cfg.Shift != 128 || cfg.Depth != 128 {
+		t.Fatalf("shift-only option gave depth %d shift %d, want 128/128", cfg.Depth, cfg.Shift)
+	}
+	// A shift below the default depth must not disturb depth.
+	if got := stack2d.NewQueue[int](stack2d.WithQueueShift(16)).Config(); got.Shift != 16 || got.Depth != 64 {
+		t.Fatalf("small shift override gave depth %d shift %d, want 64/16", got.Depth, got.Shift)
+	}
+}

@@ -48,6 +48,28 @@ func TestWithDepthClampsShift(t *testing.T) {
 	}
 }
 
+func TestWithShiftOnlyLiftsDepth(t *testing.T) {
+	// Regression (same latent bug as the queue resolver): WithShift(s) with
+	// s beyond the default depth used to panic in Validate even though the
+	// intent is unambiguous — a lone shift override lifts depth to match.
+	s := stack2d.New[int](stack2d.WithShift(128))
+	cfg := s.Config()
+	if cfg.Shift != 128 || cfg.Depth != 128 {
+		t.Fatalf("shift-only option gave depth %d shift %d, want 128/128", cfg.Depth, cfg.Shift)
+	}
+	// A shift below the default depth must not disturb depth.
+	if got := stack2d.New[int](stack2d.WithShift(16)).Config(); got.Shift != 16 || got.Depth != 64 {
+		t.Fatalf("small shift override gave depth %d shift %d, want 64/16", got.Depth, got.Shift)
+	}
+	// Contradictory explicit pairs still panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithDepth(4)+WithShift(9) did not panic")
+		}
+	}()
+	stack2d.New[int](stack2d.WithDepth(4), stack2d.WithShift(9))
+}
+
 func TestWithRelaxationBudget(t *testing.T) {
 	for _, k := range []int64{0, 10, 100, 10000} {
 		s := stack2d.New[int](stack2d.WithRelaxation(k), stack2d.WithExpectedThreads(4))
