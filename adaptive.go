@@ -28,6 +28,16 @@ const (
 	// GoalMinRelaxation minimises the relaxation bound while throughput
 	// stays above AdaptivePolicy.ThroughputFloor.
 	GoalMinRelaxation = adapt.MinRelaxation
+	// GoalLatencyTarget drives the structure's own sampled P99 operation
+	// latency to at most AdaptivePolicy.LatencyTarget, spending spare
+	// latency budget on tighter semantics. The latency signal is sampled
+	// on the operation hot paths (1 in 64 operations is timed) and flows
+	// through StatsSnapshot like every other counter.
+	GoalLatencyTarget = adapt.TargetLatency
+	// GoalEnergyPerOp minimises the structure's work per operation —
+	// window moves plus probes, the coherence-traffic proxy — while
+	// throughput stays above AdaptivePolicy.ThroughputFloor.
+	GoalEnergyPerOp = adapt.MinEnergy
 )
 
 // DefaultAdaptivePolicy returns the controller defaults: the

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -153,6 +154,152 @@ func TestQueueSimTargetConvergesUnderContention(t *testing.T) {
 	}
 }
 
+// TestSimLatencyGoalConverges is the deterministic acceptance check of the
+// latency control plane: on the simulated 16-core machine, a TargetLatency
+// controller starting from a narrow window under heavy contention must pull
+// the sampled P99 down to the target (the narrow start violates it badly)
+// without ever exceeding the k ceiling — for both structures.
+func TestSimLatencyGoalConverges(t *testing.T) {
+	const (
+		kceil   = 8192
+		p       = 16
+		ticks   = 14
+		horizon = 100000
+		target  = 4096 * time.Nanosecond // cycles read as ns
+	)
+	start := core.Config{Width: 2, Depth: 8, Shift: 8, RandomHops: 2}
+	for name, seg := range map[string]segmentFunc{"stack": nil, "queue": sim.TwoDQueueSegment} {
+		st := &simTarget{machine: sim.DefaultMachine(), cfg: start, seg: seg}
+		ctrl, err := adapt.New(st, adapt.Policy{
+			Goal:          adapt.TargetLatency,
+			LatencyTarget: target,
+			KCeiling:      kceil,
+			MinWidth:      start.Width,
+			MaxWidth:      4 * p,
+			MinDepth:      start.Depth,
+			MaxDepth:      64,
+			Cooldown:      1,
+			MinOpsPerTick: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first, last adapt.TickRecord
+		for i := 0; i < ticks; i++ {
+			if _, err := st.segment(p, horizon, uint64(i)+1); err != nil {
+				t.Fatal(err)
+			}
+			rec := ctrl.Step(time.Duration(horizon))
+			if rec.K > kceil {
+				t.Fatalf("%s: tick %d ran with k=%d above ceiling %d", name, rec.Tick, rec.K, kceil)
+			}
+			if i == 0 {
+				first = rec
+			}
+			last = rec
+		}
+		if first.P99 <= target {
+			t.Fatalf("%s: narrow start already met the target (P99 %v) — the test shows nothing", name, first.P99)
+		}
+		if last.P99 > target {
+			t.Fatalf("%s: controller did not converge: final P99 %v above target %v (geometry %dx%d)",
+				name, last.P99, target, last.Width, last.Depth)
+		}
+		if st.cfg.Width <= start.Width {
+			t.Fatalf("%s: controller never widened under the contended tail", name)
+		}
+	}
+}
+
+// TestSimEnergyGoalReducesWorkPerOp: the MinEnergy controller must end a
+// contended run with cheaper operations (window moves + probes per op) than
+// the narrow start geometry, while holding the throughput floor.
+func TestSimEnergyGoalReducesWorkPerOp(t *testing.T) {
+	const (
+		p       = 16
+		ticks   = 14
+		horizon = 100000
+		floor   = 2e7 // ops/s with 1 cycle = 1ns
+	)
+	start := core.Config{Width: 2, Depth: 8, Shift: 8, RandomHops: 2}
+	for name, seg := range map[string]segmentFunc{"stack": nil, "queue": sim.TwoDQueueSegment} {
+		st := &simTarget{machine: sim.DefaultMachine(), cfg: start, seg: seg}
+		ctrl, err := adapt.New(st, adapt.Policy{
+			Goal:            adapt.MinEnergy,
+			ThroughputFloor: floor,
+			MinWidth:        start.Width,
+			MaxWidth:        4 * p,
+			MinDepth:        start.Depth,
+			MaxDepth:        512,
+			Cooldown:        1,
+			MinOpsPerTick:   16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first, last adapt.TickRecord
+		for i := 0; i < ticks; i++ {
+			if _, err := st.segment(p, horizon, uint64(i)+1); err != nil {
+				t.Fatal(err)
+			}
+			rec := ctrl.Step(time.Duration(horizon))
+			if i == 0 {
+				first = rec
+			}
+			last = rec
+		}
+		if last.EnergyPerOp >= first.EnergyPerOp {
+			t.Fatalf("%s: energy/op did not improve: %.2f -> %.2f", name, first.EnergyPerOp, last.EnergyPerOp)
+		}
+		if last.Throughput < floor {
+			t.Fatalf("%s: final throughput %.0f under the floor %.0f", name, last.Throughput, floor)
+		}
+	}
+}
+
+// TestCSVSchemaDocumented keeps README.md's column table in lockstep with
+// the emitted header: every column must be documented, in order, and no
+// documented column may be missing from the code.
+func TestCSVSchemaDocumented(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatalf("cmd/adapttune/README.md must exist and document the -csv schema: %v", err)
+	}
+	// Collect the `column` cells of the schema table: lines of the form
+	// "| `name` | ... |" after the schema heading.
+	var documented []string
+	inSchema, inTable := false, false
+	for _, line := range strings.Split(string(readme), "\n") {
+		if strings.Contains(line, "`-csv` column schema") {
+			inSchema = true
+			continue
+		}
+		if !inSchema {
+			continue
+		}
+		if !strings.HasPrefix(line, "| `") {
+			if inTable && !strings.HasPrefix(line, "|") {
+				break // the schema table ended; ignore any later tables
+			}
+			continue
+		}
+		inTable = true
+		cell := strings.TrimPrefix(line, "| `")
+		if i := strings.Index(cell, "`"); i > 0 {
+			documented = append(documented, cell[:i])
+		}
+	}
+	if len(documented) != len(csvHeader) {
+		t.Fatalf("README documents %d columns %v, the sink writes %d %v",
+			len(documented), documented, len(csvHeader), csvHeader)
+	}
+	for i, col := range csvHeader {
+		if documented[i] != col {
+			t.Fatalf("README column %d is %q, sink writes %q", i, documented[i], col)
+		}
+	}
+}
+
 // TestCSVSinkWritesTimeSeries pins the -csv output format so CI can consume
 // it without it silently rotting.
 func TestCSVSinkWritesTimeSeries(t *testing.T) {
@@ -164,6 +311,7 @@ func TestCSVSinkWritesTimeSeries(t *testing.T) {
 	sink.record("sim-queue", "high", adapt.TickRecord{
 		Tick: 3, Width: 8, Depth: 16, Shift: 16, K: 336,
 		Ops: 1000, Throughput: 123.4, CASPerOp: 0.05, MovesPerOp: 0.01, ProbesPerOp: 2.5,
+		P99: 1500 * time.Nanosecond, EnergyPerOp: 2.51,
 		Action: "widen-width",
 	})
 	// A nil sink must be a silent no-op (the demos call it unconditionally).
@@ -192,13 +340,18 @@ func TestCSVSinkWritesTimeSeries(t *testing.T) {
 		t.Fatalf("got %d rows, want header + 1", len(rows))
 	}
 	wantHeader := []string{"experiment", "phase", "tick", "width", "depth", "shift", "k",
-		"ops", "throughput", "cas_per_op", "moves_per_op", "probes_per_op", "action"}
+		"ops", "throughput", "cas_per_op", "moves_per_op", "probes_per_op",
+		"p99_us", "energy_per_op", "action"}
 	for i, col := range wantHeader {
 		if rows[0][i] != col {
 			t.Fatalf("header[%d] = %q, want %q", i, rows[0][i], col)
 		}
 	}
-	if rows[1][0] != "sim-queue" || rows[1][1] != "high" || rows[1][6] != "336" || rows[1][12] != "widen-width" {
+	if len(rows[0]) != len(wantHeader) {
+		t.Fatalf("header has %d columns, want %d", len(rows[0]), len(wantHeader))
+	}
+	if rows[1][0] != "sim-queue" || rows[1][1] != "high" || rows[1][6] != "336" ||
+		rows[1][12] != "1.500" || rows[1][13] != "2.510" || rows[1][14] != "widen-width" {
 		t.Fatalf("data row mismatch: %v", rows[1])
 	}
 }

@@ -29,9 +29,18 @@
 // (DESIGN.md §4, invariant 2); the MaxThroughput goal only shrinks width
 // when the structure is quiet, which keeps that transient small.
 //
-// Two goals are supported: MaxThroughput holds relaxation under a k
+// Four goals are supported: MaxThroughput holds relaxation under a k
 // ceiling and chases throughput; MinRelaxation holds throughput above a
-// floor and chases the smallest k that sustains it.
+// floor and chases the smallest k that sustains it; TargetLatency drives
+// the structures' sampled P99 operation latency to a configured target
+// (widening when contention pushes the tail up, narrowing or deepening
+// otherwise, and spending spare latency budget on tighter semantics); and
+// MinEnergy minimises the structure's work per operation — window moves
+// plus probes, the coherence-traffic proxy — subject to a throughput
+// floor. The latency signal is the structures' own 1-in-N sampled
+// histogram (core.OpStats.Latency), which flows through the same
+// StatsSnapshot aggregation as every other counter, so latency-targeted
+// control needs no harness instrumentation.
 package adapt
 
 import (
@@ -53,6 +62,21 @@ const (
 	// MinRelaxation minimises the k bound subject to throughput staying
 	// above Policy.ThroughputFloor.
 	MinRelaxation
+	// TargetLatency drives the sampled P99 operation latency to at most
+	// Policy.LatencyTarget: above the target it widens when contention is
+	// the dominant signal (CAS pressure pushes the tail up), deepens when
+	// window churn is, and narrows otherwise (search cost); comfortably
+	// below the target with quiet signals it reduces k, spending the spare
+	// latency budget on tighter semantics. KCeiling still caps every
+	// candidate.
+	TargetLatency
+	// MinEnergy minimises the structure's work per operation — window
+	// moves plus probes per op, the proxy for coherence traffic and hence
+	// energy — subject to throughput staying above Policy.ThroughputFloor:
+	// below the floor it widens to defend throughput; above the floor
+	// (with margin) it deepens while window churn dominates and narrows
+	// while search cost does.
+	MinEnergy
 )
 
 func (g Goal) String() string {
@@ -61,6 +85,10 @@ func (g Goal) String() string {
 		return "max-throughput"
 	case MinRelaxation:
 		return "min-relaxation"
+	case TargetLatency:
+		return "latency-target"
+	case MinEnergy:
+		return "energy-per-op"
 	default:
 		return fmt.Sprintf("Goal(%d)", int(g))
 	}
@@ -78,9 +106,23 @@ type Policy struct {
 	// ThroughputFloor is the ops/second the MinRelaxation goal defends.
 	ThroughputFloor float64
 	// FloorMargin is the hysteresis band above the floor: MinRelaxation
-	// narrows only while throughput exceeds floor·(1+margin), so it does
-	// not oscillate at the boundary. Default 0.25.
+	// (and MinEnergy) act on their secondary objective only while
+	// throughput exceeds floor·(1+margin), so they do not oscillate at the
+	// boundary. Default 0.25.
 	FloorMargin float64
+	// LatencyTarget is the sampled-P99 operation latency the TargetLatency
+	// goal drives toward; required (positive) for that goal, ignored by
+	// the others.
+	LatencyTarget time.Duration
+	// LatencyMargin is the hysteresis band below the target: TargetLatency
+	// tightens semantics only while P99 stays under target·(1−margin), so
+	// it does not oscillate at the boundary. Default 0.25.
+	LatencyMargin float64
+	// MinLatencySamples is the minimum number of latency samples a tick
+	// must observe for the P99 estimate to count as a signal; ticks with
+	// fewer hold instead of acting. Default 4 (with the structures' 1-in-64
+	// sampling, the default MinOpsPerTick already implies at least ~2).
+	MinLatencySamples uint64
 	// Tick is the sampling interval of the background controller loop.
 	// Default 10ms.
 	Tick time.Duration
@@ -124,6 +166,12 @@ func DefaultPolicy() Policy {
 func (p Policy) withDefaults() Policy {
 	if p.FloorMargin == 0 {
 		p.FloorMargin = 0.25
+	}
+	if p.LatencyMargin == 0 {
+		p.LatencyMargin = 0.25
+	}
+	if p.MinLatencySamples == 0 {
+		p.MinLatencySamples = 4
 	}
 	if p.Tick == 0 {
 		p.Tick = 10 * time.Millisecond
@@ -181,6 +229,12 @@ func (p Policy) Validate() error {
 		return fmt.Errorf("adapt: KCeiling must be >= 0, got %d", p.KCeiling)
 	case p.Goal == MinRelaxation && p.ThroughputFloor <= 0:
 		return fmt.Errorf("adapt: MinRelaxation goal needs a positive ThroughputFloor")
+	case p.Goal == MinEnergy && p.ThroughputFloor <= 0:
+		return fmt.Errorf("adapt: MinEnergy goal needs a positive ThroughputFloor")
+	case p.Goal == TargetLatency && p.LatencyTarget <= 0:
+		return fmt.Errorf("adapt: TargetLatency goal needs a positive LatencyTarget")
+	case p.LatencyMargin < 0 || p.LatencyMargin >= 1:
+		return fmt.Errorf("adapt: LatencyMargin must be in [0,1), got %g", p.LatencyMargin)
 	case p.LowCAS > p.HighCAS:
 		return fmt.Errorf("adapt: LowCAS %g above HighCAS %g", p.LowCAS, p.HighCAS)
 	case p.LowMoves > p.HighMoves:
@@ -216,6 +270,16 @@ type TickRecord struct {
 	MovesPerOp  float64 // window-churn signal (→ depth)
 	ProbesPerOp float64 // search-cost signal (→ narrowing)
 	EmptyFrac   float64 // fraction of pops that reported empty
+
+	// LatencySamples is how many operations the structures latency-sampled
+	// in the interval; P50/P99 are the percentile estimates from their
+	// histogram (zero when no samples landed). EnergyPerOp is window moves
+	// plus probes per operation — the work-per-op signal MinEnergy
+	// minimises.
+	LatencySamples uint64
+	P50            time.Duration
+	P99            time.Duration
+	EnergyPerOp    float64
 
 	// Action is what the decision did: "widen-width", "widen-depth",
 	// "narrow-width", "narrow-depth", "hold", "cooldown" or "idle".
@@ -335,9 +399,15 @@ func (c *Controller) Step(elapsed time.Duration) TickRecord {
 		rec.CASPerOp = float64(d.CASFailures) / fo
 		rec.MovesPerOp = float64(d.WindowRaises+d.WindowLowers) / fo
 		rec.ProbesPerOp = float64(d.Probes) / fo
+		rec.EnergyPerOp = rec.MovesPerOp + rec.ProbesPerOp
 		if pops := d.Pops + d.EmptyPops; pops > 0 {
 			rec.EmptyFrac = float64(d.EmptyPops) / float64(pops)
 		}
+	}
+	rec.LatencySamples = d.LatencySamples()
+	if rec.LatencySamples > 0 {
+		rec.P50 = d.LatencyPercentile(50)
+		rec.P99 = d.LatencyPercentile(99)
 	}
 
 	rec.Action = c.decide(rec)
@@ -368,6 +438,46 @@ func (c *Controller) decide(rec TickRecord) string {
 		if rec.Throughput > c.pol.ThroughputFloor*(1+c.pol.FloorMargin) {
 			return c.narrowK()
 		}
+	case TargetLatency:
+		if rec.LatencySamples < c.pol.MinLatencySamples {
+			return "hold"
+		}
+		if rec.P99 > c.pol.LatencyTarget {
+			// Above target: relieve whatever is stretching the tail.
+			if casDominant {
+				return c.widen(true) // contention: widen
+			}
+			if churning {
+				return c.widen(false) // window churn: deepen
+			}
+			if rec.ProbesPerOp >= c.pol.HighProbes {
+				return c.narrowWidth() // search cost: narrow
+			}
+			// A tail none of the structure's signals explain (e.g.
+			// scheduler stalls) is not fixable by geometry: hold rather
+			// than ratchet the window down for nothing.
+			return "hold"
+		}
+		if float64(rec.P99) < float64(c.pol.LatencyTarget)*(1-c.pol.LatencyMargin) && quiet {
+			// Comfortably under target with quiet signals: spend the spare
+			// latency budget on tighter semantics.
+			return c.narrowK()
+		}
+	case MinEnergy:
+		if rec.Throughput < c.pol.ThroughputFloor {
+			return c.widen(casDominant || !churning)
+		}
+		if rec.Throughput > c.pol.ThroughputFloor*(1+c.pol.FloorMargin) {
+			// Headroom above the floor: reduce work per op. Window moves are
+			// the global coordination events — deepen while they dominate;
+			// then probes — narrow while searches are long.
+			if rec.MovesPerOp >= c.pol.HighMoves {
+				return c.deepen()
+			}
+			if rec.ProbesPerOp >= c.pol.HighProbes {
+				return c.narrowWidth()
+			}
+		}
 	default: // MaxThroughput
 		if casDominant {
 			return c.widen(true)
@@ -378,6 +488,15 @@ func (c *Controller) decide(rec TickRecord) string {
 		if quiet && rec.ProbesPerOp >= c.pol.HighProbes {
 			return c.narrowWidth()
 		}
+	}
+	return "hold"
+}
+
+// deepen grows only the vertical knob (MinEnergy's window-churn response:
+// a deeper band means fewer global window moves per operation); c.mu held.
+func (c *Controller) deepen() string {
+	if cand, ok := c.deeperDepth(c.target.Config()); ok {
+		return c.apply(cand, "widen-depth")
 	}
 	return "hold"
 }

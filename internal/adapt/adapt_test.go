@@ -37,6 +37,11 @@ func (f *fakeTarget) feed(ops uint64, casPerOp, movesPerOp, probesPerOp float64)
 	f.stats.Probes += uint64(float64(ops) * probesPerOp)
 }
 
+// feedLatency adds latency samples at the given duration to the interval.
+func (f *fakeTarget) feedLatency(samples uint64, d time.Duration) {
+	f.stats.Latency[core.LatencyBucket(d)] += samples
+}
+
 func testPolicy(goal Goal) Policy {
 	return Policy{
 		Goal:     goal,
@@ -201,6 +206,140 @@ func TestMinRelaxationHoldsFloor(t *testing.T) {
 	}
 }
 
+// TestTargetLatencySteersByDominantSignal drives the latency goal through
+// its three above-target responses and the below-target tightening path.
+func TestTargetLatencySteersByDominantSignal(t *testing.T) {
+	f := &fakeTarget{cfg: core.Config{Width: 2, Depth: 8, Shift: 8, RandomHops: 2}}
+	pol := testPolicy(TargetLatency)
+	pol.LatencyTarget = time.Millisecond
+	c, err := New(f, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over := 4 * time.Millisecond    // whole bucket above the target
+	under := 100 * time.Microsecond // whole bucket below target·(1−margin)
+
+	// Tail over target with contention dominant: widen width.
+	f.feed(1000, 0.5, 0, 2)
+	f.feedLatency(100, over)
+	if rec := c.Step(10 * time.Millisecond); rec.Action != "widen-width" {
+		t.Fatalf("contended tail: got %q, want widen-width", rec.Action)
+	}
+	f.feed(1000, 0, 0, 2) // burn cooldown
+	f.feedLatency(100, under)
+	c.Step(10 * time.Millisecond)
+
+	// Tail over target with window churn dominant: deepen.
+	f.feed(1000, 0, 0.05, 2)
+	f.feedLatency(100, over)
+	if rec := c.Step(10 * time.Millisecond); rec.Action != "widen-depth" {
+		t.Fatalf("churning tail: got %q, want widen-depth", rec.Action)
+	}
+	f.feed(1000, 0, 0, 2)
+	f.feedLatency(100, under)
+	c.Step(10 * time.Millisecond)
+
+	// Tail over target with quiet signals and expensive searches: narrow.
+	f.feed(1000, 0, 0, 8)
+	f.feedLatency(100, over)
+	if rec := c.Step(10 * time.Millisecond); rec.Action != "narrow-width" {
+		t.Fatalf("search-cost tail: got %q, want narrow-width", rec.Action)
+	}
+	f.feed(1000, 0, 0, 2)
+	f.feedLatency(100, under)
+	c.Step(10 * time.Millisecond)
+
+	// Tail over target that NO structural signal explains (quiet, cheap
+	// searches — e.g. scheduler stalls): hold, don't ratchet the window.
+	f.feed(1000, 0, 0, 1.2)
+	f.feedLatency(100, over)
+	if rec := c.Step(10 * time.Millisecond); rec.Action != "hold" {
+		t.Fatalf("unexplained tail: got %q, want hold", rec.Action)
+	}
+
+	// Comfortably under target and quiet: spend the budget on tighter k.
+	kBefore := f.cfg.K()
+	f.feed(1000, 0, 0, 2)
+	f.feedLatency(100, under)
+	rec := c.Step(10 * time.Millisecond)
+	if rec.Action != "narrow-depth" && rec.Action != "narrow-width" {
+		t.Fatalf("latency headroom: got %q, want a narrowing move", rec.Action)
+	}
+	if f.cfg.K() >= kBefore && kBefore > 0 {
+		t.Fatalf("k did not tighten under latency headroom: %d -> %d", kBefore, f.cfg.K())
+	}
+
+	// Too few samples: hold regardless of the estimate.
+	f.feed(1000, 0.5, 0, 2)
+	f.feedLatency(1, over)
+	c.Step(10 * time.Millisecond) // burn cooldown
+	f.feed(1000, 0.5, 0, 2)
+	f.feedLatency(1, over)
+	if rec := c.Step(10 * time.Millisecond); rec.Action != "hold" {
+		t.Fatalf("starved sampler: got %q, want hold", rec.Action)
+	}
+}
+
+// TestMinEnergyReducesWorkAboveFloor: with throughput headroom the energy
+// goal deepens away window churn, then narrows away search cost, and it
+// widens again the moment throughput drops below the floor.
+func TestMinEnergyReducesWorkAboveFloor(t *testing.T) {
+	f := &fakeTarget{cfg: core.Config{Width: 4, Depth: 8, Shift: 8, RandomHops: 2}}
+	c, err := New(f, testPolicy(MinEnergy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 ops / 10ms = 100k ops/s, far above the 1000 floor; churn high.
+	f.feed(1000, 0, 0.05, 2)
+	if rec := c.Step(10 * time.Millisecond); rec.Action != "widen-depth" {
+		t.Fatalf("churn above floor: got %q, want widen-depth", rec.Action)
+	}
+	f.feed(1000, 0, 0, 2)
+	c.Step(10 * time.Millisecond) // cooldown
+	// Churn gone, searches expensive: narrow.
+	f.feed(1000, 0, 0, 8)
+	if rec := c.Step(10 * time.Millisecond); rec.Action != "narrow-width" {
+		t.Fatalf("search cost above floor: got %q, want narrow-width", rec.Action)
+	}
+	f.feed(1000, 0, 0, 2)
+	c.Step(10 * time.Millisecond) // cooldown
+	// Cheap and above floor: hold.
+	f.feed(1000, 0, 0, 1.5)
+	if rec := c.Step(10 * time.Millisecond); rec.Action != "hold" {
+		t.Fatalf("cheap ops above floor: got %q, want hold", rec.Action)
+	}
+	// Below the floor: defend it.
+	f.feed(11, 0.5, 0, 2) // 110 ops/s < 1000
+	if rec := c.Step(100 * time.Millisecond); rec.Action != "widen-width" && rec.Action != "widen-depth" {
+		t.Fatalf("below floor: got %q, want a widening move", rec.Action)
+	}
+}
+
+// TestTickRecordCarriesLatencyAndEnergy: the new signal fields flow into
+// the history.
+func TestTickRecordCarriesLatencyAndEnergy(t *testing.T) {
+	f := &fakeTarget{cfg: core.Config{Width: 2, Depth: 8, Shift: 8, RandomHops: 2}}
+	c, err := New(f, testPolicy(MaxThroughput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.feed(1000, 0, 0.01, 3)
+	f.feedLatency(64, 500*time.Microsecond)
+	rec := c.Step(10 * time.Millisecond)
+	if rec.LatencySamples != 64 {
+		t.Fatalf("LatencySamples = %d, want 64", rec.LatencySamples)
+	}
+	if rec.P99 < 262144 || rec.P99 > 524288 { // the 500µs bucket
+		t.Fatalf("P99 = %v outside the fed bucket", rec.P99)
+	}
+	if rec.P50 <= 0 || rec.P50 > rec.P99 {
+		t.Fatalf("P50 = %v inconsistent with P99 %v", rec.P50, rec.P99)
+	}
+	if want := rec.MovesPerOp + rec.ProbesPerOp; rec.EnergyPerOp != want {
+		t.Fatalf("EnergyPerOp = %g, want moves+probes = %g", rec.EnergyPerOp, want)
+	}
+}
+
 func TestHistoryRecordsSeries(t *testing.T) {
 	f := &fakeTarget{cfg: core.Config{Width: 1, Depth: 8, Shift: 8, RandomHops: 2}}
 	c, err := New(f, testPolicy(MaxThroughput))
@@ -251,6 +390,19 @@ func TestPolicyValidation(t *testing.T) {
 	pol.MinWidth = 4
 	if _, err := New(&fakeTarget{cfg: core.DefaultConfig(1)}, pol); err == nil {
 		t.Fatal("MaxWidth < MinWidth was accepted")
+	}
+	if _, err := New(&fakeTarget{cfg: core.DefaultConfig(1)}, Policy{Goal: TargetLatency}); err == nil {
+		t.Fatal("TargetLatency without a LatencyTarget was accepted")
+	}
+	pol = Policy{Goal: MinEnergy}
+	if _, err := New(&fakeTarget{cfg: core.DefaultConfig(1)}, pol); err == nil {
+		t.Fatal("MinEnergy without a ThroughputFloor was accepted")
+	}
+	pol = testPolicy(TargetLatency)
+	pol.LatencyTarget = time.Millisecond
+	pol.LatencyMargin = 1.5
+	if _, err := New(&fakeTarget{cfg: core.DefaultConfig(1)}, pol); err == nil {
+		t.Fatal("LatencyMargin >= 1 was accepted")
 	}
 }
 

@@ -14,6 +14,10 @@ package core
 // when window headroom is short.
 func (h *Handle[T]) PushBatch(vs []T) {
 	geo := h.pin()
+	// A batch is many operations under one pin: its end-to-end time is not
+	// a per-operation latency, so cancel any sample pin opened (it would
+	// skew the P99 signal by the batch size).
+	h.latSampling = false
 	s := h.s
 	width := geo.width
 	remaining := vs
@@ -83,6 +87,8 @@ func (h *Handle[T]) PopBatch(max int) []T {
 		return nil
 	}
 	geo := h.pin()
+	// As in PushBatch: a batch duration is not an op-latency sample.
+	h.latSampling = false
 	s := h.s
 	width := geo.width
 	depth := geo.depth

@@ -128,10 +128,13 @@ type Stack[T any] struct {
 	// deterministic stream.
 	seed pad.Uint64Line
 
-	// reMu serialises reconfigurations; migrator is the handle the shrink
-	// path uses to re-push stranded items (lazily created, reMu-guarded).
-	reMu     sync.Mutex
-	migrator *Handle[T]
+	// reMu serialises reconfigurations.
+	reMu sync.Mutex
+	// shrinkDisp accumulates, over all width shrinks, the stranded-plus-
+	// target populations of the warm handoff's splices — an upper bound on
+	// the extra LIFO displacement the migrations can have caused (see
+	// spliceStranded and ShrinkDisplacementBound).
+	shrinkDisp atomic.Int64
 
 	// hMu guards the handle registry, which powers both epoch quiescence
 	// detection and StatsSnapshot. Each entry holds its handle weakly — so
@@ -183,6 +186,13 @@ func (s *Stack[T]) Epoch() uint64 { return s.geo.Load().epoch }
 
 // Global exposes the current window ceiling; diagnostics only.
 func (s *Stack[T]) Global() int64 { return s.global.V.Load() }
+
+// ShrinkDisplacementBound returns the cumulative upper bound on LIFO
+// displacement attributable to width-shrink migrations: the sum over all
+// warm-handoff splices of the stranded chain's length plus its target's
+// population. Zero while no shrink has migrated anything. Diagnostics —
+// cmd/adapttune uses it to budget its realised-distance check.
+func (s *Stack[T]) ShrinkDisplacementBound() int64 { return s.shrinkDisp.Load() }
 
 // Len returns the total number of items across all sub-stacks. It is exact
 // when quiescent and approximate under concurrency (each addend is an atomic

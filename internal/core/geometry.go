@@ -58,13 +58,17 @@ func freshGeometry[T any](cfg Config, epoch uint64) *geometry[T] {
 //     shared, so no item moves.
 //   - Width shrink drops the trailing slots from the new geometry, waits
 //     for every operation pinned to the old geometry to finish (epoch
-//     quiescence), then migrates the stranded items back into the live
-//     window, deepest-first so their relative LIFO order is preserved.
+//     quiescence), then splices each stranded chain onto the least-loaded
+//     surviving sub-stack in one descriptor CAS (the warm handoff; see
+//     spliceStranded), preserving the chain's relative LIFO order; the
+//     Global window advances once, batched, instead of once per exhausted
+//     band as under the retired funnel migration.
 //
 // Semantics during a transition: operations still in flight on the old
 // geometry follow its window rules, so for the duration of the handover the
 // effective relaxation bound is max(K_old, K_new) plus (for a shrink) the
-// number of migrated items. A shrink additionally makes the stranded items
+// spliced chain's length plus its target's population — the quantity
+// tracked by ShrinkDisplacementBound. A shrink additionally makes the stranded items
 // invisible to new-geometry operations until the migration completes
 // (Reconfigure returns only after it has): a concurrent Pop inside that
 // window may report empty even though stranded items exist. Callers that
@@ -154,25 +158,87 @@ func (s *Stack[T]) reconfigureLocked(cfg Config) error {
 		// move them into the live window. After quiescence the slots are
 		// exclusively ours (new-geometry searches never index past width).
 		s.waitQuiesce(old.epoch)
-		if s.migrator == nil {
-			s.migrator = s.NewHandle()
-			s.migrator.hidden = true
-		}
-		for _, ss := range dropped {
-			d := ss.load()
-			ss.desc.P.Store(&descriptor[T]{})
-			vals := make([]T, 0, d.count)
-			for n := d.top; n != nil; n = n.next {
-				vals = append(vals, n.value)
-			}
-			// vals is top-first; re-push bottom-first to preserve order.
-			for i := len(vals) - 1; i >= 0; i-- {
-				s.migrator.Push(vals[i])
-			}
-		}
-		s.migrator.FlushStats()
+		s.spliceStranded(next, dropped)
 	}
 	return nil
+}
+
+// spliceStranded is the warm shrink handoff: each dropped sub-stack's whole
+// chain is spliced, in one descriptor CAS, on top of the surviving sub-stack
+// currently holding the fewest items (read from the live descriptor
+// counters), followed by one batched Global raise that restores push
+// headroom. Compared with the earlier approach — re-pushing every stranded
+// item through one internal handle's normal Push path, which forced a
+// window raise each time the re-pushes exhausted the band (the transient
+// k-spike of DESIGN.md §4 invariant 2) — this advances the window once
+// instead of once per exhausted band, touches each target once per dropped
+// slot instead of once per item, and spreads the load by the live counters
+// instead of piling it wherever one handle's search happened to land. The
+// stranded chain keeps its internal order; the descriptor count stays equal
+// to the real list length, so window validity and emptiness detection are
+// unaffected.
+//
+// Safety: after old-epoch quiescence the dropped slots and their nodes are
+// exclusively ours, so writing the chain bottom's next pointer is race-free
+// until the CAS publishes it; a CAS loss to a concurrent operation on the
+// target just re-picks the least-loaded target and retries.
+func (s *Stack[T]) spliceStranded(next *geometry[T], dropped []*subStack[T]) {
+	var disp int64
+	for _, ss := range dropped {
+		d := ss.load()
+		ss.desc.P.Store(&descriptor[T]{})
+		if d.count == 0 {
+			continue
+		}
+		bottom := d.top
+		for bottom.next != nil {
+			bottom = bottom.next
+		}
+		for {
+			tgt, td := next.subs[0], next.subs[0].load()
+			for _, cand := range next.subs[1:] {
+				if cd := cand.load(); cd.count < td.count {
+					tgt, td = cand, cd
+				}
+			}
+			bottom.next = td.top
+			if tgt.cas(td, &descriptor[T]{top: d.top, count: td.count + d.count}) {
+				disp += td.count + d.count
+				break
+			}
+		}
+	}
+	// Each migrated item lands above at most its target's population and
+	// below nothing it displaced; the sum of (stranded + target) populations
+	// over the splices is therefore an upper bound on the extra LIFO
+	// displacement this shrink can have caused.
+	s.shrinkDisp.Add(disp)
+
+	// Restore push headroom. On a large shrink every survivor receives a
+	// chain, so all counts can sit at or above the untouched Global at
+	// once and the next Push would stall through repeated full-coverage
+	// passes, each raising Global by only shift and restarting every
+	// concurrent search — the funnel's spike in client clothing. One
+	// batched raise to shift headroom above the least-loaded survivor is
+	// the advance the window would have made had the migrated items been
+	// pushed normally; counts stay within the usual band, and pops at
+	// worst lower the window one extra round. (Global is not monotone —
+	// concurrent pops may lower it — but one successful raise-if-below
+	// CAS is all this needs.)
+	if disp > 0 {
+		minCount := next.subs[0].load().count
+		for _, ss := range next.subs[1:] {
+			if c := ss.load().count; c < minCount {
+				minCount = c
+			}
+		}
+		for target := minCount + next.shift; ; {
+			cur := s.global.V.Load()
+			if cur >= target || s.global.V.CompareAndSwap(cur, target) {
+				break
+			}
+		}
+	}
 }
 
 // waitQuiesce blocks until no handle is pinned to an epoch <= oldEpoch.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 	"weak"
 
 	"stack2d/internal/xrand"
@@ -23,6 +24,13 @@ type Handle[T any] struct {
 	// shared (see maybeFlush in stats.go).
 	sinceFlush int
 
+	// opSeq counts operations begun; every latencySampleInterval-th one is
+	// latency-sampled end to end (latSampling/latStart carry the in-flight
+	// sample between pin and unpin). Owner-goroutine only.
+	opSeq       uint64
+	latSampling bool
+	latStart    time.Time
+
 	// epoch is the geometry epoch the handle is currently operating under,
 	// or 0 when idle. Written only by the owner, read by reconfigurers to
 	// detect quiescence of a superseded geometry.
@@ -33,19 +41,11 @@ type Handle[T any] struct {
 	// held strongly by the handle registry, so the final published
 	// counters outlive the handle itself.
 	shared *SharedCounters
-
-	// hidden excludes the handle's counters from StatsSnapshot; set for
-	// the stack's internal migration handle so reconfiguration traffic
-	// does not masquerade as client operations in the controller's
-	// signals. Epoch tracking is unaffected.
-	hidden bool
 }
 
 // handleEntry is one registry slot: the weak handle for liveness/epoch
-// checks plus a strong reference to its atomic counter mirror. A dead
-// entry is never a hidden (migration) handle — the stack itself keeps its
-// migrator strongly reachable — so pruning can fold every dead entry's
-// counters into retired unconditionally.
+// checks plus a strong reference to its atomic counter mirror, so pruning
+// can fold every dead entry's counters into retired unconditionally.
 type handleEntry[T any] struct {
 	wp     weak.Pointer[Handle[T]]
 	shared *SharedCounters
@@ -83,7 +83,15 @@ func (s *Stack[T]) NewHandle() *Handle[T] {
 // it. The re-check after the epoch store closes the race with a concurrent
 // geometry swap: once pin returns, any reconfigurer that superseded geo
 // will wait for this handle's unpin before touching stranded sub-stacks.
+// pin also opens the 1-in-N latency sample: a sampled operation is timed
+// from here to the matching unpin, so the estimate covers the whole search
+// including window maintenance and restarts.
 func (h *Handle[T]) pin() *geometry[T] {
+	h.opSeq++
+	if h.opSeq%latencySampleInterval == 0 {
+		h.latSampling = true
+		h.latStart = time.Now()
+	}
 	for {
 		geo := h.s.geo.Load()
 		h.epoch.Store(geo.epoch)
@@ -97,9 +105,14 @@ func (h *Handle[T]) pin() *geometry[T] {
 	}
 }
 
-// unpin marks the handle idle and periodically publishes its counters.
+// unpin marks the handle idle, closes an in-flight latency sample, and
+// periodically publishes its counters.
 func (h *Handle[T]) unpin() {
 	h.epoch.Store(0)
+	if h.latSampling {
+		h.latSampling = false
+		h.stats.Latency[LatencyBucket(time.Since(h.latStart))]++
+	}
 	h.maybeFlush()
 }
 

@@ -21,6 +21,61 @@ func TestReconfigureValidation(t *testing.T) {
 	}
 }
 
+// TestShrinkWarmHandoffSplice pins the warm-handoff mechanics in a
+// quiescent shrink: stranded chains are spliced onto the least-loaded
+// surviving sub-stacks (reproducing the argmin choice from the pre-shrink
+// counts), the Global window advances exactly once in a batch — restoring
+// push headroom; the retired funnel-migration re-pushed items through the
+// window search, raising Global once per exhausted band (the k-spike),
+// while a splice without the batched raise would defer those raises onto
+// stalled client pushes — and the displacement accounting opens a non-zero
+// budget.
+func TestShrinkWarmHandoffSplice(t *testing.T) {
+	s := MustNew[uint64](Config{Width: 4, Depth: 16, Shift: 16, RandomHops: 0})
+	h := s.NewHandle()
+	for i := uint64(0); i < 400; i++ {
+		h.Push(i)
+	}
+	before := s.SubCounts()
+	if err := s.SetWidth(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != 400 {
+		t.Fatalf("Len = %d after shrink, want 400 (migration lost items)", got)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after shrink: %v", err)
+	}
+	// Replay the argmin policy on the recorded counts: dropped slots are
+	// spliced in index order, each onto the currently least-loaded
+	// survivor.
+	want := []int64{before[0], before[1]}
+	for _, stranded := range before[2:] {
+		j := 0
+		if want[1] < want[0] {
+			j = 1
+		}
+		want[j] += stranded
+	}
+	after := s.SubCounts()
+	if after[0] != want[0] || after[1] != want[1] {
+		t.Fatalf("post-shrink loads %v, want %v (least-loaded splice of %v)", after, want, before)
+	}
+	if s.ShrinkDisplacementBound() <= 0 {
+		t.Fatal("shrink migrated items but ShrinkDisplacementBound is zero")
+	}
+	// Push headroom was restored in one batched Global advance: the next
+	// push needs zero window raises, and a pop still succeeds.
+	raisesBefore := h.Stats().WindowRaises
+	h.Push(1 << 40)
+	if raises := h.Stats().WindowRaises - raisesBefore; raises != 0 {
+		t.Fatalf("first post-shrink push needed %d window raises (push outage)", raises)
+	}
+	if _, ok := h.Pop(); !ok {
+		t.Fatal("post-shrink pop failed")
+	}
+}
+
 func TestReconfigureQuiescent(t *testing.T) {
 	s := MustNew[int](Config{Width: 2, Depth: 4, Shift: 4, RandomHops: 0})
 	h := s.NewHandle()

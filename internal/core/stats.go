@@ -1,6 +1,53 @@
 package core
 
-import "sync/atomic"
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Latency sampling. One operation in latencySampleInterval is timed
+// end-to-end (pin to unpin) and recorded into a log2-bucketed histogram in
+// the handle's OpStats. The buckets are monotone counters like every other
+// field, so they flush through the same SharedCounters mirror, aggregate
+// through the same prune-retired registry, and subtract cleanly between
+// StatsSnapshots — which is what lets internal/adapt compute interval P50/
+// P99 estimates at runtime without the harness's offline sampler.
+const (
+	// latencySampleInterval is the sampling stride: 1 operation in this many
+	// is timed. A power of two so the hot-path check is a mask test. At this
+	// stride the amortised cost of the two clock reads is well under a
+	// nanosecond per operation.
+	latencySampleInterval = 64
+
+	// NumLatencyBuckets is the histogram size. Bucket i holds samples whose
+	// duration in nanoseconds has bit-length i, i.e. [2^(i-1), 2^i) ns;
+	// bucket 0 holds sub-nanosecond readings and the last bucket absorbs
+	// everything from ~67 ms up (scheduler stalls included).
+	NumLatencyBuckets = 28
+)
+
+// LatencyBucket maps a sampled duration to its histogram bucket.
+func LatencyBucket(d time.Duration) int {
+	ns := int64(d)
+	if ns <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= NumLatencyBuckets {
+		b = NumLatencyBuckets - 1
+	}
+	return b
+}
+
+// latencyBucketBounds returns the duration range bucket i covers, used for
+// within-bucket interpolation when estimating percentiles.
+func latencyBucketBounds(i int) (lo, hi time.Duration) {
+	if i <= 0 {
+		return 0, 1
+	}
+	return time.Duration(int64(1) << (i - 1)), time.Duration(int64(1) << i)
+}
 
 // OpStats counts the work a Handle performed, supporting the step-
 // complexity analysis the paper's full version develops: how many
@@ -20,6 +67,56 @@ type OpStats struct {
 	WindowRaises uint64 // successful Global += shift CASes by this handle
 	WindowLowers uint64 // successful Global -= shift CASes by this handle
 	Restarts     uint64 // searches restarted due to an observed Global change
+
+	// Latency is the log2-bucketed histogram of sampled operation
+	// latencies (1 operation in latencySampleInterval is timed; see
+	// LatencyBucket for the bucket layout). Estimate percentiles with
+	// LatencyPercentile.
+	Latency [NumLatencyBuckets]uint64
+}
+
+// LatencySamples returns how many operations were latency-sampled.
+func (s OpStats) LatencySamples() uint64 {
+	var n uint64
+	for _, b := range s.Latency {
+		n += b
+	}
+	return n
+}
+
+// LatencyPercentile estimates the p-th percentile (0..100) of the sampled
+// operation latency from the histogram, interpolating linearly within the
+// winning bucket. Zero when no samples were recorded. Log2 buckets bound
+// the estimation error by a factor of two of the true sample value, which
+// is far finer than the order-of-magnitude swings the latency-goal
+// controller steers on.
+func (s OpStats) LatencyPercentile(p float64) time.Duration {
+	total := s.LatencySamples()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := p / 100 * float64(total)
+	var cum float64
+	for i, b := range s.Latency {
+		if b == 0 {
+			continue
+		}
+		next := cum + float64(b)
+		if rank <= next {
+			lo, hi := latencyBucketBounds(i)
+			frac := (rank - cum) / float64(b)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	_, hi := latencyBucketBounds(NumLatencyBuckets - 1)
+	return hi
 }
 
 // Ops returns the total completed operations.
@@ -56,6 +153,9 @@ func (s *OpStats) Add(other OpStats) {
 	s.WindowRaises += other.WindowRaises
 	s.WindowLowers += other.WindowLowers
 	s.Restarts += other.Restarts
+	for i := range s.Latency {
+		s.Latency[i] += other.Latency[i]
+	}
 }
 
 // Sub returns s - other field-wise, saturating at zero, for computing
@@ -68,7 +168,7 @@ func (s OpStats) Sub(other OpStats) OpStats {
 		}
 		return a - b
 	}
-	return OpStats{
+	out := OpStats{
 		Pushes:       sat(s.Pushes, other.Pushes),
 		Pops:         sat(s.Pops, other.Pops),
 		EmptyPops:    sat(s.EmptyPops, other.EmptyPops),
@@ -79,6 +179,10 @@ func (s OpStats) Sub(other OpStats) OpStats {
 		WindowLowers: sat(s.WindowLowers, other.WindowLowers),
 		Restarts:     sat(s.Restarts, other.Restarts),
 	}
+	for i := range out.Latency {
+		out.Latency[i] = sat(s.Latency[i], other.Latency[i])
+	}
+	return out
 }
 
 // Stats returns a copy of the handle's counters. Owner-goroutine only.
@@ -106,6 +210,7 @@ type SharedCounters struct {
 	pushes, pops, emptyPops              atomic.Uint64
 	probes, randomHops, casFailures      atomic.Uint64
 	windowRaises, windowLowers, restarts atomic.Uint64
+	latency                              [NumLatencyBuckets]atomic.Uint64
 }
 
 func (c *SharedCounters) Store(st OpStats) {
@@ -118,10 +223,13 @@ func (c *SharedCounters) Store(st OpStats) {
 	c.windowRaises.Store(st.WindowRaises)
 	c.windowLowers.Store(st.WindowLowers)
 	c.restarts.Store(st.Restarts)
+	for i := range c.latency {
+		c.latency[i].Store(st.Latency[i])
+	}
 }
 
 func (c *SharedCounters) Load() OpStats {
-	return OpStats{
+	out := OpStats{
 		Pushes:       c.pushes.Load(),
 		Pops:         c.pops.Load(),
 		EmptyPops:    c.emptyPops.Load(),
@@ -132,6 +240,10 @@ func (c *SharedCounters) Load() OpStats {
 		WindowLowers: c.windowLowers.Load(),
 		Restarts:     c.restarts.Load(),
 	}
+	for i := range c.latency {
+		out.Latency[i] = c.latency[i].Load()
+	}
+	return out
 }
 
 // maybeFlush publishes the handle's counters every statsFlushInterval
@@ -159,17 +271,14 @@ func (h *Handle[T]) FlushStats() {
 // handle (and by the same amount, permanently, per abandoned handle).
 // Because the registry holds each handle's counter mirror strongly, a
 // collected-but-not-yet-pruned handle's work is still read here — the
-// snapshot never transiently loses completed operations. Internal
-// migration handles are excluded, so reconfiguration traffic does not
-// read as client operations. This is the feed for internal/adapt's
-// controller.
+// snapshot never transiently loses completed operations. Reconfiguration
+// traffic does not read as client operations: the warm shrink handoff
+// splices stranded items directly at the descriptor level, without a
+// handle. This is the feed for internal/adapt's controller.
 func (s *Stack[T]) StatsSnapshot() OpStats {
 	s.hMu.Lock()
 	out := s.retired
 	for _, e := range s.handles {
-		if h := e.wp.Value(); h != nil && h.hidden {
-			continue
-		}
 		out.Add(e.shared.Load())
 	}
 	s.hMu.Unlock()

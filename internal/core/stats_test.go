@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestStatsCountOps(t *testing.T) {
 	s := MustNew[int](Config{Width: 2, Depth: 4, Shift: 4, RandomHops: 1})
@@ -96,6 +99,103 @@ func TestProbesPerOpEmpty(t *testing.T) {
 	var st OpStats
 	if st.ProbesPerOp() != 0 {
 		t.Fatal("ProbesPerOp on zero stats not 0")
+	}
+}
+
+func TestLatencyBucketLayout(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0}, {-time.Second, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3},
+		{255, 8}, {256, 9}, {time.Duration(1) << 40, NumLatencyBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := LatencyBucket(c.d); got != c.want {
+			t.Fatalf("LatencyBucket(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestLatencyPercentileEstimate(t *testing.T) {
+	var st OpStats
+	if st.LatencyPercentile(99) != 0 {
+		t.Fatal("percentile of empty histogram not 0")
+	}
+	// 99 samples in [256,512) ns, 1 sample in [65536,131072) ns: P50 must
+	// fall in the low bucket, P99.5 (past the low bucket's mass) in the
+	// high one.
+	st.Latency[LatencyBucket(300)] = 99
+	st.Latency[LatencyBucket(100000)] = 1
+	if st.LatencySamples() != 100 {
+		t.Fatalf("LatencySamples = %d, want 100", st.LatencySamples())
+	}
+	if p := st.LatencyPercentile(50); p < 256 || p >= 512 {
+		t.Fatalf("P50 = %v outside the dominant bucket [256ns,512ns)", p)
+	}
+	if p := st.LatencyPercentile(99.5); p < 65536 || p >= 131072 {
+		t.Fatalf("P99.5 = %v outside the tail bucket [65.5µs,131µs)", p)
+	}
+	// Percentiles are monotone in p.
+	if st.LatencyPercentile(10) > st.LatencyPercentile(90) {
+		t.Fatal("percentile not monotone")
+	}
+}
+
+func TestLatencyHistogramAddSub(t *testing.T) {
+	var a, b OpStats
+	a.Latency[3] = 10
+	b.Latency[3] = 4
+	b.Latency[5] = 1
+	a.Add(b)
+	if a.Latency[3] != 14 || a.Latency[5] != 1 {
+		t.Fatalf("Add merged wrong: %v", a.Latency[:8])
+	}
+	d := a.Sub(b)
+	if d.Latency[3] != 10 || d.Latency[5] != 0 {
+		t.Fatalf("Sub gave %v", d.Latency[:8])
+	}
+	// Saturating, like every counter.
+	if d2 := b.Sub(a); d2.Latency[3] != 0 {
+		t.Fatalf("Sub did not saturate: %v", d2.Latency[:8])
+	}
+}
+
+// TestLatencySamplerRecords drives more operations than the sampling
+// stride and verifies samples land in the handle's stats and flow through
+// FlushStats into StatsSnapshot.
+func TestLatencySamplerRecords(t *testing.T) {
+	s := MustNew[int](Config{Width: 2, Depth: 8, Shift: 8, RandomHops: 1})
+	h := s.NewHandle()
+	const ops = 1024 // 16 strides of 64
+	for i := 0; i < ops; i++ {
+		h.Push(i)
+	}
+	st := h.Stats()
+	if n := st.LatencySamples(); n < ops/128 || n > ops/32 {
+		t.Fatalf("LatencySamples = %d after %d ops, want about %d", n, ops, ops/64)
+	}
+	if st.LatencyPercentile(50) <= 0 {
+		t.Fatal("sampled P50 is zero")
+	}
+	h.FlushStats()
+	if got := s.StatsSnapshot().LatencySamples(); got != st.LatencySamples() {
+		t.Fatalf("snapshot lost latency samples: %d != %d", got, st.LatencySamples())
+	}
+}
+
+// TestLatencySamplerSkipsBatches: a batch is many operations under one
+// pin; recording its end-to-end time as one op latency would skew the P99
+// signal by the batch size, so batch entry points cancel the sample.
+func TestLatencySamplerSkipsBatches(t *testing.T) {
+	s := MustNew[int](Config{Width: 2, Depth: 64, Shift: 64, RandomHops: 0})
+	h := s.NewHandle()
+	for i := 0; i < 256; i++ {
+		h.PushBatch([]int{1, 2, 3})
+		h.PopBatch(3)
+	}
+	if n := h.Stats().LatencySamples(); n != 0 {
+		t.Fatalf("batch calls recorded %d latency samples, want 0", n)
 	}
 }
 

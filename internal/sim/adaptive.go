@@ -2,7 +2,9 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
+	"stack2d/internal/core"
 	"stack2d/internal/xrand"
 )
 
@@ -25,6 +27,28 @@ type TwoDWork struct {
 	Probes      uint64 // sub-stack validity checks
 	CASFailures uint64 // failed descriptor CASes (contention)
 	WindowMoves uint64 // Global shift CAS attempts after exhausted windows
+
+	// Latency is the per-operation duration histogram, in simulated cycles
+	// read as nanoseconds, bucketed with core.LatencyBucket so it folds
+	// directly into a core.OpStats — the latency-goal controller sees the
+	// same signal shape natively and in simulation. Every simulated
+	// operation is recorded (sampling exists to keep the native hot path
+	// cheap; the simulator has no such constraint).
+	Latency [core.NumLatencyBuckets]uint64
+}
+
+// add folds other into w, field-wise.
+func (w *TwoDWork) add(other TwoDWork) {
+	w.Ops += other.Ops
+	w.Pushes += other.Pushes
+	w.Pops += other.Pops
+	w.EmptyPops += other.EmptyPops
+	w.Probes += other.Probes
+	w.CASFailures += other.CASFailures
+	w.WindowMoves += other.WindowMoves
+	for i := range w.Latency {
+		w.Latency[i] += other.Latency[i]
+	}
 }
 
 // twoDInstrumentedBody is TwoDBody with work counters accumulated into w.
@@ -36,6 +60,7 @@ func twoDInstrumentedBody(subs []*Word, global *Word, depth, shift int64, random
 		anchor := rng.Intn(width)
 		for t.Running() {
 			push := rng.Bool()
+			opStart := t.Clock()
 			for t.Running() {
 				g := t.Read(global)
 				idx := anchor
@@ -104,6 +129,7 @@ func twoDInstrumentedBody(subs []*Word, global *Word, depth, shift int64, random
 				}
 			}
 			w.Ops++
+			w.Latency[core.LatencyBucket(time.Duration(t.Clock()-opStart))]++
 			t.OpDone()
 		}
 	}
@@ -143,13 +169,7 @@ func TwoDSegment(machine Machine, width int, depth, shift int64, randomHops, p i
 	s.Run(horizon)
 	var total TwoDWork
 	for _, w := range work {
-		total.Ops += w.Ops
-		total.Pushes += w.Pushes
-		total.Pops += w.Pops
-		total.EmptyPops += w.EmptyPops
-		total.Probes += w.Probes
-		total.CASFailures += w.CASFailures
-		total.WindowMoves += w.WindowMoves
+		total.add(w)
 	}
 	return total, nil
 }

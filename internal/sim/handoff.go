@@ -1,0 +1,132 @@
+package sim
+
+import "fmt"
+
+// This file models the width-shrink migration — the one reconfiguration
+// that moves items — under the machine's coherence cost model, comparing
+// the two strategies the repository has shipped:
+//
+//   - funnel: the pre-handoff design. One internal handle re-inserts every
+//     stranded item through the structure's normal window search: an
+//     expected half-round of descriptor probes per item, a CAS on whatever
+//     sub-structure the search landed on, and a CAS on the hot Global line
+//     each time the re-inserts exhaust the window band — the source of the
+//     transient relaxation spike recorded in DESIGN.md.
+//
+//   - warm: the handoff shipped with the latency/energy control plane. The
+//     stack splices each stranded chain onto the least-loaded surviving
+//     sub-stack in one descriptor CAS (a scan of the surviving descriptors
+//     plus a walk of the exclusively-owned chain); the queue appends each
+//     item directly to the least-loaded surviving sub-queue (one enqueue
+//     CAS and one counter bump per item, with the load scan amortised
+//     across the drain). Both finish with exactly one batched raise of the
+//     insert-side ceiling — restoring insert headroom — instead of the
+//     funnel's one raise per exhausted band.
+//
+// The model is analytic over the Machine's published cost constants rather
+// than a discrete-event run: after quiescence the migrator runs alone on
+// the dropped slots, so there is no interleaving to discover — only work
+// to count. It exists so the controller experiments can quantify the
+// handoff win on the paper's testbed geometry without native hardware
+// (cmd/adapttune prints it next to the shrink experiments, and the tests
+// pin that the win does not regress).
+
+// HandoffStructure selects which structure's migration is modelled.
+type HandoffStructure int
+
+const (
+	// HandoffStack models core.Stack's migration (chain splice).
+	HandoffStack HandoffStructure = iota
+	// HandoffQueue models twodqueue.Queue's migration (per-item append).
+	HandoffQueue
+)
+
+// HandoffModel is the modelled cost of one width-shrink migration.
+type HandoffModel struct {
+	// FunnelCycles / WarmCycles are the modelled migration costs in
+	// machine cycles.
+	FunnelCycles int64
+	WarmCycles   int64
+	// FunnelWindowMoves / WarmWindowMoves count CASes of the hot Global
+	// line: the funnel pays one per exhausted band — each also restarting
+	// every concurrent operation's search — while the warm handoff pays
+	// exactly one batched raise at the end of the migration.
+	FunnelWindowMoves int64
+	WarmWindowMoves   int64
+	// FunnelDisplacement / WarmDisplacement are upper bounds on the extra
+	// out-of-order displacement the migration causes: the funnel piles the
+	// stranded population wherever one handle's search lands on top of
+	// everything resident, while the warm handoff spreads it by the live
+	// counters, so each item lands behind at most the mean surviving load
+	// plus the stranded items ahead of it.
+	FunnelDisplacement int64
+	WarmDisplacement   int64
+}
+
+// ModelShrinkHandoff models migrating `stranded` items into `newWidth`
+// surviving slots holding `live` items in total, after a shrink from
+// oldWidth, under machine m's cost constants. depth and shift are the
+// window parameters in force during the migration (the funnel's window-move
+// count depends on them; the warm handoff's cost does not).
+func ModelShrinkHandoff(m Machine, structure HandoffStructure, oldWidth, newWidth int, depth, shift, live, stranded int64) (HandoffModel, error) {
+	switch {
+	case oldWidth < 2 || newWidth < 1 || newWidth >= oldWidth:
+		return HandoffModel{}, fmt.Errorf("sim: handoff needs 1 <= newWidth < oldWidth, got %d -> %d", oldWidth, newWidth)
+	case depth < 1 || shift < 1 || shift > depth:
+		return HandoffModel{}, fmt.Errorf("sim: bad window depth=%d shift=%d", depth, shift)
+	case live < 0 || stranded < 0:
+		return HandoffModel{}, fmt.Errorf("sim: negative populations live=%d stranded=%d", live, stranded)
+	}
+	if err := m.Validate(); err != nil {
+		return HandoffModel{}, err
+	}
+
+	var out HandoffModel
+	droppedSlots := int64(oldWidth - newWidth)
+	w := int64(newWidth)
+
+	// Funnel: per item, an expected (w+1)/2 descriptor probes (coherence
+	// misses: the live traffic keeps invalidating the migrator's copies),
+	// then the winning insert — one descriptor CAS for the stack, an
+	// enqueue CAS plus a counter bump for the queue; plus a Global CAS
+	// each time the re-inserts fill the open band (shift headroom per
+	// surviving slot per move).
+	probesPerItem := (w + 1) / 2
+	if probesPerItem < 1 {
+		probesPerItem = 1
+	}
+	insertCost := m.IntraSocketCost
+	if structure == HandoffQueue {
+		insertCost = 2 * m.IntraSocketCost
+	}
+	out.FunnelWindowMoves = stranded / (shift * w)
+	out.FunnelCycles = stranded*(probesPerItem*m.IntraSocketCost+insertCost) +
+		out.FunnelWindowMoves*m.InterSocketCost
+	// Every stranded item re-enters on top of / behind the whole resident
+	// population, wherever the single handle's search happened to land.
+	out.FunnelDisplacement = live + stranded
+
+	// Warm: a scan of the surviving descriptors (coherence misses) to pick
+	// the least-loaded target, then either one splice CAS per dropped slot
+	// (stack; the chain walk is local, exclusively-owned memory) or one
+	// append CAS plus a counter bump per item (queue).
+	switch structure {
+	case HandoffStack:
+		out.WarmCycles = droppedSlots*(w*m.IntraSocketCost+m.IntraSocketCost) + stranded*m.LocalCost
+	case HandoffQueue:
+		out.WarmCycles = stranded*(2*m.IntraSocketCost+w*m.LocalCost) + droppedSlots*w*m.IntraSocketCost
+	default:
+		return HandoffModel{}, fmt.Errorf("sim: unknown handoff structure %d", structure)
+	}
+	if stranded > 0 {
+		out.WarmWindowMoves = 1 // the single batched insert-ceiling raise
+		out.WarmCycles += m.InterSocketCost
+	}
+	// Balanced placement: an item lands behind at most the mean surviving
+	// load plus the stranded items drained ahead of it.
+	out.WarmDisplacement = live/w + stranded
+	if out.WarmDisplacement > out.FunnelDisplacement {
+		out.WarmDisplacement = out.FunnelDisplacement
+	}
+	return out, nil
+}

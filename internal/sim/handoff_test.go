@@ -1,0 +1,82 @@
+package sim
+
+import "testing"
+
+func TestModelShrinkHandoffValidation(t *testing.T) {
+	m := DefaultMachine()
+	bad := []struct {
+		oldW, newW   int
+		depth, shift int64
+	}{
+		{2, 2, 8, 8},  // not a shrink
+		{1, 2, 8, 8},  // growth
+		{8, 0, 8, 8},  // no survivors
+		{8, 2, 8, 16}, // shift > depth
+		{8, 2, 0, 1},  // bad depth
+	}
+	for _, c := range bad {
+		if _, err := ModelShrinkHandoff(m, HandoffStack, c.oldW, c.newW, c.depth, c.shift, 100, 100); err == nil {
+			t.Fatalf("accepted invalid handoff %+v", c)
+		}
+	}
+}
+
+// TestModelShrinkHandoffWin pins the modelled advantage of the warm
+// handoff over the retired funnel migration, for both structures, on the
+// paper's machine model: cheaper in cycles, zero window moves (the funnel's
+// k-spike mechanism), and no worse in displacement.
+func TestModelShrinkHandoffWin(t *testing.T) {
+	m := DefaultMachine()
+	for _, hs := range []HandoffStructure{HandoffStack, HandoffQueue} {
+		for _, c := range []struct {
+			oldW, newW     int
+			live, stranded int64
+		}{
+			{8, 2, 1000, 3000},
+			{64, 16, 32768, 24576},
+			{4, 1, 100, 300},
+		} {
+			hm, err := ModelShrinkHandoff(m, hs, c.oldW, c.newW, 64, 64, c.live, c.stranded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hm.WarmCycles >= hm.FunnelCycles {
+				t.Fatalf("structure %d %+v: warm %d cycles not under funnel %d", hs, c, hm.WarmCycles, hm.FunnelCycles)
+			}
+			if hm.FunnelWindowMoves <= 0 {
+				t.Fatalf("structure %d %+v: funnel modelled zero window moves", hs, c)
+			}
+			if hm.WarmWindowMoves != 1 {
+				t.Fatalf("structure %d %+v: warm modelled %d window moves, want the single batched raise", hs, c, hm.WarmWindowMoves)
+			}
+			if hm.FunnelWindowMoves < hm.WarmWindowMoves {
+				t.Fatalf("structure %d %+v: funnel window moves %d below warm %d", hs, c, hm.FunnelWindowMoves, hm.WarmWindowMoves)
+			}
+			if hm.WarmDisplacement > hm.FunnelDisplacement {
+				t.Fatalf("structure %d %+v: warm displacement %d above funnel %d",
+					hs, c, hm.WarmDisplacement, hm.FunnelDisplacement)
+			}
+		}
+	}
+}
+
+// TestModelShrinkHandoffScales: funnel cost grows with the stranded
+// population faster than warm cost does for the stack (whose splices are
+// per-slot, not per-item).
+func TestModelShrinkHandoffScales(t *testing.T) {
+	m := DefaultMachine()
+	small, err := ModelShrinkHandoff(m, HandoffStack, 8, 2, 64, 64, 1000, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := ModelShrinkHandoff(m, HandoffStack, 8, 2, 64, 64, 1000, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funnelGrowth := float64(big.FunnelCycles) / float64(small.FunnelCycles)
+	warmGrowth := float64(big.WarmCycles) / float64(small.WarmCycles)
+	if funnelGrowth <= warmGrowth {
+		t.Fatalf("funnel growth %.1fx not above warm growth %.1fx over a 10x stranded population",
+			funnelGrowth, warmGrowth)
+	}
+}

@@ -1,0 +1,35 @@
+package sim
+
+import "testing"
+
+// TestSegmentsRecordLatency: the instrumented bodies must time every
+// completed operation into the TwoDWork histogram, deterministically, so
+// the latency-goal controller has a signal in simulation.
+func TestSegmentsRecordLatency(t *testing.T) {
+	m := DefaultMachine()
+	stack, err := TwoDSegment(m, 4, 16, 16, 2, 8, 50000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queue, err := TwoDQueueSegment(m, 4, 16, 16, 2, 8, 50000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range map[string]TwoDWork{"stack": stack, "queue": queue} {
+		var samples uint64
+		for _, b := range w.Latency {
+			samples += b
+		}
+		if samples != w.Ops {
+			t.Fatalf("%s: %d latency samples for %d ops (every op must be timed)", name, samples, w.Ops)
+		}
+	}
+	// Determinism: the histogram is part of the reproducible segment output.
+	again, err := TwoDSegment(m, 4, 16, 16, 2, 8, 50000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Latency != stack.Latency {
+		t.Fatal("latency histogram not deterministic across identical segments")
+	}
+}

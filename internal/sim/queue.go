@@ -2,7 +2,9 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
+	"stack2d/internal/core"
 	"stack2d/internal/xrand"
 )
 
@@ -34,6 +36,7 @@ func twoDQueueInstrumentedBody(enqs, deqs []*Word, globalEnq, globalDeq *Word, s
 		anchorD := rng.Intn(width)
 		for t.Running() {
 			enq := rng.Bool()
+			opStart := t.Clock()
 			subs, global, anchor := deqs, globalDeq, &anchorD
 			if enq {
 				subs, global, anchor = enqs, globalEnq, &anchorE
@@ -83,6 +86,7 @@ func twoDQueueInstrumentedBody(enqs, deqs []*Word, globalEnq, globalDeq *Word, s
 				t.CAS(global, g, g+shift)
 			}
 			w.Ops++
+			w.Latency[core.LatencyBucket(time.Duration(t.Clock()-opStart))]++
 			t.OpDone()
 		}
 	}
@@ -129,13 +133,7 @@ func TwoDQueueSegment(machine Machine, width int, depth, shift int64, randomHops
 	s.Run(horizon)
 	var total TwoDWork
 	for _, w := range work {
-		total.Ops += w.Ops
-		total.Pushes += w.Pushes
-		total.Pops += w.Pops
-		total.EmptyPops += w.EmptyPops
-		total.Probes += w.Probes
-		total.CASFailures += w.CASFailures
-		total.WindowMoves += w.WindowMoves
+		total.add(w)
 	}
 	return total, nil
 }

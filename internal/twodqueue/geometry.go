@@ -55,9 +55,11 @@ func freshGeometry[T any](cfg Config, epoch uint64) *geometry[T] {
 //     start at the current window floors (see newSubQueue), so they absorb
 //     at most `depth` operations per window like every surviving slot.
 //   - Width shrink drops the trailing slots, waits for every operation
-//     pinned to the old geometry to finish (epoch quiescence), then
-//     re-enqueues the stranded items front-first so their relative FIFO
-//     order is preserved.
+//     pinned to the old geometry to finish (epoch quiescence), then drains
+//     them round-robin into the least-loaded surviving sub-queues (the warm
+//     handoff; see handoffStranded), approximately preserving the stranded
+//     items' global FIFO order; the dequeue window never moves and the
+//     enqueue window advances once, batched.
 //
 // Semantics during a transition mirror the stack's (core.Stack.Reconfigure):
 // in-flight operations follow the window rules of the geometry they pinned.
@@ -152,32 +154,106 @@ func (q *Queue[T]) reconfigureLocked(cfg Config) error {
 	if len(dropped) > 0 {
 		// Items in the dropped slots are invisible to the new geometry.
 		// Wait until no operation can touch them through the old one, then
-		// re-enqueue them into the live window, front-first so their
-		// relative FIFO order survives.
+		// hand them to the live window directly (see handoffStranded).
 		q.waitQuiesce(old.epoch)
-		if q.migrator == nil {
-			q.migrator = q.NewHandle()
-			q.migrator.hidden = true
-		}
-		// A migrated item re-enters behind everything resident: the live
-		// population plus the other stranded items.
-		stranded := 0
-		for _, sq := range dropped {
-			stranded += sq.q.Len()
-		}
-		q.shrinkDisp.Add(int64(q.Len() + stranded))
-		for _, sq := range dropped {
-			for {
-				v, ok := sq.q.Dequeue()
-				if !ok {
-					break
-				}
-				q.migrator.Enqueue(v)
-			}
-		}
-		q.migrator.FlushStats()
+		q.handoffStranded(next, dropped)
 	}
 	return nil
+}
+
+// handoffStranded is the warm shrink handoff: the dropped sub-queues are
+// drained round-robin — one item per slot per round, which approximately
+// reconstructs the stranded items' global FIFO order, since enqueues were
+// themselves spread across the slots — and each item is appended directly
+// to the surviving sub-queue currently holding the fewest items, bumping
+// its enqueue window counter so the counter keeps meaning "completed
+// enqueues". Compared with the earlier approach — re-enqueueing every item
+// through one internal handle's normal window search — this never touches
+// the dequeue ceiling, advances the enqueue ceiling exactly once in a
+// batch after the drain (the old funnel raised it once per exhausted
+// window, the transient spike of DESIGN.md §5), burns no probes, and
+// spreads the migrated population by the live counters instead of piling
+// it wherever one handle's search landed.
+//
+// The load table is seeded from the live populations and updated locally as
+// items are placed; concurrent client operations keep mutating the real
+// lengths, so the balance is approximate — the displacement bound below
+// does not depend on it being exact.
+func (q *Queue[T]) handoffStranded(next *geometry[T], dropped []*subQueue[T]) {
+	loads := make([]int64, len(next.subs))
+	var live, enqStart int64
+	for i, sq := range next.subs {
+		loads[i] = int64(sq.q.Len())
+		live += loads[i]
+		enqStart += sq.enqs.V.Load()
+	}
+	stranded := int64(0)
+	for _, sq := range dropped {
+		stranded += int64(sq.q.Len())
+	}
+	if stranded == 0 {
+		// Nothing to migrate: no displacement happened and no counter was
+		// bumped, so neither the accounting nor the window raise below has
+		// anything to justify it (mirroring the stack's disp > 0 guard).
+		return
+	}
+	for moved := true; moved; {
+		moved = false
+		for _, sq := range dropped {
+			v, ok := sq.q.Dequeue()
+			if !ok {
+				continue
+			}
+			moved = true
+			j := 0
+			for i := 1; i < len(loads); i++ {
+				if loads[i] < loads[j] {
+					j = i
+				}
+			}
+			next.subs[j].q.Enqueue(v)
+			next.subs[j].enqs.V.Add(1)
+			loads[j]++
+		}
+	}
+	// A migrated item re-enters behind at most the live population, the
+	// stranded items ahead of it, and whatever client enqueues landed in
+	// the survivors while the drain ran. The latter is read exactly (up to
+	// in-flight slack) from the survivors' own atomic enqueue counters:
+	// the delta over the drain minus our own bumps is the concurrent
+	// client traffic placed ahead of later-migrated items.
+	var enqEnd, minEnqs int64
+	for i, sq := range next.subs {
+		e := sq.enqs.V.Load()
+		enqEnd += e
+		if i == 0 || e < minEnqs {
+			minEnqs = e
+		}
+	}
+	concurrent := enqEnd - enqStart - stranded
+	if concurrent < 0 {
+		concurrent = 0
+	}
+	q.shrinkDisp.Add(live + stranded + concurrent)
+
+	// Reopen the enqueue window. The bumps above push every survivor's
+	// counter toward (or past) the untouched GlobalEnq ceiling, and with
+	// all survivors enqueue-invalid at once, every client enqueue would
+	// stall through ~migrated/(shift·width) consecutive coverage-and-raise
+	// rounds — a structure-wide enqueue outage. One batched raise to
+	// shift headroom above the least-loaded survivor is exactly the
+	// advance the window would have made had the migrated items arrived
+	// as ordinary enqueues: the counters stay inside the usual
+	// [ceiling − depth, ceiling] band, so the Theorem 1 accounting is
+	// unchanged, and unlike the retired funnel it happens once, not once
+	// per exhausted band. (The monotone raise-if-below CAS loop tolerates
+	// concurrent client raises.)
+	for target := minEnqs + next.shift; ; {
+		cur := q.globalEnq.V.Load()
+		if cur >= target || q.globalEnq.V.CompareAndSwap(cur, target) {
+			break
+		}
+	}
 }
 
 // waitQuiesce blocks until no handle is pinned to an epoch <= oldEpoch.

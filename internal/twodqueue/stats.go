@@ -16,7 +16,13 @@ import (
 //
 // Counters are handle-local on the hot path and published to an atomic
 // mirror every statsFlushInterval operations, exactly as in internal/core.
-const statsFlushInterval = 64
+// One operation in latencySampleInterval is additionally timed end to end
+// into the OpStats latency histogram (core.LatencyBucket layout), feeding
+// the controller's P50/P99 estimates.
+const (
+	statsFlushInterval    = 64
+	latencySampleInterval = 64
+)
 
 // Stats returns a copy of the handle's counters. Owner-goroutine only.
 func (h *Handle[T]) Stats() core.OpStats { return h.stats }
@@ -51,16 +57,14 @@ func (h *Handle[T]) FlushStats() {
 // handle. Because the registry keeps each handle's counter mirror strongly
 // (see handleEntry), a collected-but-not-yet-pruned handle's work is still
 // read here — the snapshot never transiently loses completed operations.
-// Internal migration handles are excluded, so reconfiguration traffic does
-// not read as client operations. This is the feed for internal/adapt's
+// Reconfiguration traffic does not read as client operations: the warm
+// shrink handoff places stranded items directly into the surviving
+// sub-queues, without a handle. This is the feed for internal/adapt's
 // controller.
 func (q *Queue[T]) StatsSnapshot() core.OpStats {
 	q.hMu.Lock()
 	out := q.retired
 	for _, e := range q.handles {
-		if h := e.wp.Value(); h != nil && h.hidden {
-			continue
-		}
 		out.Add(e.shared.Load())
 	}
 	q.hMu.Unlock()

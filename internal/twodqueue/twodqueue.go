@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 	"weak"
 
 	"stack2d/internal/core"
@@ -141,15 +142,13 @@ type Queue[T any] struct {
 	globalDeq pad.Int64Line
 	seed      pad.Uint64Line
 
-	// reMu serialises reconfigurations; migrator is the hidden handle the
-	// shrink path uses to re-enqueue stranded items (lazily created).
-	reMu     sync.Mutex
-	migrator *Handle[T]
+	// reMu serialises reconfigurations.
+	reMu sync.Mutex
 	// shrinkDisp accumulates, over all width shrinks, the resident
-	// population at each migration — an upper bound on the extra FIFO
-	// displacement the migrations can have caused (each migrated item
-	// re-enters at the back, jumping at most the then-resident population;
-	// see ShrinkDisplacementBound).
+	// population at each migration plus the client enqueues that landed in
+	// the survivors while the drain ran — an upper bound (to in-flight
+	// slack) on the extra FIFO displacement the migrations can have caused;
+	// see handoffStranded and ShrinkDisplacementBound.
 	shrinkDisp atomic.Int64
 
 	// hMu guards the handle registry, which powers both epoch-quiescence
@@ -165,10 +164,8 @@ type Queue[T any] struct {
 }
 
 // handleEntry is one registry slot: the weak handle for liveness/epoch
-// checks plus a strong reference to its atomic counter mirror. A dead entry
-// is never a hidden (migration) handle — the queue itself keeps its
-// migrator strongly reachable — so pruning can fold every dead entry's
-// counters into retired unconditionally.
+// checks plus a strong reference to its atomic counter mirror, so pruning
+// can fold every dead entry's counters into retired unconditionally.
 type handleEntry[T any] struct {
 	wp     weak.Pointer[Handle[T]]
 	shared *core.SharedCounters
@@ -224,9 +221,12 @@ func (q *Queue[T]) GlobalDeq() int64 { return q.globalDeq.V.Load() }
 
 // ShrinkDisplacementBound returns the cumulative upper bound on FIFO
 // displacement attributable to width-shrink migrations: the sum over all
-// shrinks of the population resident when the stranded items were
-// re-enqueued. Zero while no shrink has migrated anything. Diagnostics —
-// cmd/adapttune uses it to budget its realised-distance check.
+// shrinks of the population resident when the stranded items were handed
+// off, plus the concurrent client enqueues the survivors absorbed during
+// each drain (read from their enqueue counters). Exact up to one position
+// per in-flight operation. Zero while no shrink has migrated anything.
+// Diagnostics — cmd/adapttune uses it to budget its realised-distance
+// check.
 func (q *Queue[T]) ShrinkDisplacementBound() int64 { return q.shrinkDisp.Load() }
 
 // SubLens returns a snapshot of each sub-queue's population; diagnostics
@@ -267,6 +267,13 @@ type Handle[T any] struct {
 	// maybeFlush in stats.go).
 	sinceFlush int
 
+	// opSeq counts operations begun; every latencySampleInterval-th one is
+	// latency-sampled end to end, exactly as in core.Handle. Owner-goroutine
+	// only.
+	opSeq       uint64
+	latSampling bool
+	latStart    time.Time
+
 	// epoch is the geometry epoch the handle is currently operating under,
 	// or 0 when idle. Written only by the owner, read by reconfigurers to
 	// detect quiescence of a superseded geometry.
@@ -277,11 +284,6 @@ type Handle[T any] struct {
 	// GC cleanup can read the final counters without keeping the handle
 	// alive.
 	shared *core.SharedCounters
-
-	// hidden excludes the handle from StatsSnapshot (the internal migration
-	// handle), so reconfiguration traffic does not masquerade as client
-	// operations in the controller's signals.
-	hidden bool
 }
 
 // NewHandle returns an operation handle anchored at random sub-queues and
@@ -310,8 +312,14 @@ func (q *Queue[T]) NewHandle() *Handle[T] {
 
 // pin publishes the handle as active on the current geometry and returns
 // it; the re-check after the epoch store closes the race with a concurrent
-// geometry swap (see core.Handle.pin).
+// geometry swap (see core.Handle.pin). pin also opens the 1-in-N latency
+// sample closed by unpin, mirroring the stack's sampler.
 func (h *Handle[T]) pin() *geometry[T] {
+	h.opSeq++
+	if h.opSeq%latencySampleInterval == 0 {
+		h.latSampling = true
+		h.latStart = time.Now()
+	}
 	for {
 		geo := h.q.geo.Load()
 		h.epoch.Store(geo.epoch)
@@ -327,9 +335,14 @@ func (h *Handle[T]) pin() *geometry[T] {
 	}
 }
 
-// unpin marks the handle idle and periodically publishes its counters.
+// unpin marks the handle idle, closes an in-flight latency sample, and
+// periodically publishes its counters.
 func (h *Handle[T]) unpin() {
 	h.epoch.Store(0)
+	if h.latSampling {
+		h.latSampling = false
+		h.stats.Latency[core.LatencyBucket(time.Since(h.latStart))]++
+	}
 	h.maybeFlush()
 }
 
