@@ -75,6 +75,9 @@ func NewAdaptive[T any](opts ...Option) *Adaptive[T] {
 	if err != nil {
 		panic(err)
 	}
+	if b.placePolicy != nil {
+		a.inner.SetPlacement(b.placePolicy, b.placeSockets)
+	}
 	return a
 }
 

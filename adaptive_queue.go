@@ -36,6 +36,9 @@ func NewAdaptiveQueue[T any](opts ...QueueOption) *AdaptiveQueue[T] {
 	if err != nil {
 		panic(err)
 	}
+	if b.placePolicy != nil {
+		a.inner.SetPlacement(b.placePolicy, b.placeSockets)
+	}
 	return a
 }
 

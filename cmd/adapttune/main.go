@@ -40,9 +40,18 @@
 // the simulated adaptive run fails to beat its static baseline under high
 // contention.
 //
+// -placement selects the NUMA width-placement policy (DESIGN.md §7):
+// local (default, LocalFirst homing + socket-first probing) or rr (the
+// pre-placement round-robin behaviour). Under -placement local with the
+// throughput goal the simulated section also runs the round-robin A/B
+// counterpart and a fixed-geometry width sweep, and exits 1 unless
+// local-first strictly beats round-robin at high contention (the NUMA
+// placement gate).
+//
 // Usage:
 //
-//	adapttune [-queue] [-goal throughput|latency|energy] [-threads 8]
+//	adapttune [-queue] [-goal throughput|latency|energy]
+//	          [-placement local|rr] [-threads 8]
 //	          [-phase 300ms] [-tick 10ms] [-kceil 8192] [-p99-target 2ms]
 //	          [-floor 50000] [-start-width 2] [-start-depth 8] [-sim]
 //	          [-native] [-csv out.csv]
@@ -86,6 +95,7 @@ func main() {
 		queueMode  = flag.Bool("queue", false, "steer the 2D-Queue instead of the 2D-Stack")
 		csvPath    = flag.String("csv", "", "write the controller time series to this CSV file (overwritten per run)")
 		goalName   = flag.String("goal", "throughput", "controller goal: throughput, latency or energy")
+		placeName  = flag.String("placement", "local", "width-placement policy: local (LocalFirst homing + socket-first probing) or rr (round-robin homes, socket-blind probing — the pre-placement behaviour)")
 		p99Target  = flag.Duration("p99-target", 2*time.Millisecond, "native sampled-P99 latency target (-goal latency)")
 		simP99     = flag.Int64("sim-p99-target", 4096, "simulated P99 latency target in cycles (-goal latency)")
 		floor      = flag.Float64("floor", 50000, "native throughput floor in ops/s (-goal energy)")
@@ -94,6 +104,10 @@ func main() {
 	flag.Parse()
 
 	spec, err := parseGoal(*goalName, *p99Target, time.Duration(*simP99), *floor, *simFloor)
+	if err != nil {
+		fatal("%v", err)
+	}
+	placement, err := parsePlacement(*placeName)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -113,8 +127,8 @@ func main() {
 	}
 	fmt.Printf("# adapttune: runtime self-tuning of the 2D %s window (goal %s, k <= %d)\n",
 		structure, spec.goal, *kceil)
-	fmt.Printf("# start geometry: width %d, depth %d, shift %d (k=%d)\n",
-		start.Width, start.Depth, start.Shift, start.K())
+	fmt.Printf("# start geometry: width %d, depth %d, shift %d (k=%d); placement %s over %d sockets\n",
+		start.Width, start.Depth, start.Shift, start.K(), placement.Name(), sim.DefaultMachine().Sockets)
 
 	var sink *csvSink
 	if *csvPath != "" {
@@ -127,16 +141,16 @@ func main() {
 
 	failed := false
 	if *runSim {
-		if !simDemo(spec, structure, start, *kceil, *simThreads, *simTicks, *horizon, *maxDepth, sink) {
+		if !simDemo(spec, structure, start, placement, *kceil, *simThreads, *simTicks, *horizon, *maxDepth, sink) {
 			failed = true
 		}
 	}
 	if *runNative {
 		var ok bool
 		if *queueMode {
-			ok = nativeQueueDemo(spec, start, *kceil, *threads, *phaseDur, *tick, *prefill, *seed, *quality, *maxDepth, sink)
+			ok = nativeQueueDemo(spec, start, placement, *kceil, *threads, *phaseDur, *tick, *prefill, *seed, *quality, *maxDepth, sink)
 		} else {
-			ok = nativeDemo(spec, start, *kceil, *threads, *phaseDur, *tick, *prefill, *seed, *quality, *maxDepth, sink)
+			ok = nativeDemo(spec, start, placement, *kceil, *threads, *phaseDur, *tick, *prefill, *seed, *quality, *maxDepth, sink)
 		}
 		if !ok {
 			failed = true
@@ -161,6 +175,21 @@ type goalSpec struct {
 	p99Sim      time.Duration
 	floorNative float64
 	floorSim    float64
+}
+
+// parsePlacement maps the -placement flag to a core.PlacementPolicy:
+// "local" is LocalFirst (requester-first homing, socket-first probing),
+// "rr" is RoundRobin (interleaved homes, socket-blind probing — how the
+// structures behaved before placement existed).
+func parsePlacement(name string) (core.PlacementPolicy, error) {
+	switch name {
+	case "local":
+		return core.LocalFirst(), nil
+	case "rr":
+		return core.RoundRobin(), nil
+	default:
+		return nil, fmt.Errorf("unknown -placement %q (want local or rr)", name)
+	}
 }
 
 func parseGoal(name string, p99Native, p99Sim time.Duration, floorNative, floorSim float64) (goalSpec, error) {
@@ -273,24 +302,54 @@ func (s *csvSink) close() error {
 }
 
 // segmentFunc is the simulated-segment signature shared by the stack
-// (sim.TwoDSegment) and queue (sim.TwoDQueueSegment) models.
-type segmentFunc func(m sim.Machine, width int, depth, shift int64, randomHops, p int, horizon int64, seed uint64) (sim.TwoDWork, error)
+// (sim.TwoDSegmentPlaced) and queue (sim.TwoDQueueSegmentPlaced) models;
+// homes/localProbe are nil/false for placement-blind runs.
+type segmentFunc func(m sim.Machine, width int, depth, shift int64, randomHops, p int, horizon int64, seed uint64, homes []int, localProbe bool) (sim.TwoDWork, error)
 
-// simTarget adapts the discrete-event simulation to adapt.Reconfigurable:
-// each controller tick corresponds to one simulated segment at the current
-// geometry, whose instrumented counters accumulate into an OpStats.
+// simTarget adapts the discrete-event simulation to adapt.Reconfigurable
+// (and adapt.SocketAware): each controller tick corresponds to one
+// simulated segment at the current geometry, whose instrumented counters
+// accumulate into an OpStats. With a placement policy set it carries the
+// slot→socket home map across reconfigurations exactly as the native
+// structures do (core.PlaceSlots on growth, core.ShrinkSurvivors on
+// shrink), so the controller's requester attribution steers the simulated
+// homes too.
 type simTarget struct {
 	machine sim.Machine
 	cfg     core.Config
 	acc     core.OpStats
-	seg     segmentFunc // nil selects the stack model
+	seg     segmentFunc          // nil selects the stack model
+	policy  core.PlacementPolicy // nil = placement-blind
+	homes   []int
+}
+
+// newSimTarget builds a simulation target at the starting geometry with
+// its initial homes placed by the policy (no requester attribution yet).
+func newSimTarget(machine sim.Machine, cfg core.Config, seg segmentFunc, policy core.PlacementPolicy) *simTarget {
+	st := &simTarget{machine: machine, cfg: cfg, seg: seg, policy: policy}
+	if policy != nil {
+		st.homes = core.PlaceSlots(policy, nil, cfg.Width, -1, machine.Sockets)
+	}
+	return st
 }
 
 func (st *simTarget) Config() core.Config { return st.cfg }
 
 func (st *simTarget) Reconfigure(cfg core.Config) error {
+	return st.ReconfigureOnSocket(cfg, -1)
+}
+
+func (st *simTarget) ReconfigureOnSocket(cfg core.Config, requester int) error {
 	if err := cfg.Validate(); err != nil {
 		return err
+	}
+	if st.policy != nil {
+		switch {
+		case cfg.Width > st.cfg.Width:
+			st.homes = core.PlaceSlots(st.policy, st.homes, cfg.Width, requester, st.machine.Sockets)
+		case cfg.Width < st.cfg.Width:
+			_, st.homes = core.ShrinkPlan(st.policy, st.homes, cfg.Width, requester)
+		}
 	}
 	st.cfg = cfg
 	return nil
@@ -303,9 +362,10 @@ func (st *simTarget) StatsSnapshot() core.OpStats { return st.acc }
 func (st *simTarget) segment(p int, horizon int64, seed uint64) (sim.TwoDWork, error) {
 	seg := st.seg
 	if seg == nil {
-		seg = sim.TwoDSegment
+		seg = sim.TwoDSegmentPlaced
 	}
-	w, err := seg(st.machine, st.cfg.Width, st.cfg.Depth, st.cfg.Shift, st.cfg.RandomHops, p, horizon, seed)
+	localProbe := st.policy != nil && st.policy.LocalProbeOrder()
+	w, err := seg(st.machine, st.cfg.Width, st.cfg.Depth, st.cfg.Shift, st.cfg.RandomHops, p, horizon, seed, st.homes, localProbe)
 	if err != nil {
 		return w, err
 	}
@@ -318,55 +378,33 @@ func (st *simTarget) segment(p int, horizon int64, seed uint64) (sim.TwoDWork, e
 	for i := range w.Latency {
 		st.acc.Latency[i] += w.Latency[i]
 	}
+	for i := range w.SocketCAS {
+		st.acc.SocketCAS[i] += w.SocketCAS[i]
+	}
 	return w, nil
 }
 
-// simDemo runs the deterministic convergence experiment for the given
-// structure ("stack" or "queue"); returns true on success. The verdict
-// depends on the goal: throughput must beat the static baseline under high
-// contention, latency must end every phase with P99 at or under the target,
-// energy must end with cheaper operations than it started while holding the
-// floor; all goals must respect the k ceiling on every tick.
-func simDemo(spec goalSpec, structure string, start core.Config, kceil int64, simThreads, simTicks int, horizon, maxDepth int64, sink *csvSink) bool {
-	machine := sim.DefaultMachine()
-	if simThreads > machine.Cores() {
-		fatal("sim-threads %d exceeds the simulated machine's %d cores", simThreads, machine.Cores())
-	}
-	var seg segmentFunc = sim.TwoDSegment
-	if structure == "queue" {
-		seg = sim.TwoDQueueSegment
-	}
-	low := simThreads / 4
-	if low < 1 {
-		low = 1
-	}
-	phases := []struct {
-		name    string
-		threads int
-	}{
-		{"low-1", low}, {"high", simThreads}, {"low-2", low},
-	}
+// simPhase is one contention phase of the simulated experiment.
+type simPhase struct {
+	name    string
+	threads int
+}
 
-	fmt.Printf("\n## simulated %s convergence (2×%d-core machine model, %d cycles/tick)\n",
-		structure, machine.CoresPerSocket, horizon)
+// simRow is one controller tick of a simulated adaptive run.
+type simRow struct {
+	phase string
+	rec   adapt.TickRecord
+	ops   uint64
+}
 
-	// Static baseline: same segments, geometry pinned at start.
-	staticOps := make([]uint64, len(phases))
-	{
-		st := &simTarget{machine: machine, cfg: start, seg: seg}
-		for pi, ph := range phases {
-			for t := 0; t < simTicks; t++ {
-				w, err := st.segment(ph.threads, horizon, uint64(pi*simTicks+t)+1)
-				if err != nil {
-					fatal("static sim segment: %v", err)
-				}
-				staticOps[pi] += w.Ops
-			}
-		}
-	}
+// runAdaptiveSim drives the real controller against the simulated machine,
+// one Step per segment, under the given placement policy; it returns the
+// per-phase op totals, the tick rows and the target's final state. The
+// same seeds as the static baseline keep the comparison apples-to-apples.
+func runAdaptiveSim(spec goalSpec, machine sim.Machine, seg segmentFunc, start core.Config, placement core.PlacementPolicy,
+	kceil, maxDepth int64, simThreads, simTicks int, horizon int64, phases []simPhase) ([]uint64, []simRow, *simTarget, *adapt.Controller) {
 
-	// Adaptive run: the real controller steps once per segment.
-	st := &simTarget{machine: machine, cfg: start, seg: seg}
+	st := newSimTarget(machine, start, seg, placement)
 	ctrl, err := adapt.New(st, spec.policy(adapt.Policy{
 		KCeiling:      kceil,
 		MinWidth:      start.Width,
@@ -379,24 +417,71 @@ func simDemo(spec goalSpec, structure string, start core.Config, kceil int64, si
 	if err != nil {
 		fatal("sim controller: %v", err)
 	}
-	adaptiveOps := make([]uint64, len(phases))
-	type row struct {
-		phase string
-		rec   adapt.TickRecord
-		ops   uint64
-	}
-	var rows []row
+	ops := make([]uint64, len(phases))
+	var rows []simRow
 	for pi, ph := range phases {
 		for t := 0; t < simTicks; t++ {
 			w, err := st.segment(ph.threads, horizon, uint64(pi*simTicks+t)+1)
 			if err != nil {
 				fatal("adaptive sim segment: %v", err)
 			}
-			adaptiveOps[pi] += w.Ops
+			ops[pi] += w.Ops
 			rec := ctrl.Step(time.Duration(horizon)) // 1 simulated cycle ≡ 1ns
-			rows = append(rows, row{phases[pi].name, rec, w.Ops})
-			sink.record("sim-"+structure, phases[pi].name, rec)
+			rows = append(rows, simRow{phases[pi].name, rec, w.Ops})
 		}
+	}
+	return ops, rows, st, ctrl
+}
+
+// simDemo runs the deterministic convergence experiment for the given
+// structure ("stack" or "queue"); returns true on success. The verdict
+// depends on the goal: throughput must beat the static baseline under high
+// contention, latency must end every phase with P99 at or under the target,
+// energy must end with cheaper operations than it started while holding the
+// floor; all goals must respect the k ceiling on every tick. Under the
+// local-first placement with the throughput goal it additionally runs the
+// round-robin A/B counterpart and requires the local-first run's
+// high-contention phase to be strictly faster (the NUMA placement gate,
+// DESIGN.md §7).
+func simDemo(spec goalSpec, structure string, start core.Config, placement core.PlacementPolicy, kceil int64, simThreads, simTicks int, horizon, maxDepth int64, sink *csvSink) bool {
+	machine := sim.DefaultMachine()
+	if simThreads > machine.Cores() {
+		fatal("sim-threads %d exceeds the simulated machine's %d cores", simThreads, machine.Cores())
+	}
+	var seg segmentFunc = sim.TwoDSegmentPlaced
+	if structure == "queue" {
+		seg = sim.TwoDQueueSegmentPlaced
+	}
+	low := simThreads / 4
+	if low < 1 {
+		low = 1
+	}
+	phases := []simPhase{
+		{"low-1", low}, {"high", simThreads}, {"low-2", low},
+	}
+
+	fmt.Printf("\n## simulated %s convergence (2×%d-core machine model, %d cycles/tick, placement %s)\n",
+		structure, machine.CoresPerSocket, horizon, placement.Name())
+
+	// Static baseline: same segments, geometry pinned at start.
+	staticOps := make([]uint64, len(phases))
+	{
+		st := newSimTarget(machine, start, seg, placement)
+		for pi, ph := range phases {
+			for t := 0; t < simTicks; t++ {
+				w, err := st.segment(ph.threads, horizon, uint64(pi*simTicks+t)+1)
+				if err != nil {
+					fatal("static sim segment: %v", err)
+				}
+				staticOps[pi] += w.Ops
+			}
+		}
+	}
+
+	// Adaptive run: the real controller steps once per segment.
+	adaptiveOps, rows, st, ctrl := runAdaptiveSim(spec, machine, seg, start, placement, kceil, maxDepth, simThreads, simTicks, horizon, phases)
+	for _, r := range rows {
+		sink.record("sim-"+structure, r.phase, r.rec)
 	}
 
 	ts := stats.NewTable("tick", "phase", "width", "depth", "k", "ops/kcycle", "cas/op", "moves/op", "probes/op", "p99(cyc)", "action")
@@ -429,6 +514,13 @@ func simDemo(spec goalSpec, structure string, start core.Config, kceil int64, si
 	final := st.cfg
 	fmt.Printf("sim final geometry: width %d, depth %d (k=%d, started at k=%d)\n",
 		final.Width, final.Depth, final.K(), start.K())
+	if st.homes != nil {
+		perSocket := make([]int, machine.Sockets)
+		for _, hm := range st.homes {
+			perSocket[hm]++
+		}
+		fmt.Printf("sim final placement: %v slots per socket (homes %v)\n", perSocket, st.homes)
+	}
 	for _, rec := range ctrl.History() {
 		if rec.K > kceil {
 			fmt.Printf("FAIL: sim tick %d ran with k=%d above the ceiling %d\n", rec.Tick, rec.K, kceil)
@@ -483,6 +575,73 @@ func simDemo(spec goalSpec, structure string, start core.Config, kceil int64, si
 		}
 	}
 
+	// The placement A/B gate: with the local-first policy and the
+	// throughput goal, rerun the identical adaptive experiment (same
+	// seeds, same controller ladder) under round-robin placement — the
+	// pre-placement behaviour — and require local-first to win the
+	// high-contention phase strictly. This is the deterministic
+	// demonstration that homing new slots on the requesting socket and
+	// probing same-socket slots first keeps the hot window intra-socket
+	// (DESIGN.md §7, EXPERIMENTS.md).
+	if placement.LocalProbeOrder() && spec.goal == adapt.MaxThroughput {
+		rrOps, _, _, _ := runAdaptiveSim(spec, machine, seg, start, core.RoundRobin(), kceil, maxDepth, simThreads, simTicks, horizon, phases)
+		fmt.Println()
+		for pi, ph := range phases {
+			fmt.Printf("sim placement A/B %-6s (%2d threads): round-robin %8.1f ops/kcycle, local-first %8.1f ops/kcycle (%.2fx)\n",
+				ph.name, ph.threads,
+				float64(rrOps[pi])*1000/float64(int64(simTicks)*horizon),
+				float64(adaptiveOps[pi])*1000/float64(int64(simTicks)*horizon),
+				float64(adaptiveOps[pi])/float64(rrOps[pi]))
+		}
+		if adaptiveOps[1] <= rrOps[1] {
+			fmt.Printf("FAIL: local-first high phase (%d ops) did not beat round-robin placement (%d ops)\n",
+				adaptiveOps[1], rrOps[1])
+			ok = false
+		}
+
+		// Fixed-geometry width sweep at full contention (P = simThreads):
+		// the same A/B with the adaptive transient factored out. The win
+		// is largest while the structure is narrower than the thread
+		// count — the regime the high phase's widening passes through —
+		// and decays once width reaches 4P and contention is gone, which
+		// is itself the §7 story: placement pays exactly where coherence
+		// traffic lives. Local-first must win at every gated width — from
+		// minGatedWidth (4 slots per socket) up to P. Outside that range
+		// rows are shown but not gated: narrower, confining a socket's
+		// threads to one or two local lines can lose to spreading (the
+		// exclusive line reservations serialise them); wider than P,
+		// contention is gone and the margins are noise-thin (DESIGN.md §7
+		// records both caveats).
+		sweep := stats.NewTable("width", "rr ops/kcycle", "local ops/kcycle", "speedup")
+		const minGatedWidth = 8 // 4 slots per socket on the 2-socket model
+		for _, width := range []int{4, 8, 16, 32} {
+			cfg := core.Config{Width: width, Depth: 64, Shift: 64, RandomHops: start.RandomHops}
+			rrHomes := core.PlaceSlots(core.RoundRobin(), nil, width, -1, machine.Sockets)
+			localHomes := core.PlaceSlots(core.LocalFirst(), nil, width, -1, machine.Sockets)
+			rrW, err := seg(machine, cfg.Width, cfg.Depth, cfg.Shift, cfg.RandomHops, simThreads, horizon, 1, rrHomes, false)
+			if err != nil {
+				fatal("placement sweep (rr): %v", err)
+			}
+			localW, err := seg(machine, cfg.Width, cfg.Depth, cfg.Shift, cfg.RandomHops, simThreads, horizon, 1, localHomes, true)
+			if err != nil {
+				fatal("placement sweep (local): %v", err)
+			}
+			sweep.AddRow(
+				fmt.Sprintf("%d", width),
+				fmt.Sprintf("%.1f", float64(rrW.Ops)*1000/float64(horizon)),
+				fmt.Sprintf("%.1f", float64(localW.Ops)*1000/float64(horizon)),
+				fmt.Sprintf("%.2fx", float64(localW.Ops)/float64(rrW.Ops)),
+			)
+			if width >= minGatedWidth && width <= simThreads && localW.Ops <= rrW.Ops {
+				fmt.Printf("FAIL: placement sweep width %d: local-first (%d ops) did not beat round-robin (%d ops)\n",
+					width, localW.Ops, rrW.Ops)
+				ok = false
+			}
+		}
+		fmt.Printf("\nplacement width sweep (P=%d, depth 64, one %d-cycle segment each):\n", simThreads, horizon)
+		sweep.Render(os.Stdout)
+	}
+
 	// The shrink path the narrowing goals exercise, quantified on the same
 	// machine model: warm handoff (direct least-loaded placement) vs the
 	// retired single-handle funnel, for a representative halving at the
@@ -505,21 +664,24 @@ func simDemo(spec goalSpec, structure string, start core.Config, kceil int64, si
 // on success (ceiling violations fail it; a missed goal metric only warns,
 // since native contention and latency depend on the hardware — the
 // deterministic pass/fail lives in the simulated section).
-func nativeDemo(spec goalSpec, start core.Config, kceil int64, threads int, phaseDur, tick time.Duration,
+func nativeDemo(spec goalSpec, start core.Config, placement core.PlacementPolicy, kceil int64, threads int, phaseDur, tick time.Duration,
 	prefill int, seed uint64, quality bool, maxDepth int64, sink *csvSink) bool {
 
 	phases := harness.ContentionPhases(threads, phaseDur)
 	w := harness.PhasedWorkload{MaxWorkers: threads, Prefill: prefill, Seed: seed, Quality: quality}
+	sockets := sim.DefaultMachine().Sockets
 
-	fmt.Printf("\n## native stack run (P=%d, %v/phase, quality=%v)\n", threads, phaseDur, quality)
+	fmt.Printf("\n## native stack run (P=%d, %v/phase, quality=%v, placement %s)\n", threads, phaseDur, quality, placement.Name())
 
 	staticStack := core.MustNew[uint64](start)
+	staticStack.SetPlacement(placement, sockets)
 	staticRes, err := harness.RunPhased(staticStack, phases, w)
 	if err != nil {
 		fatal("static run failed: %v", err)
 	}
 
 	adaptStack := core.MustNew[uint64](start)
+	adaptStack.SetPlacement(placement, sockets)
 	ctrl, err := adapt.New(adaptStack, spec.policy(adapt.Policy{
 		KCeiling: kceil,
 		Tick:     tick,
@@ -559,21 +721,24 @@ func nativeDemo(spec goalSpec, start core.Config, kceil int64, threads int, phas
 // nativeQueueDemo is nativeDemo for the 2D-Queue: the same phased workload
 // and controller, driving the queue through the twodqueue.Steer adapter,
 // with the FIFO error-distance oracle instead of the LIFO one.
-func nativeQueueDemo(spec goalSpec, start core.Config, kceil int64, threads int, phaseDur, tick time.Duration,
+func nativeQueueDemo(spec goalSpec, start core.Config, placement core.PlacementPolicy, kceil int64, threads int, phaseDur, tick time.Duration,
 	prefill int, seed uint64, quality bool, maxDepth int64, sink *csvSink) bool {
 
 	phases := harness.ContentionPhases(threads, phaseDur)
 	w := harness.PhasedWorkload{MaxWorkers: threads, Prefill: prefill, Seed: seed, Quality: quality}
+	sockets := sim.DefaultMachine().Sockets
 
-	fmt.Printf("\n## native queue run (P=%d, %v/phase, quality=%v)\n", threads, phaseDur, quality)
+	fmt.Printf("\n## native queue run (P=%d, %v/phase, quality=%v, placement %s)\n", threads, phaseDur, quality, placement.Name())
 
 	staticQueue := twodqueue.MustNew[uint64](twodqueue.FromCore(start))
+	staticQueue.SetPlacement(placement, sockets)
 	staticRes, err := harness.RunPhasedQueue(staticQueue, phases, w)
 	if err != nil {
 		fatal("static run failed: %v", err)
 	}
 
 	adaptQueue := twodqueue.MustNew[uint64](twodqueue.FromCore(start))
+	adaptQueue.SetPlacement(placement, sockets)
 	ctrl, err := adapt.New(twodqueue.Steer(adaptQueue), spec.policy(adapt.Policy{
 		KCeiling: kceil,
 		Tick:     tick,

@@ -18,6 +18,19 @@
 // paper); the parameters trade accuracy for throughput continuously, and a
 // width-1 configuration degenerates to a strict lock-free stack.
 //
+// Caveat on the constant: as quoted, k is exact for shift = depth (the
+// paper's setting, and what every derived configuration here uses). For
+// shift < depth, sequential counterexamples exceeding it by a small margin
+// exist — width 2, depth 4, shift 1 realises distance 7 against k = 6 (a
+// count-lagging sub-stack's stale top stays poppable across several slow
+// window raises). Every observed excess fits the envelope
+//
+//	k' = (2·depth + shift) · (width − 1)
+//
+// which coincides with k at shift = depth; DESIGN.md §2 has the full
+// counterexample and the audit status. Rely on K() as stated only with
+// shift = depth, and on the k' envelope otherwise.
+//
 // # Quick start
 //
 //	s := stack2d.New[int](stack2d.WithExpectedThreads(8))
@@ -67,6 +80,17 @@
 //		KCeiling: 8192,
 //	}))
 //	defer q.Close()
+//
+// # NUMA-aware placement
+//
+// On multi-socket machines both structures can home each sub-structure
+// slot on a socket and let handles probe same-socket slots first, keeping
+// the window's hot cache lines intra-socket; the adaptive controller then
+// places new capacity on the socket whose contention asked for it. Enable
+// with WithPlacement / WithQueuePlacement (policies LocalFirst and
+// RoundRobin) and pin handles with Handle.Pin; placement never changes
+// the relaxation semantics, only slot homes and probe order (DESIGN.md
+// §7, and cmd/adapttune -placement for the measured A/B).
 //
 // The companion packages under internal implement every baseline of the
 // paper's evaluation (Treiber, elimination back-off, k-segment, and the

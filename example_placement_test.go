@@ -1,0 +1,32 @@
+package stack2d_test
+
+import (
+	"fmt"
+
+	"stack2d"
+)
+
+// ExampleWithPlacement builds a stack with NUMA-aware width placement on a
+// 2-socket machine: the LocalFirst policy homes each sub-stack slot on a
+// socket (a balanced interleave until the adaptive controller attributes
+// growth to a specific socket), and a pinned handle probes its own
+// socket's slots first. Placement changes only slot homes and visit order
+// — the stack's k-out-of-order bound is exactly the unplaced stack's.
+func ExampleWithPlacement() {
+	s := stack2d.New[int](
+		stack2d.WithWidth(4),
+		stack2d.WithDepth(8),
+		stack2d.WithPlacement(stack2d.LocalFirst(), 2),
+	)
+
+	h := s.NewHandle()
+	h.Pin(1) // this goroutine runs on socket 1
+	h.Push(42)
+	v, ok := h.Pop()
+
+	fmt.Println(v, ok)
+	fmt.Println("homes:", s.Placement())
+	// Output:
+	// 42 true
+	// homes: [0 1 0 1]
+}

@@ -41,6 +41,13 @@
 // histogram (core.OpStats.Latency), which flows through the same
 // StatsSnapshot aggregation as every other counter, so latency-targeted
 // control needs no harness instrumentation.
+//
+// Placement-aware targets (SocketAware) additionally receive, with every
+// geometry change, the socket whose CAS pressure dominated the deciding
+// interval (core.OpStats.SocketCAS attribution), so a LocalFirst placement
+// policy can home the new sub-structures on the socket that asked for them
+// and shrink away from it last — the NUMA-aware width placement of
+// DESIGN.md §7.
 package adapt
 
 import (
@@ -257,6 +264,20 @@ type Reconfigurable interface {
 	StatsSnapshot() core.OpStats
 }
 
+// SocketAware is optionally implemented by Reconfigurables that place
+// sub-structures on sockets (core.Stack, twodqueue.Steerable and the
+// simulation targets in cmd/adapttune all do). When the target advertises
+// it, the controller routes every geometry change through
+// ReconfigureOnSocket with the interval's CAS-pressure socket
+// (core.OpStats.PressureSocket over the tick's delta, -1 when no CAS
+// failure was attributed), so a LocalFirst placement policy homes new
+// slots on — and shrinks away from — the socket that asked. Targets
+// without placement simply don't implement it and see plain Reconfigure.
+// See DESIGN.md §7.
+type SocketAware interface {
+	ReconfigureOnSocket(cfg core.Config, requester int) error
+}
+
 // TickRecord is one row of the controller's time series: the interval's
 // signals and the geometry active after the decision. cmd/adapttune prints
 // these as the paper-style convergence figures.
@@ -281,6 +302,11 @@ type TickRecord struct {
 	P99            time.Duration
 	EnergyPerOp    float64
 
+	// PressureSocket is the socket with the most CAS failures attributed
+	// in the interval (-1 when none) — the requester reported to
+	// SocketAware targets when this tick's decision changes the geometry.
+	PressureSocket int
+
 	// Action is what the decision did: "widen-width", "widen-depth",
 	// "narrow-width", "narrow-depth", "hold", "cooldown" or "idle".
 	Action string
@@ -302,6 +328,9 @@ type Controller struct {
 	mu       sync.Mutex
 	cooldown int
 	prev     core.OpStats
+	// pressure is the current tick's CAS-pressure socket, stashed by Step
+	// for apply to hand to SocketAware targets; mu held.
+	pressure int
 	hist     []TickRecord
 	started  bool
 	stopCh   chan struct{}
@@ -317,9 +346,10 @@ func New(target Reconfigurable, pol Policy) (*Controller, error) {
 		return nil, err
 	}
 	return &Controller{
-		target: target,
-		pol:    pol,
-		prev:   target.StatsSnapshot(),
+		target:   target,
+		pol:      pol,
+		prev:     target.StatsSnapshot(),
+		pressure: -1,
 	}, nil
 }
 
@@ -409,6 +439,8 @@ func (c *Controller) Step(elapsed time.Duration) TickRecord {
 		rec.P50 = d.LatencyPercentile(50)
 		rec.P99 = d.LatencyPercentile(99)
 	}
+	rec.PressureSocket = d.PressureSocket()
+	c.pressure = rec.PressureSocket
 
 	rec.Action = c.decide(rec)
 
@@ -597,9 +629,17 @@ func (c *Controller) underCeiling(cand core.Config) bool {
 	return c.pol.KCeiling == 0 || cand.K() <= c.pol.KCeiling
 }
 
-// apply reconfigures the target and arms the cooldown; c.mu held.
+// apply reconfigures the target and arms the cooldown; c.mu held. A
+// SocketAware target additionally learns which socket's CAS pressure asked
+// for the change, steering its placement policy.
 func (c *Controller) apply(cfg core.Config, action string) string {
-	if err := c.target.Reconfigure(cfg); err != nil {
+	var err error
+	if sa, ok := c.target.(SocketAware); ok {
+		err = sa.ReconfigureOnSocket(cfg, c.pressure)
+	} else {
+		err = c.target.Reconfigure(cfg)
+	}
+	if err != nil {
 		return "error:" + err.Error()
 	}
 	c.cooldown = c.pol.Cooldown

@@ -1,0 +1,101 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+
+	"stack2d/internal/core"
+)
+
+// socketFake is a Reconfigurable + SocketAware target whose stats the test
+// scripts directly; it records the requester of every reconfiguration.
+type socketFake struct {
+	cfg        core.Config
+	stats      core.OpStats
+	requesters []int
+}
+
+func (f *socketFake) Config() core.Config             { return f.cfg }
+func (f *socketFake) StatsSnapshot() core.OpStats     { return f.stats }
+func (f *socketFake) Reconfigure(c core.Config) error { f.cfg = c; return f.record(-2) }
+func (f *socketFake) ReconfigureOnSocket(c core.Config, requester int) error {
+	f.cfg = c
+	return f.record(requester)
+}
+func (f *socketFake) record(r int) error {
+	f.requesters = append(f.requesters, r)
+	return nil
+}
+
+// TestControllerReportsPressureSocket: the widening decision carries the
+// socket whose CAS pressure dominated the interval to a SocketAware
+// target, and TickRecord exposes it.
+func TestControllerReportsPressureSocket(t *testing.T) {
+	f := &socketFake{cfg: core.Config{Width: 2, Depth: 8, Shift: 8, RandomHops: 2}}
+	ctrl, err := New(f, Policy{
+		Goal:          MaxThroughput,
+		MinWidth:      2,
+		MaxWidth:      16,
+		MinDepth:      8,
+		MaxDepth:      64,
+		Cooldown:      1,
+		MinOpsPerTick: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Interval: 1000 ops, heavy contention, all attributed to socket 1.
+	f.stats.Pushes = 1000
+	f.stats.CASFailures = 500
+	f.stats.SocketCAS[1] = 500
+	rec := ctrl.Step(10 * time.Millisecond)
+	if rec.PressureSocket != 1 {
+		t.Fatalf("PressureSocket = %d, want 1", rec.PressureSocket)
+	}
+	if rec.Action != "widen-width" {
+		t.Fatalf("action = %q, want widen-width", rec.Action)
+	}
+	if len(f.requesters) != 1 || f.requesters[0] != 1 {
+		t.Fatalf("target saw requesters %v, want [1]", f.requesters)
+	}
+
+	// A quiet interval attributes to nobody.
+	f.stats.Pushes += 1000
+	rec = ctrl.Step(10 * time.Millisecond)
+	if rec.PressureSocket != -1 {
+		t.Fatalf("quiet PressureSocket = %d, want -1", rec.PressureSocket)
+	}
+}
+
+// TestControllerPlainReconfigureWithoutSocketAware: targets that don't
+// implement SocketAware keep seeing plain Reconfigure.
+func TestControllerPlainReconfigureWithoutSocketAware(t *testing.T) {
+	type plainFake struct{ socketFake }
+	f := &plainFake{socketFake{cfg: core.Config{Width: 2, Depth: 8, Shift: 8, RandomHops: 2}}}
+	// Wrap so only Reconfigurable's methods are visible.
+	var target Reconfigurable = struct {
+		Reconfigurable
+	}{&f.socketFake}
+	ctrl, err := New(target, Policy{
+		Goal:          MaxThroughput,
+		MinWidth:      2,
+		MaxWidth:      16,
+		MinDepth:      8,
+		MaxDepth:      64,
+		Cooldown:      1,
+		MinOpsPerTick: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.stats.Pushes = 1000
+	f.stats.CASFailures = 500
+	f.stats.SocketCAS[0] = 500
+	if rec := ctrl.Step(10 * time.Millisecond); rec.Action != "widen-width" {
+		t.Fatalf("action = %q, want widen-width", rec.Action)
+	}
+	if len(f.requesters) != 1 || f.requesters[0] != -2 {
+		t.Fatalf("plain target saw requesters %v, want [-2] (plain Reconfigure)", f.requesters)
+	}
+}

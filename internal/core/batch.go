@@ -11,7 +11,9 @@ package core
 
 // PushBatch pushes all values; vs[len-1] ends up topmost, matching a
 // sequential loop of Push calls. Values may be split across sub-stacks
-// when window headroom is short.
+// when window headroom is short. Under a local-probe placement policy the
+// search honours the handle's probe plan exactly as Push does (same-socket
+// slots first, DESIGN.md §7).
 func (h *Handle[T]) PushBatch(vs []T) {
 	geo := h.pin()
 	// A batch is many operations under one pin: its end-to-end time is not
@@ -20,10 +22,16 @@ func (h *Handle[T]) PushBatch(vs []T) {
 	h.latSampling = false
 	s := h.s
 	width := geo.width
+	sockIdx := h.sockIdx(geo)
+	ord, pos, localN := h.probe(geo)
 	remaining := vs
 	for len(remaining) > 0 {
 		global := s.global.V.Load()
 		idx := h.last
+		at := 0
+		if ord != nil {
+			at = pos[idx]
+		}
 		probes := 0
 		randLeft := geo.hops
 		for probes < width && len(remaining) > 0 {
@@ -52,7 +60,11 @@ func (h *Handle[T]) PushBatch(vs []T) {
 					continue
 				}
 				h.stats.CASFailures++
-				idx = h.rng.Intn(width)
+				h.stats.SocketCAS[sockIdx]++
+				idx = HopIdx(h.rng, width, ord, localN)
+				if ord != nil {
+					at = pos[idx]
+				}
 				probes = 0
 				randLeft = 0
 				continue
@@ -60,13 +72,24 @@ func (h *Handle[T]) PushBatch(vs []T) {
 			if randLeft > 0 {
 				randLeft--
 				h.stats.RandomHops++
-				idx = h.rng.Intn(width)
+				idx = HopIdx(h.rng, width, ord, localN)
+				if ord != nil {
+					at = pos[idx]
+				}
 				continue
 			}
 			probes++
-			idx++
-			if idx == width {
-				idx = 0
+			if ord == nil {
+				idx++
+				if idx == width {
+					idx = 0
+				}
+			} else {
+				at++
+				if at == width {
+					at = 0
+				}
+				idx = ord[at]
 			}
 		}
 		if len(remaining) == 0 {
@@ -92,6 +115,8 @@ func (h *Handle[T]) PopBatch(max int) []T {
 	s := h.s
 	width := geo.width
 	depth := geo.depth
+	sockIdx := h.sockIdx(geo)
+	ord, pos, localN := h.probe(geo)
 	out := make([]T, 0, max)
 	for len(out) < max {
 		global := s.global.V.Load()
@@ -100,6 +125,10 @@ func (h *Handle[T]) PopBatch(max int) []T {
 			floor = 0
 		}
 		idx := h.last
+		at := 0
+		if ord != nil {
+			at = pos[idx]
+		}
 		probes := 0
 		randLeft := geo.hops
 		for probes < width && len(out) < max {
@@ -134,7 +163,11 @@ func (h *Handle[T]) PopBatch(max int) []T {
 					continue
 				}
 				h.stats.CASFailures++
-				idx = h.rng.Intn(width)
+				h.stats.SocketCAS[sockIdx]++
+				idx = HopIdx(h.rng, width, ord, localN)
+				if ord != nil {
+					at = pos[idx]
+				}
 				probes = 0
 				randLeft = 0
 				continue
@@ -142,13 +175,24 @@ func (h *Handle[T]) PopBatch(max int) []T {
 			if randLeft > 0 {
 				randLeft--
 				h.stats.RandomHops++
-				idx = h.rng.Intn(width)
+				idx = HopIdx(h.rng, width, ord, localN)
+				if ord != nil {
+					at = pos[idx]
+				}
 				continue
 			}
 			probes++
-			idx++
-			if idx == width {
-				idx = 0
+			if ord == nil {
+				idx++
+				if idx == width {
+					idx = 0
+				}
+			} else {
+				at++
+				if at == width {
+					at = 0
+				}
+				idx = ord[at]
 			}
 		}
 		if len(out) >= max {

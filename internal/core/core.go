@@ -106,6 +106,9 @@ func (c Config) Validate() error {
 
 // K returns the paper's Theorem 1 relaxation bound for this configuration:
 // k = (2·shift + depth)(width − 1). A width-1 stack is strict (k = 0).
+// The constant is exact for Shift = Depth; for Shift < Depth sequential
+// counterexamples exceed it slightly, and the proven-safe envelope is
+// (2·depth + shift)(width − 1) — see DESIGN.md §2.
 func (c Config) K() int64 {
 	return (2*c.Shift + c.Depth) * int64(c.Width-1)
 }
@@ -128,8 +131,19 @@ type Stack[T any] struct {
 	// deterministic stream.
 	seed pad.Uint64Line
 
-	// reMu serialises reconfigurations.
+	// reMu serialises reconfigurations. It also guards the placement
+	// settings below, which every geometry build reads.
 	reMu sync.Mutex
+	// placePolicy/placeSockets are the socket-placement model installed by
+	// SetPlacement (nil policy / 1 socket = placement off, the default):
+	// the policy homes new slots on width growth and picks shrink
+	// survivors; the active geometry carries the resulting slot→socket
+	// map. See DESIGN.md §7.
+	placePolicy  PlacementPolicy
+	placeSockets int
+	// handleSeq counts NewHandle calls; the creation-order heuristic
+	// derives each handle's default socket hint from it (HeuristicSocket).
+	handleSeq atomic.Int64
 	// shrinkDisp accumulates, over all width shrinks, the stranded-plus-
 	// target populations of the warm handoff's splices — an upper bound on
 	// the extra LIFO displacement the migrations can have caused (see
@@ -156,7 +170,7 @@ func New[T any](cfg Config) (*Stack[T], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Stack[T]{}
+	s := &Stack[T]{placeSockets: 1}
 	s.geo.Store(freshGeometry[T](cfg, 1))
 	s.global.V.Store(cfg.Depth)
 	return s, nil

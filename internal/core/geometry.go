@@ -22,6 +22,17 @@ type geometry[T any] struct {
 	shift int64
 	hops  int
 	subs  []*subStack[T]
+
+	// Placement (DESIGN.md §7): homes maps each slot to its socket
+	// (len == width; all zeros while placement is off), nsockets is the
+	// socket count the homes were computed for, and localProbe selects the
+	// socket-aware search (false keeps the pre-placement hot path
+	// unchanged). Handles derive their probe permutations from homes
+	// lazily (Handle.probe), each with a private rotation of the remote
+	// section, so same-socket handles don't convoy when they spill.
+	homes      []int
+	nsockets   int
+	localProbe bool
 }
 
 // config re-packages the geometry's parameters as a Config.
@@ -45,7 +56,74 @@ func freshGeometry[T any](cfg Config, epoch uint64) *geometry[T] {
 		ss.desc.P.Store(empty)
 		g.subs[i] = ss
 	}
+	g.homes = make([]int, cfg.Width)
+	g.nsockets = 1
 	return g
+}
+
+// stampPlacement writes the slot-home map and the probe mode onto a
+// geometry being built. Caller holds reMu, so placePolicy/placeSockets are
+// stable.
+func (s *Stack[T]) stampPlacement(g *geometry[T], homes []int) {
+	g.homes = homes
+	g.nsockets = s.placeSockets
+	g.localProbe = s.placePolicy != nil && s.placePolicy.LocalProbeOrder() && s.placeSockets > 1
+}
+
+// SetPlacement installs the stack's socket-placement model (DESIGN.md §7):
+// policy decides the home socket of every sub-stack slot — the current
+// slots are re-homed immediately from scratch, and every future width
+// growth places its new slots through the policy with the requesting
+// socket's attribution (see ReconfigureOnSocket) — and sockets is the
+// machine's socket count, clamped to [1, MaxPlacementSockets]. Under a
+// local-probe policy (LocalFirst) operation searches visit slots homed on
+// the handle's socket (Handle.Pin, or the creation-order heuristic) before
+// remote ones. Placement never changes the window validity rules — only
+// slot homes and visit order — so the Theorem 1 relaxation envelope is
+// unaffected. Pass sockets <= 1, or the RoundRobin policy, to restore the
+// placement-blind behaviour. Re-homing swaps the geometry wholesale (no
+// item moves), so SetPlacement is safe concurrently with operations,
+// though handles created before it keep the heuristic socket computed for
+// the old socket count until they are re-pinned.
+func (s *Stack[T]) SetPlacement(policy PlacementPolicy, sockets int) {
+	s.reMu.Lock()
+	defer s.reMu.Unlock()
+	if sockets < 1 {
+		sockets = 1
+	}
+	if sockets > MaxPlacementSockets {
+		sockets = MaxPlacementSockets
+	}
+	s.placePolicy, s.placeSockets = policy, sockets
+	old := s.geo.Load()
+	next := &geometry[T]{
+		epoch: old.epoch + 1,
+		width: old.width,
+		depth: old.depth,
+		shift: old.shift,
+		hops:  old.hops,
+		subs:  old.subs,
+	}
+	s.stampPlacement(next, PlaceSlots(policy, nil, old.width, -1, sockets))
+	s.geo.Store(next)
+}
+
+// Placement returns a copy of the current slot→socket home map (all zeros
+// while placement is off). Diagnostics, tests and cmd/adapttune reporting.
+func (s *Stack[T]) Placement() []int {
+	g := s.geo.Load()
+	out := make([]int, len(g.homes))
+	copy(out, g.homes)
+	return out
+}
+
+// PlacementSocketFor returns the socket the creation-order heuristic
+// assigns the i-th handle (HeuristicSocket over the configured socket
+// count): the harness pins worker i's handle with it so the native
+// structures see the same fill-socket-0-first layout the simulated
+// machine uses.
+func (s *Stack[T]) PlacementSocketFor(i int) int {
+	return HeuristicSocket(i, s.geo.Load().nsockets)
 }
 
 // Reconfigure atomically replaces the stack's geometry with cfg. It is safe
@@ -80,12 +158,25 @@ func freshGeometry[T any](cfg Config, epoch uint64) *geometry[T] {
 // Reconfigure must not be called from inside an operation on the same
 // stack (there is no way to do so through the public API).
 func (s *Stack[T]) Reconfigure(cfg Config) error {
+	return s.ReconfigureOnSocket(cfg, -1)
+}
+
+// ReconfigureOnSocket is Reconfigure with placement attribution: requester
+// is the socket whose contention asked for the change (-1 when unknown —
+// plain Reconfigure). Width growth hands the requester to the placement
+// policy, so LocalFirst fills the asking socket's slots first; width
+// shrink prefers dropping slots remote to the requester (ShrinkSurvivors),
+// keeping the surviving capacity on the pressured socket. With placement
+// off (or no attribution) it behaves exactly like Reconfigure. This is the
+// entry point internal/adapt's controller uses when the target advertises
+// placement (adapt.SocketAware).
+func (s *Stack[T]) ReconfigureOnSocket(cfg Config, requester int) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
 	s.reMu.Lock()
 	defer s.reMu.Unlock()
-	return s.reconfigureLocked(cfg)
+	return s.reconfigureLocked(cfg, requester)
 }
 
 // SetWindow adjusts depth and shift, keeping width and hops. This is the
@@ -95,7 +186,7 @@ func (s *Stack[T]) SetWindow(depth, shift int64) error {
 	defer s.reMu.Unlock()
 	cfg := s.geo.Load().config()
 	cfg.Depth, cfg.Shift = depth, shift
-	return s.reconfigureLocked(cfg)
+	return s.reconfigureLocked(cfg, -1)
 }
 
 // SetWidth adjusts the sub-stack count, keeping the window parameters.
@@ -104,10 +195,10 @@ func (s *Stack[T]) SetWidth(width int) error {
 	defer s.reMu.Unlock()
 	cfg := s.geo.Load().config()
 	cfg.Width = width
-	return s.reconfigureLocked(cfg)
+	return s.reconfigureLocked(cfg, -1)
 }
 
-func (s *Stack[T]) reconfigureLocked(cfg Config) error {
+func (s *Stack[T]) reconfigureLocked(cfg Config, requester int) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -126,6 +217,7 @@ func (s *Stack[T]) reconfigureLocked(cfg Config) error {
 	switch {
 	case cfg.Width == old.width:
 		next.subs = old.subs
+		s.stampPlacement(next, old.homes)
 	case cfg.Width > old.width:
 		next.subs = make([]*subStack[T], cfg.Width)
 		copy(next.subs, old.subs)
@@ -135,9 +227,26 @@ func (s *Stack[T]) reconfigureLocked(cfg Config) error {
 			ss.desc.P.Store(empty)
 			next.subs[i] = ss
 		}
-	default: // shrink: keep a prefix, strand the tail for migration
-		next.subs = old.subs[:cfg.Width:cfg.Width]
-		dropped = old.subs[cfg.Width:]
+		// New slots are homed by the placement policy, requester first
+		// under LocalFirst (a no-op map of zeros while placement is off).
+		s.stampPlacement(next, PlaceSlots(s.placePolicy, old.homes, cfg.Width, requester, s.placeSockets))
+	default:
+		// Shrink: keep the survivors ShrinkPlan picks (the leading slots
+		// when placement-blind; preferring to drop slots remote to the
+		// requester otherwise), strand the rest for migration.
+		surv, homes := ShrinkPlan(s.placePolicy, old.homes, cfg.Width, requester)
+		keep := make(map[int]bool, len(surv))
+		next.subs = make([]*subStack[T], 0, cfg.Width)
+		for _, i := range surv {
+			keep[i] = true
+			next.subs = append(next.subs, old.subs[i])
+		}
+		for i, ss := range old.subs {
+			if !keep[i] {
+				dropped = append(dropped, ss)
+			}
+		}
+		s.stampPlacement(next, homes)
 	}
 	s.geo.Store(next)
 

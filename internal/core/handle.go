@@ -20,6 +20,24 @@ type Handle[T any] struct {
 	last  int // sub-stack index of the most recent success
 	stats OpStats
 
+	// socket is the placement hint: the socket the owning goroutine is
+	// believed to run on, defaulted by the creation-order heuristic and
+	// overridden by Pin. Under a local-probe placement policy searches
+	// visit slots homed on this socket first; CAS failures are attributed
+	// to it in OpStats.SocketCAS. Always in [0, MaxPlacementSockets).
+	socket int
+
+	// planGeo/planSocket key the cached probe plan below: the local-first
+	// permutation this handle walks (BuildProbePlan over the geometry's
+	// slot homes, with a handle-private rotation of the remote section),
+	// rebuilt lazily when the geometry or the pinned socket changes.
+	// Owner-goroutine only, like all search state.
+	planGeo    *geometry[T]
+	planSocket int
+	planOrd    []int
+	planPos    []int
+	planLocalN int
+
 	// sinceFlush counts operations since stats were last published to
 	// shared (see maybeFlush in stats.go).
 	sinceFlush int
@@ -64,7 +82,14 @@ type handleEntry[T any] struct {
 func (s *Stack[T]) NewHandle() *Handle[T] {
 	seed := s.seed.V.Add(0x9e3779b97f4a7c15)
 	rng := xrand.New(seed)
-	h := &Handle[T]{s: s, rng: rng, last: rng.Intn(s.geo.Load().width), shared: &SharedCounters{}}
+	order := int(s.handleSeq.Add(1) - 1)
+	h := &Handle[T]{
+		s:      s,
+		rng:    rng,
+		last:   rng.Intn(s.geo.Load().width),
+		socket: HeuristicSocket(order, s.geo.Load().nsockets),
+		shared: &SharedCounters{},
+	}
 	s.hMu.Lock()
 	live := s.handles[:0]
 	for _, old := range s.handles {
@@ -77,6 +102,59 @@ func (s *Stack[T]) NewHandle() *Handle[T] {
 	s.handles = append(live, handleEntry[T]{wp: weak.Make(h), shared: h.shared})
 	s.hMu.Unlock()
 	return h
+}
+
+// Pin declares the socket the owning goroutine runs on, overriding the
+// creation-order heuristic NewHandle applied. Under a local-probe
+// placement policy (see Stack.SetPlacement and DESIGN.md §7) subsequent
+// operations visit slots homed on this socket before remote ones, and the
+// handle's CAS failures are attributed to it in StatsSnapshot — the signal
+// the adaptive controller uses to home new slots near the contention.
+// Negative ids are treated as 0 and ids are folded modulo
+// MaxPlacementSockets; at operation time a hint beyond the configured
+// socket count is further folded modulo that count (see sockIdx), so the
+// socket a handle probes as always matches the socket its contention is
+// attributed to. Pinning never affects window semantics, only probe
+// order. Owner-goroutine only, like every Handle method.
+func (h *Handle[T]) Pin(socket int) {
+	if socket < 0 {
+		socket = 0
+	}
+	h.socket = socket % MaxPlacementSockets
+}
+
+// Socket returns the handle's current placement hint.
+func (h *Handle[T]) Socket() int { return h.socket }
+
+// sockIdx reduces the handle's socket hint to the geometry's socket count
+// — the same reduction probe() applies when building the walk — so the
+// socket a handle contends AS is the socket its CAS pressure is
+// attributed TO. Without this, a handle pinned beyond the configured
+// socket count would probe as socket (hint mod nsockets) but report
+// pressure on the raw hint, and LocalFirst would discard the requester.
+func (h *Handle[T]) sockIdx(geo *geometry[T]) int {
+	if geo.nsockets > 1 {
+		return h.socket % geo.nsockets
+	}
+	return h.socket
+}
+
+// probe returns the handle's probe plan for the pinned geometry: the slot
+// permutation to walk (same-socket slots first, remote spill section
+// privately rotated), its slot→position inverse, and the local-slot
+// count. All nil/0 for placement-blind geometries, selecting the plain
+// index-order search. The plan is cached per (geometry, socket), so the
+// steady-state cost is two pointer compares.
+func (h *Handle[T]) probe(geo *geometry[T]) (ord, pos []int, localN int) {
+	if !geo.localProbe {
+		return nil, nil, 0
+	}
+	if h.planGeo != geo || h.planSocket != h.socket {
+		s := h.socket % geo.nsockets
+		h.planOrd, h.planPos, h.planLocalN = BuildProbePlan(geo.homes, s, h.rng.Intn(geo.width))
+		h.planGeo, h.planSocket = geo, h.socket
+	}
+	return h.planOrd, h.planPos, h.planLocalN
 }
 
 // pin publishes the handle as active on the current geometry and returns
@@ -130,10 +208,21 @@ func (h *Handle[T]) Push(v T) {
 	geo := h.pin()
 	s := h.s
 	width := geo.width
+	// Under a local-probe placement policy the search walks a per-socket
+	// permutation (same-socket slots first) instead of plain index order;
+	// ord is nil otherwise and the pre-placement path runs unchanged. Both
+	// walks cover all width slots, so the coverage discipline — and with
+	// it the Theorem 1 envelope — is identical (DESIGN.md §7).
+	ord, pos, localN := h.probe(geo)
+	sockIdx := h.sockIdx(geo)
 	n := &node[T]{value: v}
 	for {
 		global := s.global.V.Load()
 		idx := h.last
+		at := 0 // position of idx in ord (local-probe walks only)
+		if ord != nil {
+			at = pos[idx]
+		}
 		probes := 0 // consecutive round-robin validation failures
 		randLeft := geo.hops
 		for probes < width {
@@ -158,7 +247,11 @@ func (h *Handle[T]) Push(v T) {
 				// Contention: the colliding operation made progress; hop to
 				// a random sub-stack and restart the coverage count.
 				h.stats.CASFailures++
-				idx = h.rng.Intn(width)
+				h.stats.SocketCAS[sockIdx]++
+				idx = HopIdx(h.rng, width, ord, localN)
+				if ord != nil {
+					at = pos[idx]
+				}
 				probes = 0
 				randLeft = 0 // stay in round-robin from the new anchor
 				continue
@@ -167,13 +260,24 @@ func (h *Handle[T]) Push(v T) {
 			if randLeft > 0 {
 				randLeft--
 				h.stats.RandomHops++
-				idx = h.rng.Intn(width)
+				idx = HopIdx(h.rng, width, ord, localN)
+				if ord != nil {
+					at = pos[idx]
+				}
 				continue // exploratory hop; does not count toward coverage
 			}
 			probes++
-			idx++
-			if idx == width {
-				idx = 0
+			if ord == nil {
+				idx++
+				if idx == width {
+					idx = 0
+				}
+			} else {
+				at++
+				if at == width {
+					at = 0
+				}
+				idx = ord[at]
 			}
 		}
 		// A full round-robin pass found every sub-stack at the ceiling:
@@ -194,6 +298,8 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 	s := h.s
 	width := geo.width
 	depth := geo.depth
+	ord, pos, localN := h.probe(geo) // see Push
+	sockIdx := h.sockIdx(geo)
 	for {
 		global := s.global.V.Load()
 		// Steady state guarantees global >= depth; a racing depth change
@@ -204,6 +310,10 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 			floor = 0
 		}
 		idx := h.last
+		at := 0
+		if ord != nil {
+			at = pos[idx]
+		}
 		probes := 0
 		randLeft := geo.hops
 		for probes < width {
@@ -228,7 +338,11 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 					return d.top.value, true
 				}
 				h.stats.CASFailures++
-				idx = h.rng.Intn(width)
+				h.stats.SocketCAS[sockIdx]++
+				idx = HopIdx(h.rng, width, ord, localN)
+				if ord != nil {
+					at = pos[idx]
+				}
 				probes = 0
 				randLeft = 0
 				continue
@@ -236,13 +350,24 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 			if randLeft > 0 {
 				randLeft--
 				h.stats.RandomHops++
-				idx = h.rng.Intn(width)
+				idx = HopIdx(h.rng, width, ord, localN)
+				if ord != nil {
+					at = pos[idx]
+				}
 				continue
 			}
 			probes++
-			idx++
-			if idx == width {
-				idx = 0
+			if ord == nil {
+				idx++
+				if idx == width {
+					idx = 0
+				}
+			} else {
+				at++
+				if at == width {
+					at = 0
+				}
+				idx = ord[at]
 			}
 		}
 		if global <= depth {
@@ -273,12 +398,18 @@ func (h *Handle[T]) TryPop() (v T, ok bool) {
 	geo := h.pin()
 	s := h.s
 	width := geo.width
+	ord, pos, _ := h.probe(geo) // single pass, same-socket slots first
+	sockIdx := h.sockIdx(geo)
 	global := s.global.V.Load()
 	floor := global - geo.depth
 	if floor < 0 {
 		floor = 0
 	}
 	idx := h.last
+	at := 0
+	if ord != nil {
+		at = pos[idx]
+	}
 	for probes := 0; probes < width; probes++ {
 		d := geo.subs[idx].load()
 		h.stats.Probes++
@@ -290,10 +421,19 @@ func (h *Handle[T]) TryPop() (v T, ok bool) {
 				return d.top.value, true
 			}
 			h.stats.CASFailures++
+			h.stats.SocketCAS[sockIdx]++
 		}
-		idx++
-		if idx == width {
-			idx = 0
+		if ord == nil {
+			idx++
+			if idx == width {
+				idx = 0
+			}
+		} else {
+			at++
+			if at == width {
+				at = 0
+			}
+			idx = ord[at]
 		}
 	}
 	h.unpin()

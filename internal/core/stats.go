@@ -68,6 +68,14 @@ type OpStats struct {
 	WindowLowers uint64 // successful Global -= shift CASes by this handle
 	Restarts     uint64 // searches restarted due to an observed Global change
 
+	// SocketCAS attributes the CAS failures to the socket the failing
+	// handle was pinned to (Handle.Pin, or the creation-order heuristic) —
+	// the per-socket contention-pressure signal the adaptive controller
+	// uses to tell the placement policy which socket asked for a widening
+	// (see PressureSocket and DESIGN.md §7). The entries sum to
+	// CASFailures.
+	SocketCAS [MaxPlacementSockets]uint64
+
 	// Latency is the log2-bucketed histogram of sampled operation
 	// latencies (1 operation in latencySampleInterval is timed; see
 	// LatencyBucket for the bucket layout). Estimate percentiles with
@@ -153,6 +161,9 @@ func (s *OpStats) Add(other OpStats) {
 	s.WindowRaises += other.WindowRaises
 	s.WindowLowers += other.WindowLowers
 	s.Restarts += other.Restarts
+	for i := range s.SocketCAS {
+		s.SocketCAS[i] += other.SocketCAS[i]
+	}
 	for i := range s.Latency {
 		s.Latency[i] += other.Latency[i]
 	}
@@ -178,6 +189,9 @@ func (s OpStats) Sub(other OpStats) OpStats {
 		WindowRaises: sat(s.WindowRaises, other.WindowRaises),
 		WindowLowers: sat(s.WindowLowers, other.WindowLowers),
 		Restarts:     sat(s.Restarts, other.Restarts),
+	}
+	for i := range out.SocketCAS {
+		out.SocketCAS[i] = sat(s.SocketCAS[i], other.SocketCAS[i])
 	}
 	for i := range out.Latency {
 		out.Latency[i] = sat(s.Latency[i], other.Latency[i])
@@ -210,6 +224,7 @@ type SharedCounters struct {
 	pushes, pops, emptyPops              atomic.Uint64
 	probes, randomHops, casFailures      atomic.Uint64
 	windowRaises, windowLowers, restarts atomic.Uint64
+	socketCAS                            [MaxPlacementSockets]atomic.Uint64
 	latency                              [NumLatencyBuckets]atomic.Uint64
 }
 
@@ -223,6 +238,9 @@ func (c *SharedCounters) Store(st OpStats) {
 	c.windowRaises.Store(st.WindowRaises)
 	c.windowLowers.Store(st.WindowLowers)
 	c.restarts.Store(st.Restarts)
+	for i := range c.socketCAS {
+		c.socketCAS[i].Store(st.SocketCAS[i])
+	}
 	for i := range c.latency {
 		c.latency[i].Store(st.Latency[i])
 	}
@@ -239,6 +257,9 @@ func (c *SharedCounters) Load() OpStats {
 		WindowRaises: c.windowRaises.Load(),
 		WindowLowers: c.windowLowers.Load(),
 		Restarts:     c.restarts.Load(),
+	}
+	for i := range c.socketCAS {
+		out.SocketCAS[i] = c.socketCAS[i].Load()
 	}
 	for i := range c.latency {
 		out.Latency[i] = c.latency[i].Load()

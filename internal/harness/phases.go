@@ -118,8 +118,14 @@ func RunPhased(s *core.Stack[uint64], phases []Phase, w PhasedWorkload) (PhasedR
 	if w.Quality {
 		oracle = &quality.Oracle{}
 	}
-	return runPhased(func() (Worker, func()) {
+	return runPhased(func(id int) (Worker, func()) {
 		h := s.NewHandle()
+		if id >= 0 {
+			// Pin each worker's handle by its index, mirroring the
+			// simulated machine's fill-socket-0-first core assignment
+			// (DESIGN.md §7); inert while the stack has no placement.
+			h.Pin(s.PlacementSocketFor(id))
+		}
 		return h, h.FlushStats
 	}, oracle, false, phases, w)
 }
@@ -141,13 +147,13 @@ func RunPhased(s *core.Stack[uint64], phases []Phase, w PhasedWorkload) (PhasedR
 // dequeue of v can precede v's record) at the cost of at most one position
 // of slack per in-flight operation — the same convention as the seqspec
 // trace tests.
-func runPhased(mkWorker func() (Worker, func()), oracle phasedOracle, insertFirst bool, phases []Phase, w PhasedWorkload) (PhasedResult, error) {
+func runPhased(mkWorker func(id int) (Worker, func()), oracle phasedOracle, insertFirst bool, phases []Phase, w PhasedWorkload) (PhasedResult, error) {
 	var out PhasedResult
 	if err := w.Validate(phases); err != nil {
 		return out, err
 	}
 
-	pre, preFlush := mkWorker()
+	pre, preFlush := mkWorker(-1) // prefill worker: no pinned identity
 	for i := 0; i < w.Prefill; i++ {
 		label := uint64(i) + 1
 		pre.Push(label)
@@ -174,7 +180,7 @@ func runPhased(mkWorker func() (Worker, func()), oracle phasedOracle, insertFirs
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			worker, flush := mkWorker()
+			worker, flush := mkWorker(id)
 			rng := xrand.New(w.Seed + uint64(id)*0x9e3779b97f4a7c15 + 1)
 			label := uint64(id+1)<<40 | uint64(w.Prefill)
 			var sink uint64

@@ -59,8 +59,13 @@ func RunPhasedQueue(q *twodqueue.Queue[uint64], phases []Phase, w PhasedWorkload
 	if w.Quality {
 		oracle = &quality.FIFOOracle{}
 	}
-	return runPhased(func() (Worker, func()) {
+	return runPhased(func(id int) (Worker, func()) {
 		h := q.NewHandle()
+		if id >= 0 {
+			// Pin by worker index, as RunPhased does for the stack
+			// (fill-socket-0-first); inert without placement.
+			h.Pin(q.PlacementSocketFor(id))
+		}
 		return queueHandleWorker{h}, h.FlushStats
 	}, oracle, true, phases, w)
 }

@@ -35,6 +35,11 @@ type TwoDWork struct {
 	// operation is recorded (sampling exists to keep the native hot path
 	// cheap; the simulator has no such constraint).
 	Latency [core.NumLatencyBuckets]uint64
+
+	// SocketCAS attributes CASFailures to the failing thread's socket,
+	// mirroring core.OpStats.SocketCAS — the widening-requester signal the
+	// controller's placement attribution reads (DESIGN.md §7).
+	SocketCAS [core.MaxPlacementSockets]uint64
 }
 
 // add folds other into w, field-wise.
@@ -49,14 +54,42 @@ func (w *TwoDWork) add(other TwoDWork) {
 	for i := range w.Latency {
 		w.Latency[i] += other.Latency[i]
 	}
+	for i := range w.SocketCAS {
+		w.SocketCAS[i] += other.SocketCAS[i]
+	}
+}
+
+// probePlan builds one simulated thread's socket-aware search walk over
+// the slot words — exactly the plan a native handle on the same socket
+// would build (core.BuildProbePlan: same-socket slots first, remote spill
+// section rotated by a thread-private offset so same-socket threads don't
+// convoy when they spill). ord is nil for placement-blind runs (homes nil
+// or local probing off), selecting the plain index walk.
+func probePlan(homes []int, socket, rot int, localProbe bool) (ord, pos []int, localN int) {
+	if !localProbe || homes == nil {
+		return nil, nil, 0
+	}
+	return core.BuildProbePlan(homes, socket, rot)
 }
 
 // twoDInstrumentedBody is TwoDBody with work counters accumulated into w.
-// Each simulated thread owns its distinct w; sum after Run.
-func twoDInstrumentedBody(subs []*Word, global *Word, depth, shift int64, randomHops int, seed uint64, w *TwoDWork) func(*T) {
+// Each simulated thread owns its distinct w; sum after Run. With homes and
+// localProbe set the thread probes same-socket slots first, mirroring the
+// native local-probe search exactly (anchor-relative coverage over the
+// per-socket permutation, random hops restricted to local slots).
+func twoDInstrumentedBody(subs []*Word, global *Word, depth, shift int64, randomHops int, seed uint64, homes []int, localProbe bool, w *TwoDWork) func(*T) {
 	return func(t *T) {
 		rng := xrand.New(seed + uint64(t.Core())*0x9e3779b97f4a7c15)
 		width := len(subs)
+		sock := t.Socket()
+		sockIdx := sock % core.MaxPlacementSockets
+		ord, pos, localN := probePlan(homes, sock, rng.Intn(len(homes)+1), localProbe)
+		hop := func() int {
+			if ord == nil || localN == 0 {
+				return rng.Intn(width)
+			}
+			return ord[rng.Intn(localN)]
+		}
 		anchor := rng.Intn(width)
 		for t.Running() {
 			push := rng.Bool()
@@ -64,6 +97,10 @@ func twoDInstrumentedBody(subs []*Word, global *Word, depth, shift int64, random
 			for t.Running() {
 				g := t.Read(global)
 				idx := anchor
+				at := 0
+				if ord != nil {
+					at = pos[idx]
+				}
 				probes := 0
 				randLeft := randomHops
 				done := false
@@ -86,7 +123,11 @@ func twoDInstrumentedBody(subs []*Word, global *Word, depth, shift int64, random
 							break
 						}
 						w.CASFailures++
-						idx = rng.Intn(width)
+						w.SocketCAS[sockIdx]++
+						idx = hop()
+						if ord != nil {
+							at = pos[idx]
+						}
 						probes = 0
 						randLeft = 0
 						continue
@@ -96,13 +137,24 @@ func twoDInstrumentedBody(subs []*Word, global *Word, depth, shift int64, random
 					}
 					if randLeft > 0 {
 						randLeft--
-						idx = rng.Intn(width)
+						idx = hop()
+						if ord != nil {
+							at = pos[idx]
+						}
 						continue
 					}
 					probes++
-					idx++
-					if idx == width {
-						idx = 0
+					if ord == nil {
+						idx++
+						if idx == width {
+							idx = 0
+						}
+					} else {
+						at++
+						if at == width {
+							at = 0
+						}
+						idx = ord[at]
 					}
 				}
 				if done {
@@ -138,8 +190,37 @@ func twoDInstrumentedBody(subs []*Word, global *Word, depth, shift int64, random
 // TwoDSegment runs one simulated segment: p threads execute the 2D-Stack
 // at the given geometry for horizon cycles on machine, prefilled so pops
 // rarely observe empty (as in the figure harnesses). It returns the summed
-// instrumented work. Deterministic for fixed inputs.
+// instrumented work. Deterministic for fixed inputs. Placement-blind; see
+// TwoDSegmentPlaced for the NUMA-homed variant.
 func TwoDSegment(machine Machine, width int, depth, shift int64, randomHops, p int, horizon int64, seed uint64) (TwoDWork, error) {
+	return TwoDSegmentPlaced(machine, width, depth, shift, randomHops, p, horizon, seed, nil, false)
+}
+
+// validatePlacement checks a segment's homes map against its width and the
+// machine's socket count; nil homes (placement-blind) is always valid.
+func validatePlacement(machine Machine, width int, homes []int) error {
+	if homes == nil {
+		return nil
+	}
+	if len(homes) != width {
+		return fmt.Errorf("sim: %d slot homes for width %d", len(homes), width)
+	}
+	for i, hm := range homes {
+		if hm < 0 || hm >= machine.Sockets {
+			return fmt.Errorf("sim: slot %d homed on socket %d of %d", i, hm, machine.Sockets)
+		}
+	}
+	return nil
+}
+
+// TwoDSegmentPlaced is TwoDSegment with NUMA placement: homes maps each
+// sub-stack slot to the socket whose memory holds its descriptor line
+// (charged by the cost model — see NewWordOn), and localProbe selects the
+// socket-aware search (threads visit same-socket slots first within the
+// unchanged window discipline, exactly as native local-probe handles do).
+// homes nil (with localProbe false) is the placement-blind TwoDSegment.
+// This is the model behind cmd/adapttune's -placement A/B gate.
+func TwoDSegmentPlaced(machine Machine, width int, depth, shift int64, randomHops, p int, horizon int64, seed uint64, homes []int, localProbe bool) (TwoDWork, error) {
 	switch {
 	case width < 1:
 		return TwoDWork{}, errRange("width", width)
@@ -152,6 +233,9 @@ func TwoDSegment(machine Machine, width int, depth, shift int64, randomHops, p i
 	case horizon <= 0:
 		return TwoDWork{}, errRange("horizon", int(horizon))
 	}
+	if err := validatePlacement(machine, width, homes); err != nil {
+		return TwoDWork{}, err
+	}
 	s, err := New(machine)
 	if err != nil {
 		return TwoDWork{}, err
@@ -159,12 +243,16 @@ func TwoDSegment(machine Machine, width int, depth, shift int64, randomHops, p i
 	const prefillPerLine = 1 << 20
 	subs := make([]*Word, width)
 	for i := range subs {
-		subs[i] = s.NewWord(prefillPerLine)
+		if homes != nil {
+			subs[i] = s.NewWordOn(prefillPerLine, homes[i])
+		} else {
+			subs[i] = s.NewWord(prefillPerLine)
+		}
 	}
 	global := s.NewWord(prefillPerLine + depth/2)
 	work := make([]TwoDWork, p)
-	for core := 0; core < p; core++ {
-		s.Go(core, twoDInstrumentedBody(subs, global, depth, shift, randomHops, seed, &work[core]))
+	for c := 0; c < p; c++ {
+		s.Go(c, twoDInstrumentedBody(subs, global, depth, shift, randomHops, seed, homes, localProbe, &work[c]))
 	}
 	s.Run(horizon)
 	var total TwoDWork

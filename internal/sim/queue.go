@@ -28,10 +28,21 @@ import (
 // both counted in WindowMoves. Unlike the stack body there is no depth
 // parameter: both ends' validity is simply counter < ceiling (depth only
 // sizes the initial ceilings, in TwoDQueueSegment).
-func twoDQueueInstrumentedBody(enqs, deqs []*Word, globalEnq, globalDeq *Word, shift int64, randomHops int, seed uint64, w *TwoDWork) func(*T) {
+func twoDQueueInstrumentedBody(enqs, deqs []*Word, globalEnq, globalDeq *Word, shift int64, randomHops int, seed uint64, homes []int, localProbe bool, w *TwoDWork) func(*T) {
 	return func(t *T) {
 		rng := xrand.New(seed + uint64(t.Core())*0x9e3779b97f4a7c15)
 		width := len(enqs)
+		sock := t.Socket()
+		sockIdx := sock % core.MaxPlacementSockets
+		// Both ends share the slot homes, so one probe plan serves enqueue
+		// and dequeue searches (see probePlan in adaptive.go).
+		ord, pos, localN := probePlan(homes, sock, rng.Intn(len(homes)+1), localProbe)
+		hop := func() int {
+			if ord == nil || localN == 0 {
+				return rng.Intn(width)
+			}
+			return ord[rng.Intn(localN)]
+		}
 		anchorE := rng.Intn(width)
 		anchorD := rng.Intn(width)
 		for t.Running() {
@@ -44,6 +55,10 @@ func twoDQueueInstrumentedBody(enqs, deqs []*Word, globalEnq, globalDeq *Word, s
 			for t.Running() {
 				g := t.Read(global)
 				idx := *anchor
+				at := 0
+				if ord != nil {
+					at = pos[idx]
+				}
 				probes := 0
 				randLeft := randomHops
 				done := false
@@ -57,20 +72,35 @@ func twoDQueueInstrumentedBody(enqs, deqs []*Word, globalEnq, globalDeq *Word, s
 							break
 						}
 						w.CASFailures++
-						idx = rng.Intn(width)
+						w.SocketCAS[sockIdx]++
+						idx = hop()
+						if ord != nil {
+							at = pos[idx]
+						}
 						probes = 0
 						randLeft = 0
 						continue
 					}
 					if randLeft > 0 {
 						randLeft--
-						idx = rng.Intn(width)
+						idx = hop()
+						if ord != nil {
+							at = pos[idx]
+						}
 						continue
 					}
 					probes++
-					idx++
-					if idx == width {
-						idx = 0
+					if ord == nil {
+						idx++
+						if idx == width {
+							idx = 0
+						}
+					} else {
+						at++
+						if at == width {
+							at = 0
+						}
+						idx = ord[at]
 					}
 				}
 				if done {
@@ -95,7 +125,16 @@ func twoDQueueInstrumentedBody(enqs, deqs []*Word, globalEnq, globalDeq *Word, s
 // TwoDQueueSegment runs one simulated segment: p threads execute the
 // 2D-Queue at the given geometry for horizon cycles on machine, returning
 // the summed instrumented work. Deterministic for fixed inputs.
+// Placement-blind; see TwoDQueueSegmentPlaced.
 func TwoDQueueSegment(machine Machine, width int, depth, shift int64, randomHops, p int, horizon int64, seed uint64) (TwoDWork, error) {
+	return TwoDQueueSegmentPlaced(machine, width, depth, shift, randomHops, p, horizon, seed, nil, false)
+}
+
+// TwoDQueueSegmentPlaced is TwoDQueueSegment with NUMA placement, the
+// queue counterpart of TwoDSegmentPlaced: homes maps each sub-queue slot
+// to the socket holding both of its counter lines, and localProbe selects
+// the socket-aware search on both ends.
+func TwoDQueueSegmentPlaced(machine Machine, width int, depth, shift int64, randomHops, p int, horizon int64, seed uint64, homes []int, localProbe bool) (TwoDWork, error) {
 	switch {
 	case width < 1:
 		return TwoDWork{}, errRange("width", width)
@@ -107,6 +146,9 @@ func TwoDQueueSegment(machine Machine, width int, depth, shift int64, randomHops
 		return TwoDWork{}, errRange("p", p)
 	case horizon <= 0:
 		return TwoDWork{}, errRange("horizon", int(horizon))
+	}
+	if err := validatePlacement(machine, width, homes); err != nil {
+		return TwoDWork{}, err
 	}
 	s, err := New(machine)
 	if err != nil {
@@ -121,14 +163,19 @@ func TwoDQueueSegment(machine Machine, width int, depth, shift int64, randomHops
 	enqs := make([]*Word, width)
 	deqs := make([]*Word, width)
 	for i := range enqs {
-		enqs[i] = s.NewWord(0)
-		deqs[i] = s.NewWord(0)
+		if homes != nil {
+			enqs[i] = s.NewWordOn(0, homes[i])
+			deqs[i] = s.NewWordOn(0, homes[i])
+		} else {
+			enqs[i] = s.NewWord(0)
+			deqs[i] = s.NewWord(0)
+		}
 	}
 	globalEnq := s.NewWord(g0)
 	globalDeq := s.NewWord(g0)
 	work := make([]TwoDWork, p)
-	for core := 0; core < p; core++ {
-		s.Go(core, twoDQueueInstrumentedBody(enqs, deqs, globalEnq, globalDeq, shift, randomHops, seed, &work[core]))
+	for c := 0; c < p; c++ {
+		s.Go(c, twoDQueueInstrumentedBody(enqs, deqs, globalEnq, globalDeq, shift, randomHops, seed, homes, localProbe, &work[c]))
 	}
 	s.Run(horizon)
 	var total TwoDWork

@@ -84,6 +84,7 @@ type Word struct {
 	version    uint64
 	lastWriter int   // core id, -1 when untouched
 	readyAt    int64 // earliest cycle the next exclusive access may start
+	home       int   // socket whose memory holds the line, -1 = uniform
 }
 
 // Sim owns the simulated machine, words and threads. Create with New, add
@@ -112,9 +113,24 @@ func MustNew(machine Machine) *Sim {
 	return s
 }
 
-// NewWord allocates a word initialised to v on its own cache line.
+// NewWord allocates a word initialised to v on its own cache line, with no
+// NUMA home (untouched-line fetches cost LocalCost regardless of socket).
 func (s *Sim) NewWord(v int64) *Word {
-	w := &Word{id: len(s.words), value: v, lastWriter: -1}
+	return s.NewWordOn(v, -1)
+}
+
+// NewWordOn allocates a word homed on the given socket's memory: while no
+// core has written the line, a fetch from a remote socket pays the
+// inter-socket transfer cost (a remote-node DRAM/directory fetch) instead
+// of LocalCost — the placement-dependent cost per slot that makes slot
+// homes matter to the model even before the first CAS. Once written, the
+// usual last-writer coherence costs take over. Pass socket -1 for a
+// homeless word (equivalent to NewWord).
+func (s *Sim) NewWordOn(v int64, socket int) *Word {
+	if socket >= s.machine.Sockets {
+		socket = s.machine.Sockets - 1
+	}
+	w := &Word{id: len(s.words), value: v, lastWriter: -1, home: socket}
 	s.words = append(s.words, w)
 	return w
 }
@@ -203,10 +219,18 @@ func (t *T) yield(cost int64) {
 }
 
 // transferCost is the coherence cost of fetching w's line from its last
-// writer (LocalCost when untouched or same-core).
+// writer (LocalCost when untouched or same-core); an untouched line homed
+// on another socket instead costs the inter-socket transfer (remote memory
+// fetch — see NewWordOn).
 func (t *T) transferCost(w *Word) int64 {
 	m := t.s.machine
-	if w.lastWriter < 0 || w.lastWriter == t.th.core {
+	if w.lastWriter < 0 {
+		if w.home >= 0 && w.home != t.th.socket {
+			return m.InterSocketCost
+		}
+		return m.LocalCost
+	}
+	if w.lastWriter == t.th.core {
 		return m.LocalCost
 	}
 	if w.lastWriter/m.CoresPerSocket == t.th.socket {
@@ -260,6 +284,10 @@ func (t *T) Clock() int64 { return t.th.clock }
 
 // Core returns the core this thread is pinned to.
 func (t *T) Core() int { return t.th.core }
+
+// Socket returns the socket of the thread's core (cores fill socket 0
+// first, CoresPerSocket cores per socket).
+func (t *T) Socket() int { return t.th.socket }
 
 // Read returns w's value, charging the coherence cost.
 func (t *T) Read(w *Word) int64 {

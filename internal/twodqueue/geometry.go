@@ -3,6 +3,7 @@ package twodqueue
 import (
 	"runtime"
 
+	"stack2d/internal/core"
 	"stack2d/internal/pad"
 )
 
@@ -21,6 +22,16 @@ type geometry[T any] struct {
 	shift int64
 	hops  int
 	subs  []*subQueue[T]
+
+	// Placement (DESIGN.md §7), mirroring core.geometry: homes maps each
+	// slot to its socket, nsockets is the socket count it was computed
+	// for, and localProbe selects the socket-aware search (false keeps
+	// the pre-placement hot path unchanged). Handles derive their probe
+	// permutations from homes lazily (Handle.probe), each with a private
+	// rotation of the remote section.
+	homes      []int
+	nsockets   int
+	localProbe bool
 }
 
 // config re-packages the geometry's parameters as a Config.
@@ -42,7 +53,64 @@ func freshGeometry[T any](cfg Config, epoch uint64) *geometry[T] {
 	for i := range g.subs {
 		g.subs[i] = newSubQueue[T](0, 0)
 	}
+	g.homes = make([]int, cfg.Width)
+	g.nsockets = 1
 	return g
+}
+
+// stampPlacement writes the slot-home map and the probe mode onto a
+// geometry being built. Caller holds reMu, so placePolicy/placeSockets
+// are stable.
+func (q *Queue[T]) stampPlacement(g *geometry[T], homes []int) {
+	g.homes = homes
+	g.nsockets = q.placeSockets
+	g.localProbe = q.placePolicy != nil && q.placePolicy.LocalProbeOrder() && q.placeSockets > 1
+}
+
+// SetPlacement installs the queue's socket-placement model, exactly as
+// core.Stack.SetPlacement does for the stack: policy homes every sub-queue
+// slot (current slots re-homed immediately, future width growth placed
+// with the requester's attribution), sockets is the machine's socket count
+// clamped to [1, core.MaxPlacementSockets]. Under a local-probe policy
+// operation searches visit slots homed on the handle's socket first;
+// window validity is untouched, so the relaxation envelope is unaffected
+// (DESIGN.md §7).
+func (q *Queue[T]) SetPlacement(policy core.PlacementPolicy, sockets int) {
+	q.reMu.Lock()
+	defer q.reMu.Unlock()
+	if sockets < 1 {
+		sockets = 1
+	}
+	if sockets > core.MaxPlacementSockets {
+		sockets = core.MaxPlacementSockets
+	}
+	q.placePolicy, q.placeSockets = policy, sockets
+	old := q.geo.Load()
+	next := &geometry[T]{
+		epoch: old.epoch + 1,
+		width: old.width,
+		depth: old.depth,
+		shift: old.shift,
+		hops:  old.hops,
+		subs:  old.subs,
+	}
+	q.stampPlacement(next, core.PlaceSlots(policy, nil, old.width, -1, sockets))
+	q.geo.Store(next)
+}
+
+// Placement returns a copy of the current slot→socket home map (all zeros
+// while placement is off). Diagnostics, tests and cmd/adapttune reporting.
+func (q *Queue[T]) Placement() []int {
+	g := q.geo.Load()
+	out := make([]int, len(g.homes))
+	copy(out, g.homes)
+	return out
+}
+
+// PlacementSocketFor returns the socket the creation-order heuristic
+// assigns the i-th handle; see core.Stack.PlacementSocketFor.
+func (q *Queue[T]) PlacementSocketFor(i int) int {
+	return core.HeuristicSocket(i, q.geo.Load().nsockets)
 }
 
 // Reconfigure atomically replaces the queue's geometry with cfg. It is safe
@@ -73,12 +141,22 @@ func freshGeometry[T any](cfg Config, epoch uint64) *geometry[T] {
 // DESIGN.md §5. Callers that treat an empty Dequeue as terminal should not
 // shrink width concurrently with consumers racing the queue to empty.
 func (q *Queue[T]) Reconfigure(cfg Config) error {
+	return q.ReconfigureOnSocket(cfg, -1)
+}
+
+// ReconfigureOnSocket is Reconfigure with placement attribution: requester
+// is the socket whose contention asked for the change (-1 when unknown).
+// Width growth hands the requester to the placement policy, so LocalFirst
+// fills the asking socket's slots first; width shrink prefers dropping
+// slots remote to the requester (core.ShrinkSurvivors). Identical to
+// Reconfigure while placement is off. See core.Stack.ReconfigureOnSocket.
+func (q *Queue[T]) ReconfigureOnSocket(cfg Config, requester int) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
 	q.reMu.Lock()
 	defer q.reMu.Unlock()
-	return q.reconfigureLocked(cfg)
+	return q.reconfigureLocked(cfg, requester)
 }
 
 // SetWindow adjusts depth and shift, keeping width and hops — the cheap
@@ -88,7 +166,7 @@ func (q *Queue[T]) SetWindow(depth, shift int64) error {
 	defer q.reMu.Unlock()
 	cfg := q.geo.Load().config()
 	cfg.Depth, cfg.Shift = depth, shift
-	return q.reconfigureLocked(cfg)
+	return q.reconfigureLocked(cfg, -1)
 }
 
 // SetWidth adjusts the sub-queue count, keeping the window parameters.
@@ -97,10 +175,10 @@ func (q *Queue[T]) SetWidth(width int) error {
 	defer q.reMu.Unlock()
 	cfg := q.geo.Load().config()
 	cfg.Width = width
-	return q.reconfigureLocked(cfg)
+	return q.reconfigureLocked(cfg, -1)
 }
 
-func (q *Queue[T]) reconfigureLocked(cfg Config) error {
+func (q *Queue[T]) reconfigureLocked(cfg Config, requester int) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
@@ -119,6 +197,7 @@ func (q *Queue[T]) reconfigureLocked(cfg Config) error {
 	switch {
 	case cfg.Width == old.width:
 		next.subs = old.subs
+		q.stampPlacement(next, old.homes)
 	case cfg.Width > old.width:
 		next.subs = make([]*subQueue[T], cfg.Width)
 		copy(next.subs, old.subs)
@@ -133,9 +212,26 @@ func (q *Queue[T]) reconfigureLocked(cfg Config) error {
 		for i := old.width; i < cfg.Width; i++ {
 			next.subs[i] = newSubQueue[T](enqFloor, deqFloor)
 		}
-	default: // shrink: keep a prefix, strand the tail for migration
-		next.subs = old.subs[:cfg.Width:cfg.Width]
-		dropped = old.subs[cfg.Width:]
+		// New slots are homed by the placement policy, requester first
+		// under LocalFirst (a no-op map of zeros while placement is off).
+		q.stampPlacement(next, core.PlaceSlots(q.placePolicy, old.homes, cfg.Width, requester, q.placeSockets))
+	default:
+		// Shrink: keep the survivors core.ShrinkPlan picks (the leading
+		// slots when placement-blind; preferring to drop slots remote to
+		// the requester otherwise), strand the rest.
+		surv, homes := core.ShrinkPlan(q.placePolicy, old.homes, cfg.Width, requester)
+		keep := make(map[int]bool, len(surv))
+		next.subs = make([]*subQueue[T], 0, cfg.Width)
+		for _, i := range surv {
+			keep[i] = true
+			next.subs = append(next.subs, old.subs[i])
+		}
+		for i, sq := range old.subs {
+			if !keep[i] {
+				dropped = append(dropped, sq)
+			}
+		}
+		q.stampPlacement(next, homes)
 	}
 	q.geo.Store(next)
 

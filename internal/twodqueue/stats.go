@@ -87,5 +87,13 @@ func (s Steerable[T]) Reconfigure(cfg core.Config) error {
 	return s.Q.Reconfigure(FromCore(cfg))
 }
 
+// ReconfigureOnSocket applies a controller-chosen geometry with the
+// requesting socket's attribution (adapt.SocketAware), so the queue's
+// placement policy can home new slots on — and shrink away from — the
+// pressured socket.
+func (s Steerable[T]) ReconfigureOnSocket(cfg core.Config, requester int) error {
+	return s.Q.ReconfigureOnSocket(FromCore(cfg), requester)
+}
+
 // StatsSnapshot exposes the queue's aggregated counters to the controller.
 func (s Steerable[T]) StatsSnapshot() core.OpStats { return s.Q.StatsSnapshot() }

@@ -142,8 +142,17 @@ type Queue[T any] struct {
 	globalDeq pad.Int64Line
 	seed      pad.Uint64Line
 
-	// reMu serialises reconfigurations.
+	// reMu serialises reconfigurations. It also guards the placement
+	// settings below, which every geometry build reads.
 	reMu sync.Mutex
+	// placePolicy/placeSockets are the socket-placement model installed by
+	// SetPlacement (nil policy / 1 socket = placement off, the default);
+	// see core.Stack's identically named fields and DESIGN.md §7.
+	placePolicy  core.PlacementPolicy
+	placeSockets int
+	// handleSeq counts NewHandle calls for the creation-order socket
+	// heuristic (core.HeuristicSocket).
+	handleSeq atomic.Int64
 	// shrinkDisp accumulates, over all width shrinks, the resident
 	// population at each migration plus the client enqueues that landed in
 	// the survivors while the drain ran — an upper bound (to in-flight
@@ -176,7 +185,7 @@ func New[T any](cfg Config) (*Queue[T], error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	q := &Queue[T]{}
+	q := &Queue[T]{placeSockets: 1}
 	q.geo.Store(freshGeometry[T](cfg, 1))
 	q.globalEnq.V.Store(cfg.Depth)
 	q.globalDeq.V.Store(cfg.Depth)
@@ -263,6 +272,22 @@ type Handle[T any] struct {
 	lastDeq int
 	stats   core.OpStats
 
+	// socket is the placement hint (creation-order heuristic, overridden
+	// by Pin), mirroring core.Handle.socket: local-probe searches visit
+	// slots homed on it first and CAS failures are attributed to it.
+	// Always in [0, core.MaxPlacementSockets).
+	socket int
+
+	// planGeo/planSocket key the cached probe plan (core.BuildProbePlan
+	// over the geometry's homes, remote section privately rotated),
+	// rebuilt lazily when the geometry or pinned socket changes; see
+	// core.Handle's identically named fields. Owner-goroutine only.
+	planGeo    *geometry[T]
+	planSocket int
+	planOrd    []int
+	planPos    []int
+	planLocalN int
+
 	// sinceFlush counts operations since stats were last published (see
 	// maybeFlush in stats.go).
 	sinceFlush int
@@ -294,8 +319,16 @@ type Handle[T any] struct {
 func (q *Queue[T]) NewHandle() *Handle[T] {
 	seed := q.seed.V.Add(0x9e3779b97f4a7c15)
 	rng := xrand.New(seed)
-	width := q.geo.Load().width
-	h := &Handle[T]{q: q, rng: rng, lastEnq: rng.Intn(width), lastDeq: rng.Intn(width), shared: &core.SharedCounters{}}
+	geo := q.geo.Load()
+	order := int(q.handleSeq.Add(1) - 1)
+	h := &Handle[T]{
+		q:       q,
+		rng:     rng,
+		lastEnq: rng.Intn(geo.width),
+		lastDeq: rng.Intn(geo.width),
+		socket:  core.HeuristicSocket(order, geo.nsockets),
+		shared:  &core.SharedCounters{},
+	}
 	q.hMu.Lock()
 	live := q.handles[:0]
 	for _, old := range q.handles {
@@ -308,6 +341,45 @@ func (q *Queue[T]) NewHandle() *Handle[T] {
 	q.handles = append(live, handleEntry[T]{wp: weak.Make(h), shared: h.shared})
 	q.hMu.Unlock()
 	return h
+}
+
+// Pin declares the socket the owning goroutine runs on, overriding the
+// creation-order heuristic; see core.Handle.Pin — same semantics, same
+// modulo folding, same use by the local-probe placement policy.
+// Owner-goroutine only.
+func (h *Handle[T]) Pin(socket int) {
+	if socket < 0 {
+		socket = 0
+	}
+	h.socket = socket % core.MaxPlacementSockets
+}
+
+// Socket returns the handle's current placement hint.
+func (h *Handle[T]) Socket() int { return h.socket }
+
+// sockIdx reduces the socket hint to the geometry's socket count, keeping
+// attribution consistent with the probe walk; see core.Handle.sockIdx.
+func (h *Handle[T]) sockIdx(geo *geometry[T]) int {
+	if geo.nsockets > 1 {
+		return h.socket % geo.nsockets
+	}
+	return h.socket
+}
+
+// probe returns the handle's probe plan for the pinned geometry (see
+// core.Handle.probe): the slot permutation to walk, its slot→position
+// inverse, and the local-slot count; all nil/0 for placement-blind
+// geometries. Cached per (geometry, socket).
+func (h *Handle[T]) probe(geo *geometry[T]) (ord, pos []int, localN int) {
+	if !geo.localProbe {
+		return nil, nil, 0
+	}
+	if h.planGeo != geo || h.planSocket != h.socket {
+		s := h.socket % geo.nsockets
+		h.planOrd, h.planPos, h.planLocalN = core.BuildProbePlan(geo.homes, s, h.rng.Intn(geo.width))
+		h.planGeo, h.planSocket = geo, h.socket
+	}
+	return h.planOrd, h.planPos, h.planLocalN
 }
 
 // pin publishes the handle as active on the current geometry and returns
@@ -354,9 +426,19 @@ func (h *Handle[T]) Enqueue(v T) {
 	geo := h.pin()
 	q := h.q
 	width := geo.width
+	// Under a local-probe placement policy the search walks a per-socket
+	// permutation (same-socket slots first); ord is nil otherwise and the
+	// pre-placement path runs unchanged. Both walks cover all width slots,
+	// so the coverage discipline is identical (DESIGN.md §7).
+	ord, pos, localN := h.probe(geo)
+	sockIdx := h.sockIdx(geo)
 	for {
 		global := q.globalEnq.V.Load()
 		idx := h.lastEnq
+		at := 0
+		if ord != nil {
+			at = pos[idx]
+		}
 		probes := 0
 		randLeft := geo.hops
 		for probes < width {
@@ -379,7 +461,11 @@ func (h *Handle[T]) Enqueue(v T) {
 				// Contention: another enqueuer made progress here; hop to a
 				// random sub-queue and restart the coverage count.
 				h.stats.CASFailures++
-				idx = h.rng.Intn(width)
+				h.stats.SocketCAS[sockIdx]++
+				idx = core.HopIdx(h.rng, width, ord, localN)
+				if ord != nil {
+					at = pos[idx]
+				}
 				probes = 0
 				randLeft = 0
 				continue
@@ -387,13 +473,24 @@ func (h *Handle[T]) Enqueue(v T) {
 			if randLeft > 0 {
 				randLeft--
 				h.stats.RandomHops++
-				idx = h.rng.Intn(width)
+				idx = core.HopIdx(h.rng, width, ord, localN)
+				if ord != nil {
+					at = pos[idx]
+				}
 				continue
 			}
 			probes++
-			idx++
-			if idx == width {
-				idx = 0
+			if ord == nil {
+				idx++
+				if idx == width {
+					idx = 0
+				}
+			} else {
+				at++
+				if at == width {
+					at = 0
+				}
+				idx = ord[at]
 			}
 		}
 		if q.globalEnq.V.CompareAndSwap(global, global+geo.shift) {
@@ -411,9 +508,15 @@ func (h *Handle[T]) Dequeue() (v T, ok bool) {
 	geo := h.pin()
 	q := h.q
 	width := geo.width
+	ord, pos, localN := h.probe(geo) // see Enqueue
+	sockIdx := h.sockIdx(geo)
 	for {
 		global := q.globalDeq.V.Load()
 		idx := h.lastDeq
+		at := 0
+		if ord != nil {
+			at = pos[idx]
+		}
 		probes := 0
 		randLeft := geo.hops
 		sawInvalidNonEmpty := false
@@ -437,7 +540,11 @@ func (h *Handle[T]) Dequeue() (v T, ok bool) {
 				} else if contended {
 					// Another dequeuer beat us here: hop away, fresh pass.
 					h.stats.CASFailures++
-					idx = h.rng.Intn(width)
+					h.stats.SocketCAS[sockIdx]++
+					idx = core.HopIdx(h.rng, width, ord, localN)
+					if ord != nil {
+						at = pos[idx]
+					}
 					probes = 0
 					randLeft = 0
 					continue
@@ -449,13 +556,24 @@ func (h *Handle[T]) Dequeue() (v T, ok bool) {
 			if randLeft > 0 {
 				randLeft--
 				h.stats.RandomHops++
-				idx = h.rng.Intn(width)
+				idx = core.HopIdx(h.rng, width, ord, localN)
+				if ord != nil {
+					at = pos[idx]
+				}
 				continue
 			}
 			probes++
-			idx++
-			if idx == width {
-				idx = 0
+			if ord == nil {
+				idx++
+				if idx == width {
+					idx = 0
+				}
+			} else {
+				at++
+				if at == width {
+					at = 0
+				}
+				idx = ord[at]
 			}
 		}
 		if !sawInvalidNonEmpty {

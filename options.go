@@ -20,6 +20,12 @@ type builder struct {
 	geom geomOverrides
 
 	policy *adapt.Policy // set by WithAdaptive; consumed by NewAdaptive
+
+	// placePolicy/placeSockets are set by WithPlacement and applied to the
+	// freshly built stack (placement is a structure setting, not a Config
+	// field, so it rides beside the geometry options).
+	placePolicy  core.PlacementPolicy
+	placeSockets int
 }
 
 // geomOverrides carries the explicit structural options shared by the stack
@@ -69,14 +75,6 @@ func applyOptions(opts []Option) builder {
 		opt(&b)
 	}
 	return b
-}
-
-// buildConfig resolves the option list into a concrete configuration.
-// Precedence: WithRelaxation derives a structure from the k budget and the
-// expected thread count; explicit structural options (width, depth, shift,
-// hops) then override the derived or default values field by field.
-func buildConfig(opts []Option) core.Config {
-	return resolveConfig(applyOptions(opts))
 }
 
 // resolveConfig turns a populated builder into a concrete configuration.

@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"stack2d/internal/adapt"
+	"stack2d/internal/core"
 	"stack2d/internal/msqueue"
 	"stack2d/internal/twodqueue"
 )
@@ -31,6 +32,11 @@ type queueBuilder struct {
 	p      int
 	geom   geomOverrides
 	policy *adapt.Policy // set by WithQueueAdaptive; consumed by NewAdaptiveQueue
+
+	// placePolicy/placeSockets are set by WithQueuePlacement and applied
+	// to the freshly built queue, as in the stack's builder.
+	placePolicy  core.PlacementPolicy
+	placeSockets int
 }
 
 // applyQueueOptions runs the option list over a fresh queue builder.
@@ -50,11 +56,6 @@ func resolveQueueConfig(b queueBuilder) QueueConfig {
 	base := twodqueue.DefaultConfig(b.p)
 	b.geom.resolve(&base.Width, &base.Depth, &base.Shift, &base.RandomHops)
 	return base
-}
-
-// buildQueueConfig resolves the option list into a concrete configuration.
-func buildQueueConfig(opts []QueueOption) QueueConfig {
-	return resolveQueueConfig(applyQueueOptions(opts))
 }
 
 // WithQueueExpectedThreads declares the expected number of concurrent
@@ -104,9 +105,13 @@ func WithQueueAdaptive(policy AdaptivePolicy) QueueOption {
 // panic, since they are programming errors; use NewQueueWithConfig to
 // handle errors.
 func NewQueue[T any](opts ...QueueOption) *Queue[T] {
-	q, err := NewQueueWithConfig[T](buildQueueConfig(opts))
+	b := applyQueueOptions(opts)
+	q, err := NewQueueWithConfig[T](resolveQueueConfig(b))
 	if err != nil {
 		panic(err)
+	}
+	if b.placePolicy != nil {
+		q.inner.SetPlacement(b.placePolicy, b.placeSockets)
 	}
 	return q
 }
@@ -140,7 +145,10 @@ func (h *QueueHandle[T]) Dequeue() (v T, ok bool) { return h.h.Dequeue() }
 // Len returns the total number of stored items; exact when quiescent.
 func (q *Queue[T]) Len() int { return q.inner.Len() }
 
-// K returns the queue's sequential k-out-of-order relaxation bound.
+// K returns the queue's sequential k-out-of-order relaxation bound,
+// (2·shift + depth)·(width − 1); concurrent executions add one position
+// per in-flight operation, and the constant carries the same
+// shift < depth caveat as the stack's (DESIGN.md §2).
 func (q *Queue[T]) K() int64 { return q.inner.Config().K() }
 
 // Config returns the queue's active configuration — under live

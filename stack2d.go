@@ -28,10 +28,13 @@ type Stack[T any] struct {
 // paper's high-throughput configuration). Invalid combinations panic, since
 // they are programming errors; use NewWithConfig to handle errors.
 func New[T any](opts ...Option) *Stack[T] {
-	cfg := buildConfig(opts)
-	s, err := NewWithConfig[T](cfg)
+	b := applyOptions(opts)
+	s, err := NewWithConfig[T](resolveConfig(b))
 	if err != nil {
 		panic(err)
+	}
+	if b.placePolicy != nil {
+		s.inner.SetPlacement(b.placePolicy, b.placeSockets)
 	}
 	return s
 }
@@ -115,7 +118,13 @@ func (s *Stack[T]) Len() int { return s.inner.Len() }
 // Empty reports whether every sub-stack was observed empty.
 func (s *Stack[T]) Empty() bool { return s.inner.Empty() }
 
-// K returns the stack's k-out-of-order relaxation bound (Theorem 1).
+// K returns the stack's k-out-of-order relaxation bound, Theorem 1's
+// k = (2·shift + depth)·(width − 1). The constant is exact for
+// shift = depth (the setting of every configuration this package
+// derives); for shift < depth sequential counterexamples exceed it by a
+// small margin — width 2, depth 4, shift 1 realises distance 7 against
+// k = 6 — and the proven-safe envelope is (2·depth + shift)·(width − 1),
+// which coincides with k at shift = depth. See DESIGN.md §2.
 func (s *Stack[T]) K() int64 { return s.inner.Config().K() }
 
 // Config returns the configuration the stack was built with.
