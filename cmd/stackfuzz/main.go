@@ -2,7 +2,13 @@
 // random operation scripts and random configurations, runs them against
 // every stack implementation sequentially, and checks each result against
 // the sequential specification (strict LIFO for exact designs,
-// k-out-of-order for relaxed ones). Failures print a reproducible seed.
+// k-out-of-order for relaxed ones — the corrected Theorem-1 constant for
+// the 2D-Stack, see DESIGN.md §2). Every k-bounded history additionally
+// runs through seqspec.KStackChecker (the concurrent-history distance
+// checker) with synthesized sequential intervals, which must agree with
+// the replay checker exactly; a disagreement is a checker bug, not a
+// structure bug, and is reported as a failure all the same. Failures print
+// a reproducible seed.
 //
 // Usage:
 //
@@ -167,7 +173,11 @@ func runIteration(seed uint64, opsMax int) error {
 				return fmt.Errorf("%s: %w", tg.name, err)
 			}
 		default:
-			if _, err := seqspec.CheckKOutOfOrder(ops, int(k)); err != nil {
+			maxDist, err := seqspec.CheckKOutOfOrder(ops, int(k))
+			if err != nil {
+				return fmt.Errorf("%s (k=%d): %w", tg.name, k, err)
+			}
+			if err := seqspec.CrossCheckKDistance(ops, k, maxDist); err != nil {
 				return fmt.Errorf("%s (k=%d): %w", tg.name, k, err)
 			}
 		}

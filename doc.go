@@ -12,24 +12,20 @@
 // may return an item that is not the exact LIFO top, but never one more
 // than
 //
-//	k = (2·shift + depth) · (width − 1)
+//	k = (2·depth + shift) · (width − 1)
 //
 // positions away from it (k-out-of-order semantics, Theorem 1 of the
-// paper); the parameters trade accuracy for throughput continuously, and a
-// width-1 configuration degenerates to a strict lock-free stack.
-//
-// Caveat on the constant: as quoted, k is exact for shift = depth (the
-// paper's setting, and what every derived configuration here uses). For
-// shift < depth, sequential counterexamples exceeding it by a small margin
-// exist — width 2, depth 4, shift 1 realises distance 7 against k = 6 (a
-// count-lagging sub-stack's stale top stays poppable across several slow
-// window raises). Every observed excess fits the envelope
-//
-//	k' = (2·depth + shift) · (width − 1)
-//
-// which coincides with k at shift = depth; DESIGN.md §2 has the full
-// counterexample and the audit status. Rely on K() as stated only with
-// shift = depth, and on the k' envelope otherwise.
+// paper with the constant corrected — the paper's transcription swaps
+// the weights of depth and shift, which sequential counterexamples
+// refute for shift < depth and which coincides with the form above at
+// shift = depth, the paper's own setting and what every derived
+// configuration here uses; DESIGN.md §2 records the resolution and the
+// exhaustive-exploration certificate behind it). The parameters trade
+// accuracy for throughput continuously, and a width-1 configuration
+// degenerates to a strict lock-free stack. K() reports the bound of the
+// active configuration, exact for every legal shift; concurrent
+// executions add at most one position of measurement slack per in-flight
+// operation.
 //
 // # Quick start
 //

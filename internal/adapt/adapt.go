@@ -21,7 +21,7 @@
 // Each decision moves exactly one knob one doubling/halving step, then
 // holds for a cooldown so the signals resettle: movement is monotone per
 // decision and geometry never jumps. Every candidate's Theorem 1 bound
-// k = (2·shift + depth)·(width − 1) is computed before reconfiguring, so
+// k = (2·depth + shift)·(width − 1) is computed before reconfiguring, so
 // the controller never applies a geometry whose bound exceeds the
 // configured k ceiling. The one caveat is inherent to live retuning, not
 // to the controller: while a width shrink's migration completes, the

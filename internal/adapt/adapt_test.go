@@ -361,7 +361,7 @@ func TestHistoryRecordsSeries(t *testing.T) {
 		if rec.Ops != 1000 {
 			t.Fatalf("record %d Ops = %d", i, rec.Ops)
 		}
-		if rec.K != (2*rec.Shift+rec.Depth)*int64(rec.Width-1) {
+		if rec.K != (2*rec.Depth+rec.Shift)*int64(rec.Width-1) {
 			t.Fatalf("record %d K %d inconsistent with geometry", i, rec.K)
 		}
 		if rec.CASPerOp == 0 || rec.MovesPerOp == 0 {

@@ -15,10 +15,17 @@
 // When no sub-stack is valid the window itself is moved: Push raises Global
 // by `shift`, Pop lowers it (never below depth). All items therefore live
 // within a band of height `depth` across the sub-stacks, which yields the
-// paper's Theorem 1 bound: the stack is linearizable with respect to
-// k-out-of-order stack semantics with
+// Theorem 1 bound: the stack is linearizable with respect to k-out-of-order
+// stack semantics with
 //
-//	k = (2·shift + depth) · (width − 1)
+//	k = (2·depth + shift) · (width − 1)
+//
+// (The paper's transcription weighs shift double instead of depth; that
+// form is violated for shift < depth — a count-lagging sub-stack's
+// stale top stays poppable across several slow window raises — and the two
+// coincide at shift = depth. The constant above is the corrected one,
+// certified for small geometries by internal/seqspec's exhaustive explorer;
+// see DESIGN.md §2 for the resolution.)
 //
 // # Operation scheduling
 //
@@ -104,13 +111,18 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// K returns the paper's Theorem 1 relaxation bound for this configuration:
-// k = (2·shift + depth)(width − 1). A width-1 stack is strict (k = 0).
-// The constant is exact for Shift = Depth; for Shift < Depth sequential
-// counterexamples exceed it slightly, and the proven-safe envelope is
-// (2·depth + shift)(width − 1) — see DESIGN.md §2.
+// K returns the Theorem 1 relaxation bound for this configuration:
+// k = (2·depth + shift)(width − 1). A width-1 stack is strict (k = 0).
+// The constant is exact for every legal shift: sequential executions
+// realise distances at most k (certified exhaustively for small geometries
+// by seqspec.ExploreStack, property-tested for larger ones), and
+// concurrent executions add at most one position of measurement slack per
+// in-flight operation. It corrects the paper's transcription (shift
+// weighted double instead of depth), which sequential counterexamples
+// refute for shift < depth and which coincides with K at shift = depth —
+// see DESIGN.md §2 for the resolution.
 func (c Config) K() int64 {
-	return (2*c.Shift + c.Depth) * int64(c.Width-1)
+	return (2*c.Depth + c.Shift) * int64(c.Width-1)
 }
 
 // Stack is a lock-free 2D-Stack. Create with New; use per-goroutine Handles

@@ -8,13 +8,23 @@ import (
 
 // FuzzSequentialKOutOfOrder feeds arbitrary op scripts and configurations
 // to a 2D-Stack and checks the resulting history against Theorem 1's exact
-// bound. Run the seed corpus with `go test`; explore with
-// `go test -fuzz=FuzzSequentialKOutOfOrder ./internal/core`.
+// (corrected) bound — through both the sequential replay checker and, with
+// synthesized non-overlapping intervals, the concurrent-history
+// KStackChecker, which must agree with zero slack. Run the seed corpus
+// with `go test` (testdata/fuzz holds the checked-in cases, including the
+// width-2/depth-4/shift-1 history that refuted the paper's transcribed
+// constant); explore with `go test -fuzz=FuzzSequentialKOutOfOrder
+// ./internal/core`.
 func FuzzSequentialKOutOfOrder(f *testing.F) {
 	f.Add(uint8(2), uint8(3), uint8(1), uint8(1), []byte{0xff, 0x0f, 0xf0})
 	f.Add(uint8(1), uint8(1), uint8(1), uint8(0), []byte{0x00})
 	f.Add(uint8(6), uint8(2), uint8(2), uint8(2), []byte{0xaa, 0x55, 0xaa, 0x55})
 	f.Add(uint8(4), uint8(8), uint8(4), uint8(3), []byte{})
+	// The Theorem-1 counterexample geometry and script (14 pushes, then
+	// drain): realises distance 7 > 6 = the retired constant, within the
+	// corrected K() = 9. Kept as a live seed so a regression of the
+	// constant fails the corpus run, not just the fuzzer.
+	f.Add(uint8(1), uint8(3), uint8(0), uint8(0), []byte{0xff, 0x3f})
 	f.Fuzz(func(t *testing.T, widthRaw, depthRaw, shiftRaw, hopsRaw uint8, script []byte) {
 		width := int(widthRaw%8) + 1
 		depth := int64(depthRaw%8) + 1
@@ -47,11 +57,18 @@ func FuzzSequentialKOutOfOrder(f *testing.F) {
 				break
 			}
 		}
-		if _, err := seqspec.CheckKOutOfOrder(ops, int(cfg.K())); err != nil {
+		maxDist, err := seqspec.CheckKOutOfOrder(ops, int(cfg.K()))
+		if err != nil {
 			t.Fatalf("cfg %+v: %v", cfg, err)
 		}
 		if !s.Empty() {
 			t.Fatal("stack not empty after full drain")
+		}
+		// The concurrent-history checker over the same history with
+		// synthesized sequential intervals must agree exactly: same
+		// maximum distance, no measurement slack.
+		if err := seqspec.CrossCheckKDistance(ops, cfg.K(), maxDist); err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
 		}
 	})
 }

@@ -79,7 +79,7 @@ func (s *Stack[T]) stampPlacement(g *geometry[T], homes []int) {
 // local-probe policy (LocalFirst) operation searches visit slots homed on
 // the handle's socket (Handle.Pin, or the creation-order heuristic) before
 // remote ones. Placement never changes the window validity rules — only
-// slot homes and visit order — so the Theorem 1 relaxation envelope is
+// slot homes and visit order — so the Theorem 1 relaxation bound is
 // unaffected. Pass sockets <= 1, or the RoundRobin policy, to restore the
 // placement-blind behaviour. Re-homing swaps the geometry wholesale (no
 // item moves), so SetPlacement is safe concurrently with operations,

@@ -212,7 +212,7 @@ func (h *Handle[T]) Push(v T) {
 	// permutation (same-socket slots first) instead of plain index order;
 	// ord is nil otherwise and the pre-placement path runs unchanged. Both
 	// walks cover all width slots, so the coverage discipline — and with
-	// it the Theorem 1 envelope — is identical (DESIGN.md §7).
+	// it the Theorem 1 bound — is identical (DESIGN.md §7).
 	ord, pos, localN := h.probe(geo)
 	sockIdx := h.sockIdx(geo)
 	n := &node[T]{value: v}

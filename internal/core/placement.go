@@ -10,7 +10,7 @@ import "stack2d/internal/xrand"
 // socket whose contention asked for them) and *probe order* (a handle that
 // knows its socket visits same-socket slots before remote ones, within the
 // unchanged window discipline). Homing and probe order never touch window
-// validity, so the Theorem 1 relaxation envelope is preserved; only the
+// validity, so the Theorem 1 relaxation bound is preserved; only the
 // order in which candidate slots are inspected changes.
 //
 // On the native container (one hardware thread) the socket model is purely

@@ -1,70 +1,34 @@
 package elimination
 
 import (
-	"sync"
-	"sync/atomic"
 	"testing"
 
 	"stack2d/internal/seqspec"
-	"stack2d/internal/xrand"
 )
 
 // TestIntervalSanityConcurrent: the elimination stack is strict (k = 0), so
 // its concurrent histories must pass conservation, causality and zero-slack
 // empty sanity — including histories where pairs eliminate without touching
 // the central stack (those appear as overlapping push/pop pairs, which the
-// checker accepts).
+// checkers accept). Recording uses the shared seqspec scaffolding, one
+// handle per goroutine; the same history then runs through the k-distance
+// checker at k = 0, where every displacement must be explained by overlap.
 func TestIntervalSanityConcurrent(t *testing.T) {
 	s := MustNew[uint64](Config{Slots: 4, Spins: 8})
-	var clock atomic.Int64
-	var label atomic.Uint64
 	const workers = 8
 	const opsPerW = 2000
-	histories := make([][]seqspec.IntervalOp, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			h := s.NewHandle()
-			rng := xrand.New(uint64(w) + 1)
-			hist := make([]seqspec.IntervalOp, 0, opsPerW)
-			for i := 0; i < opsPerW; i++ {
-				begin := clock.Add(1)
-				if rng.Bool() {
-					v := label.Add(1)
-					h.Push(v)
-					hist = append(hist, seqspec.IntervalOp{
-						Kind: seqspec.OpPush, Value: v, Begin: begin, End: clock.Add(1),
-					})
-				} else {
-					v, ok := h.Pop()
-					hist = append(hist, seqspec.IntervalOp{
-						Kind: seqspec.OpPop, Value: v, Empty: !ok, Begin: begin, End: clock.Add(1),
-					})
-				}
-			}
-			histories[w] = hist
-		}(w)
-	}
-	wg.Wait()
-
-	var all []seqspec.IntervalOp
-	for _, hist := range histories {
-		all = append(all, hist...)
-	}
-	h := s.NewHandle()
-	for {
-		begin := clock.Add(1)
-		v, ok := h.Pop()
-		all = append(all, seqspec.IntervalOp{
-			Kind: seqspec.OpPop, Value: v, Empty: !ok, Begin: begin, End: clock.Add(1),
-		})
-		if !ok {
-			break
-		}
-	}
+	all := seqspec.CollectRandomHistory(workers, opsPerW, func(int) seqspec.WorkerFuncs {
+		h := s.NewHandle()
+		return seqspec.WorkerFuncs{Push: h.Push, Pop: h.Pop}
+	})
 	if err := seqspec.CheckIntervalSanity(all, 0); err != nil {
 		t.Fatal(err)
+	}
+	rep, err := (seqspec.KStackChecker{K: 0}).Check(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxStrain > 0 {
+		t.Fatalf("strict stack shows distance beyond overlap slack: %+v", rep)
 	}
 }

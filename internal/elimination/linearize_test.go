@@ -1,8 +1,6 @@
 package elimination
 
 import (
-	"sync"
-	"sync/atomic"
 	"testing"
 
 	"stack2d/internal/seqspec"
@@ -12,6 +10,9 @@ import (
 // and verifies each has a strict-LIFO linearization via the exhaustive
 // checker — the strongest correctness statement we can make mechanically
 // for the elimination stack, whose collisions bypass the central stack.
+// The recording scaffolding is the shared seqspec one; each goroutine
+// (including the drain's) gets its own handle. 3 workers × 4 ops + up to
+// 7 drain ops stays within seqspec.MaxLinearizableOps.
 func TestMicroHistoriesLinearizable(t *testing.T) {
 	const (
 		rounds  = 100
@@ -20,50 +21,10 @@ func TestMicroHistoriesLinearizable(t *testing.T) {
 	)
 	for round := 0; round < rounds; round++ {
 		s := MustNew[uint64](Config{Slots: 2, Spins: 4})
-		var clock atomic.Int64
-		var label atomic.Uint64
-		hist := make([][]seqspec.IntervalOp, workers)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				h := s.NewHandle()
-				for i := 0; i < opsPerW; i++ {
-					begin := clock.Add(1)
-					if (w+i)%2 == 0 {
-						v := label.Add(1)
-						h.Push(v)
-						hist[w] = append(hist[w], seqspec.IntervalOp{
-							Kind: seqspec.OpPush, Value: v, Begin: begin, End: clock.Add(1),
-						})
-					} else {
-						v, ok := h.Pop()
-						hist[w] = append(hist[w], seqspec.IntervalOp{
-							Kind: seqspec.OpPop, Value: v, Empty: !ok, Begin: begin, End: clock.Add(1),
-						})
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-		var all []seqspec.IntervalOp
-		for _, h := range hist {
-			all = append(all, h...)
-		}
-		// Drain to complete the history (sequential tail, still within
-		// the size limit: 12 concurrent + up to 7 drain ops).
-		h := s.NewHandle()
-		for {
-			begin := clock.Add(1)
-			v, ok := h.Pop()
-			all = append(all, seqspec.IntervalOp{
-				Kind: seqspec.OpPop, Value: v, Empty: !ok, Begin: begin, End: clock.Add(1),
-			})
-			if !ok {
-				break
-			}
-		}
+		all := seqspec.CollectMicroHistory(workers, opsPerW, func(int) seqspec.WorkerFuncs {
+			h := s.NewHandle()
+			return seqspec.WorkerFuncs{Push: h.Push, Pop: h.Pop}
+		})
 		if len(all) > seqspec.MaxLinearizableOps {
 			t.Fatalf("round %d: history of %d ops exceeds checker limit", round, len(all))
 		}

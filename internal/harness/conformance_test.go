@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"stack2d/internal/adapt"
+	"stack2d/internal/core"
+	"stack2d/internal/seqspec"
+	"stack2d/internal/twodqueue"
+)
+
+// These tests are the harness half of the relaxation-conformance subsystem
+// (DESIGN.md §2): phased runs record full interval histories
+// (PhasedWorkload.Record) across live geometry transitions — growth,
+// warm-handoff shrink, controller-driven retuning, placement-enabled
+// probing — and the recordings are distance-checked with
+// seqspec.KStackChecker / seqspec.KFIFOChecker, not just FIFO/LIFO-sanity-
+// checked. The claimed bound is always the documented one: the active
+// geometries' K() (max for the stack, summed across a handover for the
+// queue, DESIGN.md §4/§5) plus the structure's ShrinkDisplacementBound —
+// the explicitly tracked migration allowance — and nothing more.
+
+// reconfigPhases is a short two-phase shape leaving time for a concurrent
+// reconfiguration schedule to land mid-traffic.
+func reconfigPhases(workers int, d time.Duration) []Phase {
+	// ThinkSpin keeps the recorded volume moderate: the checker's replay
+	// scans resident items per pop, so a few hundred thousand ops is the
+	// practical budget for a -race CI run.
+	return []Phase{
+		{Name: "warm", Duration: d, Workers: workers, PushRatio: 0.55, ThinkSpin: 128},
+		{Name: "churn", Duration: d, Workers: workers, PushRatio: 0.5, ThinkSpin: 128},
+	}
+}
+
+// TestConformanceKDistanceUnderReconfigStack hammers a 2D-Stack with
+// concurrent traffic while the geometry grows, deepens and shrinks twice
+// (exercising the warm shrink handoff), then replays the recorded history
+// through KStackChecker. The budget is max K() over the schedule plus the
+// stack's tracked ShrinkDisplacementBound.
+func TestConformanceKDistanceUnderReconfigStack(t *testing.T) {
+	schedule := []core.Config{
+		{Width: 8, Depth: 8, Shift: 8, RandomHops: 1},  // grow width
+		{Width: 8, Depth: 16, Shift: 8, RandomHops: 1}, // deepen, shift < depth
+		{Width: 2, Depth: 8, Shift: 8, RandomHops: 1},  // shrink: warm handoff
+		{Width: 6, Depth: 8, Shift: 4, RandomHops: 1},  // regrow, shift < depth
+		{Width: 3, Depth: 8, Shift: 8, RandomHops: 1},  // shrink again
+	}
+	start := core.Config{Width: 4, Depth: 8, Shift: 8, RandomHops: 1}
+	s := core.MustNew[uint64](start)
+
+	maxK := start.K()
+	for _, cfg := range schedule {
+		if k := cfg.K(); k > maxK {
+			maxK = k
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, cfg := range schedule {
+			time.Sleep(12 * time.Millisecond)
+			if err := s.Reconfigure(cfg); err != nil {
+				t.Errorf("Reconfigure(%+v): %v", cfg, err)
+				return
+			}
+		}
+	}()
+
+	res, err := RunPhased(s, reconfigPhases(8, 60*time.Millisecond), PhasedWorkload{
+		MaxWorkers: 8, Prefill: 512, Seed: 7, Record: true,
+	})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("Record produced no history")
+	}
+
+	checker := seqspec.KStackChecker{K: maxK, Allowance: s.ShrinkDisplacementBound()}
+	rep, err := checker.Check(res.History)
+	if err != nil {
+		t.Fatalf("k-distance check failed (k=%d allowance=%d): %v", checker.K, checker.Allowance, err)
+	}
+	t.Logf("stack reconfig hammer: %d ops, %d pops, maxDist=%d maxStrain=%d (k=%d allowance=%d)",
+		len(res.History), rep.Pops, rep.MaxDistance, rep.MaxStrain, checker.K, checker.Allowance)
+}
+
+// TestConformanceKDistanceUnderReconfigQueue is the queue counterpart:
+// traffic across growth and a warm-handoff shrink, distance-checked with
+// KFIFOChecker. Per DESIGN.md §5 the displacements of the geometries
+// spanning a handover add (items placed under the old windows drain under
+// the new), so the budget sums the schedule's bounds, plus the tracked
+// ShrinkDisplacementBound.
+func TestConformanceKDistanceUnderReconfigQueue(t *testing.T) {
+	start := twodqueue.Config{Width: 4, Depth: 8, Shift: 8, RandomHops: 1}
+	schedule := []twodqueue.Config{
+		{Width: 8, Depth: 16, Shift: 8, RandomHops: 1}, // grow + deepen, shift < depth
+		{Width: 2, Depth: 8, Shift: 8, RandomHops: 1},  // shrink: warm handoff
+	}
+	q := twodqueue.MustNew[uint64](start)
+
+	sumK := start.K()
+	for _, cfg := range schedule {
+		sumK += cfg.K()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, cfg := range schedule {
+			time.Sleep(20 * time.Millisecond)
+			if err := q.Reconfigure(cfg); err != nil {
+				t.Errorf("Reconfigure(%+v): %v", cfg, err)
+				return
+			}
+		}
+	}()
+
+	res, err := RunPhasedQueue(q, reconfigPhases(8, 60*time.Millisecond), PhasedWorkload{
+		MaxWorkers: 8, Prefill: 512, Seed: 11, Record: true,
+	})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checker := seqspec.KFIFOChecker{K: sumK, Allowance: q.ShrinkDisplacementBound()}
+	rep, err := checker.Check(res.History)
+	if err != nil {
+		t.Fatalf("k-distance check failed (k=%d allowance=%d): %v", checker.K, checker.Allowance, err)
+	}
+	t.Logf("queue reconfig hammer: %d ops, %d deqs, maxDist=%d maxStrain=%d (k=%d allowance=%d)",
+		len(res.History), rep.Pops, rep.MaxDistance, rep.MaxStrain, checker.K, checker.Allowance)
+}
+
+// TestConformanceKDistanceAdaptivePlacement distance-checks a fully
+// adaptive, placement-enabled run: LocalFirst homes over two sockets,
+// workers pinned by index, and an adapt.Controller live-retuning the
+// geometry during the phased load. The budget is the largest K() the
+// controller's tick history reports as active, plus the shrink allowance —
+// exactly the accounting cmd/adapttune's realised-distance check uses.
+func TestConformanceKDistanceAdaptivePlacement(t *testing.T) {
+	start := core.Config{Width: 4, Depth: 8, Shift: 8, RandomHops: 1}
+	s := core.MustNew[uint64](start)
+	s.SetPlacement(core.LocalFirst(), 2)
+
+	ctrl, err := adapt.New(s, adapt.Policy{
+		Goal:          adapt.MaxThroughput,
+		KCeiling:      4096,
+		MinWidth:      2,
+		MaxWidth:      16,
+		MinDepth:      4,
+		MaxDepth:      32,
+		Tick:          10 * time.Millisecond,
+		Cooldown:      1,
+		MinOpsPerTick: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := ContentionPhases(8, 50*time.Millisecond)
+	for i := range phases {
+		// See reconfigPhases: bound the recorded volume for the checker.
+		if phases[i].ThinkSpin < 128 {
+			phases[i].ThinkSpin = 128
+		}
+	}
+	ctrl.Start()
+	res, runErr := RunPhased(s, phases, PhasedWorkload{
+		MaxWorkers: 8, Prefill: 512, Seed: 13, Quality: false, Record: true,
+	})
+	ctrl.Stop()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	maxK := start.K()
+	for _, rec := range ctrl.History() {
+		if rec.K > maxK {
+			maxK = rec.K
+		}
+	}
+	// The geometry active at the end may postdate the last tick record.
+	if k := s.Config().K(); k > maxK {
+		maxK = k
+	}
+
+	checker := seqspec.KStackChecker{K: maxK, Allowance: s.ShrinkDisplacementBound()}
+	rep, err := checker.Check(res.History)
+	if err != nil {
+		t.Fatalf("k-distance check failed (k=%d allowance=%d): %v", checker.K, checker.Allowance, err)
+	}
+	t.Logf("adaptive placement run: %d ops, %d pops, maxDist=%d maxStrain=%d (k=%d allowance=%d, %d ticks)",
+		len(res.History), rep.Pops, rep.MaxDistance, rep.MaxStrain, checker.K, checker.Allowance, len(ctrl.History()))
+}

@@ -8,6 +8,7 @@ import (
 
 	"stack2d/internal/core"
 	"stack2d/internal/quality"
+	"stack2d/internal/seqspec"
 	"stack2d/internal/xrand"
 )
 
@@ -36,6 +37,13 @@ type PhasedWorkload struct {
 	// dampens contention (as in RunQuality), so compare quality runs only
 	// with other quality runs.
 	Quality bool
+	// Record collects the run's full interval history (every operation
+	// timestamped on a shared logical clock at invocation and response)
+	// into PhasedResult.History, the input of seqspec's k-distance and
+	// sanity checkers. Recording costs two atomic clock ticks and one
+	// append per operation — cheaper than the Quality oracle, but like it,
+	// compare recorded runs only with other recorded runs.
+	Record bool
 }
 
 // Validate reports whether the workload and phase list are runnable.
@@ -89,6 +97,13 @@ type PhasedResult struct {
 	// measured); Quality.Max is the run's realised worst-case distance,
 	// the number to compare against a configured k ceiling.
 	Quality quality.Stats
+	// History is the recorded interval history (nil unless
+	// PhasedWorkload.Record was set): prefill pushes plus every worker
+	// operation, in per-worker shards. Feed it to seqspec.KStackChecker /
+	// seqspec.KFIFOChecker (or CheckIntervalSanity) to distance-check the
+	// run — including runs spanning live reconfigurations, where the
+	// structure's ShrinkDisplacementBound is the documented allowance.
+	History []seqspec.IntervalOp
 }
 
 // phaseCtl is the coordinator→worker broadcast for the current phase; a
@@ -153,10 +168,21 @@ func runPhased(mkWorker func(id int) (Worker, func()), oracle phasedOracle, inse
 		return out, err
 	}
 
+	var rec *seqspec.Recorder
+	if w.Record {
+		// Shard layout: one per worker, the extra shard (index MaxWorkers)
+		// for the prefill prologue.
+		rec = seqspec.NewRecorder(w.MaxWorkers)
+	}
+
 	pre, preFlush := mkWorker(-1) // prefill worker: no pinned identity
 	for i := 0; i < w.Prefill; i++ {
 		label := uint64(i) + 1
-		pre.Push(label)
+		if rec != nil {
+			rec.PushLabeled(w.MaxWorkers, label, func() { pre.Push(label) })
+		} else {
+			pre.Push(label)
+		}
 		if oracle != nil {
 			oracle.Insert(label)
 		}
@@ -201,13 +227,24 @@ func runPhased(mkWorker func(id int) (Worker, func()), oracle phasedOracle, inse
 					if oracle != nil && insertFirst {
 						oracle.Insert(label)
 					}
-					worker.Push(label)
+					if rec != nil {
+						l := label
+						rec.PushLabeled(id, l, func() { worker.Push(l) })
+					} else {
+						worker.Push(label)
+					}
 					if oracle != nil && !insertFirst {
 						oracle.Insert(label)
 					}
 					c.pushes++
 				} else {
-					v, ok := worker.Pop()
+					var v uint64
+					var ok bool
+					if rec != nil {
+						v, ok = rec.Pop(id, worker.Pop)
+					} else {
+						v, ok = worker.Pop()
+					}
 					if ok {
 						if oracle != nil {
 							oracle.Remove(v)
@@ -273,6 +310,9 @@ func runPhased(mkWorker func(id int) (Worker, func()), oracle phasedOracle, inse
 	}
 	if oracle != nil {
 		out.Quality = oracle.Snapshot()
+	}
+	if rec != nil {
+		out.History = rec.History()
 	}
 	return out, nil
 }

@@ -7,7 +7,10 @@ import (
 )
 
 // FuzzSequentialKBound feeds arbitrary scripts and segment sizes to a
-// k-segment stack and checks conservation plus the s−1 sequential bound.
+// k-segment stack and checks conservation plus the s−1 sequential bound —
+// through the sequential replay checker and, with synthesized sequential
+// intervals, the concurrent-history KStackChecker (which must agree with
+// zero slack). testdata/fuzz holds the checked-in seed corpus.
 func FuzzSequentialKBound(f *testing.F) {
 	f.Add(uint8(1), []byte{0xff, 0x00})
 	f.Add(uint8(4), []byte{0xaa, 0x55})
@@ -38,7 +41,11 @@ func FuzzSequentialKBound(f *testing.F) {
 				break
 			}
 		}
-		if _, err := seqspec.CheckKOutOfOrder(ops, int(cfg.K())); err != nil {
+		maxDist, err := seqspec.CheckKOutOfOrder(ops, int(cfg.K()))
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if err := seqspec.CrossCheckKDistance(ops, cfg.K(), maxDist); err != nil {
 			t.Fatalf("size %d: %v", size, err)
 		}
 	})

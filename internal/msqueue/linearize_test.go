@@ -1,15 +1,14 @@
 package msqueue
 
 import (
-	"sync"
-	"sync/atomic"
 	"testing"
 
 	"stack2d/internal/seqspec"
 )
 
 // TestMicroHistoriesLinearizable: exhaustive FIFO linearizability checking
-// of small concurrent Michael–Scott histories.
+// of small concurrent Michael–Scott histories, via the shared seqspec
+// recording scaffolding (Push records an enqueue, Pop a dequeue).
 func TestMicroHistoriesLinearizable(t *testing.T) {
 	const (
 		rounds  = 100
@@ -18,46 +17,9 @@ func TestMicroHistoriesLinearizable(t *testing.T) {
 	)
 	for round := 0; round < rounds; round++ {
 		q := New[uint64]()
-		var clock atomic.Int64
-		var label atomic.Uint64
-		hist := make([][]seqspec.IntervalOp, workers)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for i := 0; i < opsPerW; i++ {
-					begin := clock.Add(1)
-					if (w+i)%2 == 0 {
-						v := label.Add(1)
-						q.Enqueue(v)
-						hist[w] = append(hist[w], seqspec.IntervalOp{
-							Kind: seqspec.OpPush, Value: v, Begin: begin, End: clock.Add(1),
-						})
-					} else {
-						v, ok := q.Dequeue()
-						hist[w] = append(hist[w], seqspec.IntervalOp{
-							Kind: seqspec.OpPop, Value: v, Empty: !ok, Begin: begin, End: clock.Add(1),
-						})
-					}
-				}
-			}(w)
-		}
-		wg.Wait()
-		var all []seqspec.IntervalOp
-		for _, h := range hist {
-			all = append(all, h...)
-		}
-		for {
-			begin := clock.Add(1)
-			v, ok := q.Dequeue()
-			all = append(all, seqspec.IntervalOp{
-				Kind: seqspec.OpPop, Value: v, Empty: !ok, Begin: begin, End: clock.Add(1),
-			})
-			if !ok {
-				break
-			}
-		}
+		all := seqspec.CollectMicroHistory(workers, opsPerW, func(int) seqspec.WorkerFuncs {
+			return seqspec.WorkerFuncs{Push: q.Enqueue, Pop: q.Dequeue}
+		})
 		if err := seqspec.CheckLinearizableFIFO(all); err != nil {
 			t.Fatalf("round %d: %v\nhistory: %+v", round, err, all)
 		}

@@ -52,7 +52,7 @@ func realisedMax(t *testing.T, h *core.Handle[uint64], label *uint64) int {
 // tick by tick — by an adapt.Controller and by explicit reconfigurations,
 // growing, deepening and shrinking — the realised error distance of a
 // sequential execution never exceeds the *active* geometry's bound
-// k = (2·shift + depth)·(width − 1).
+// k = (2·depth + shift)·(width − 1).
 func TestRealisedBoundTracksActiveGeometry(t *testing.T) {
 	s := core.MustNew[uint64](core.Config{Width: 2, Depth: 8, Shift: 8, RandomHops: 2})
 	ctrl, err := adapt.New(s, adapt.Policy{
@@ -89,10 +89,10 @@ func TestRealisedBoundTracksActiveGeometry(t *testing.T) {
 		}
 
 		active := s.Config()
-		wantK := (2*active.Shift + active.Depth) * int64(active.Width-1)
+		wantK := (2*active.Depth + active.Shift) * int64(active.Width-1)
 		if got := active.K(); got != wantK {
 			t.Fatalf("tick %d: Config.K() = %d, want (2·%d+%d)·(%d−1) = %d",
-				tick, got, active.Shift, active.Depth, active.Width, wantK)
+				tick, got, active.Depth, active.Shift, active.Width, wantK)
 		}
 
 		if got := realisedMax(t, h, &label); int64(got) > active.K() {
@@ -108,7 +108,7 @@ func TestRealisedBoundTracksActiveGeometry(t *testing.T) {
 	// geometry's bound (the record's K is the active bound by definition;
 	// this pins the accounting).
 	for _, rec := range ctrl.History() {
-		if rec.K != (2*rec.Shift+rec.Depth)*int64(rec.Width-1) {
+		if rec.K != (2*rec.Depth+rec.Shift)*int64(rec.Width-1) {
 			t.Fatalf("tick record %d carries inconsistent bound: %+v", rec.Tick, rec)
 		}
 	}

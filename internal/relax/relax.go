@@ -13,7 +13,9 @@
 //
 // # Per-algorithm bounds
 //
-//   - 2D-Stack: k = (2·shift + depth)·(width − 1)   (paper, Theorem 1)
+//   - 2D-Stack: k = (2·depth + shift)·(width − 1)   (Theorem 1, constant
+//     corrected per DESIGN.md §2; equal to the paper's transcription at
+//     shift = depth, which every configuration derived here uses)
 //   - k-segment: k = s − 1 for segment size s (sequential bound; all items
 //     of the top segment are interchangeable, and items below the top
 //     segment are strictly older).

@@ -1,0 +1,156 @@
+package seqspec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"stack2d/internal/xrand"
+)
+
+// This file provides the shared recording utilities behind every
+// interval-history test in the repository: a Recorder that timestamps
+// operations on a shared logical clock into per-worker shards, and the two
+// canonical concurrent drivers (deterministic micro-histories for the
+// exhaustive linearizability checkers, seeded random histories for the
+// statistical checkers). The per-structure test files — treiber, msqueue,
+// elimination, and the harness's reconfiguration hammers — used to carry
+// copy-pasted versions of this scaffolding; they now share this one.
+
+// Recorder collects a concurrent interval history. Operations are
+// timestamped with a shared atomic logical clock (one tick at invocation,
+// one at response) and appended to per-worker shards, so recording adds no
+// lock contention beyond the clock itself. Obtain one with NewRecorder;
+// worker indices must stay within the constructed range, and each worker
+// index must be used by one goroutine at a time.
+type Recorder struct {
+	clock  atomic.Int64
+	label  atomic.Uint64
+	shards [][]IntervalOp
+}
+
+// NewRecorder returns a Recorder with shards for the given number of
+// workers (plus one extra shard, index = workers, conventionally used by a
+// sequential prologue/epilogue such as a drain).
+func NewRecorder(workers int) *Recorder {
+	return &Recorder{shards: make([][]IntervalOp, workers+1)}
+}
+
+// Label allocates a fresh unique value for a push; labels start at 1.
+func (r *Recorder) Label() uint64 { return r.label.Add(1) }
+
+// Push records push(label) with a freshly allocated label on the worker's
+// shard and returns the label.
+func (r *Recorder) Push(worker int, push func(uint64)) uint64 {
+	v := r.Label()
+	r.PushLabeled(worker, v, func() { push(v) })
+	return v
+}
+
+// PushLabeled records a push of a caller-chosen label; do is the operation
+// itself. Use when the caller owns the label scheme (e.g. the harness's
+// per-worker label partitioning); labels must still be unique across the
+// history for the checkers to accept it.
+func (r *Recorder) PushLabeled(worker int, label uint64, do func()) {
+	begin := r.clock.Add(1)
+	do()
+	r.shards[worker] = append(r.shards[worker], IntervalOp{
+		Kind: OpPush, Value: label, Begin: begin, End: r.clock.Add(1),
+	})
+}
+
+// Pop records pop() on the worker's shard and returns its result.
+func (r *Recorder) Pop(worker int, pop func() (uint64, bool)) (uint64, bool) {
+	begin := r.clock.Add(1)
+	v, ok := pop()
+	r.shards[worker] = append(r.shards[worker], IntervalOp{
+		Kind: OpPop, Value: v, Empty: !ok, Begin: begin, End: r.clock.Add(1),
+	})
+	return v, ok
+}
+
+// Drain records pops on the worker's shard until one reports empty,
+// completing the history so conservation checks see every value. Call it
+// from a single goroutine after the concurrent phase.
+func (r *Recorder) Drain(worker int, pop func() (uint64, bool)) {
+	for {
+		if _, ok := r.Pop(worker, pop); !ok {
+			return
+		}
+	}
+}
+
+// History returns the recorded operations, shard by shard. The order is
+// NOT a linearization — use the interval fields; per-worker program order
+// is preserved within each shard.
+func (r *Recorder) History() []IntervalOp {
+	var all []IntervalOp
+	for _, s := range r.shards {
+		all = append(all, s...)
+	}
+	return all
+}
+
+// WorkerFuncs is one worker's operation closures for the concurrent
+// drivers below — a per-goroutine handle where the structure needs one, or
+// the shared structure's methods where it does not.
+type WorkerFuncs struct {
+	Push func(uint64)
+	Pop  func() (uint64, bool)
+}
+
+// CollectMicroHistory runs the canonical micro-history round used by the
+// exhaustive linearizability tests: `workers` goroutines each issue
+// opsPerW operations in the fixed alternating pattern ((worker+i)%2 == 0
+// is a push), then a sequential drain (worker index = workers) completes
+// the history. newWorker is called once per goroutine, including the
+// drain's. Keep workers·opsPerW small: the exhaustive checkers reject
+// histories beyond MaxLinearizableOps.
+func CollectMicroHistory(workers, opsPerW int, newWorker func(w int) WorkerFuncs) []IntervalOp {
+	r := NewRecorder(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fns := newWorker(w)
+			for i := 0; i < opsPerW; i++ {
+				if (w+i)%2 == 0 {
+					r.Push(w, fns.Push)
+				} else {
+					r.Pop(w, fns.Pop)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	r.Drain(workers, newWorker(workers).Pop)
+	return r.History()
+}
+
+// CollectRandomHistory runs the canonical randomized concurrent recording
+// used by the interval-sanity and k-distance tests: `workers` goroutines
+// each issue opsPerW operations, choosing push or pop by a per-worker
+// seeded RNG (P(push) = 1/2, deterministic across runs), then a sequential
+// drain (worker index = workers) completes the history.
+func CollectRandomHistory(workers, opsPerW int, newWorker func(w int) WorkerFuncs) []IntervalOp {
+	r := NewRecorder(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fns := newWorker(w)
+			rng := xrand.New(uint64(w) + 1)
+			for i := 0; i < opsPerW; i++ {
+				if rng.Bool() {
+					r.Push(w, fns.Push)
+				} else {
+					r.Pop(w, fns.Pop)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	r.Drain(workers, newWorker(workers).Pop)
+	return r.History()
+}

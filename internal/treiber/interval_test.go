@@ -1,67 +1,32 @@
 package treiber
 
 import (
-	"sync"
-	"sync/atomic"
 	"testing"
 
 	"stack2d/internal/seqspec"
-	"stack2d/internal/xrand"
 )
 
 // TestIntervalSanityConcurrent records a concurrent history with real-time
-// intervals and checks the strict-stack necessary conditions: conservation,
-// causality and zero-slack empty sanity.
+// intervals (shared seqspec scaffolding) and checks the strict-stack
+// necessary conditions: conservation, causality and zero-slack empty
+// sanity. The same recording is additionally run through the k-distance
+// checker at k = 0: for a strict stack every measured displacement must be
+// explained by operation overlap alone.
 func TestIntervalSanityConcurrent(t *testing.T) {
 	s := New[uint64]()
-	var clock atomic.Int64
-	var label atomic.Uint64
 	const workers = 8
 	const opsPerW = 2500
-	histories := make([][]seqspec.IntervalOp, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := xrand.New(uint64(w) + 1)
-			h := make([]seqspec.IntervalOp, 0, opsPerW)
-			for i := 0; i < opsPerW; i++ {
-				begin := clock.Add(1)
-				if rng.Bool() {
-					v := label.Add(1)
-					s.Push(v)
-					h = append(h, seqspec.IntervalOp{
-						Kind: seqspec.OpPush, Value: v, Begin: begin, End: clock.Add(1),
-					})
-				} else {
-					v, ok := s.Pop()
-					h = append(h, seqspec.IntervalOp{
-						Kind: seqspec.OpPop, Value: v, Empty: !ok, Begin: begin, End: clock.Add(1),
-					})
-				}
-			}
-			histories[w] = h
-		}(w)
-	}
-	wg.Wait()
-
-	var all []seqspec.IntervalOp
-	for _, h := range histories {
-		all = append(all, h...)
-	}
-	// Finish the history: drain so conservation sees every value.
-	for {
-		begin := clock.Add(1)
-		v, ok := s.Pop()
-		all = append(all, seqspec.IntervalOp{
-			Kind: seqspec.OpPop, Value: v, Empty: !ok, Begin: begin, End: clock.Add(1),
-		})
-		if !ok {
-			break
-		}
-	}
+	all := seqspec.CollectRandomHistory(workers, opsPerW, func(int) seqspec.WorkerFuncs {
+		return seqspec.WorkerFuncs{Push: s.Push, Pop: s.Pop}
+	})
 	if err := seqspec.CheckIntervalSanity(all, 0); err != nil {
 		t.Fatal(err)
+	}
+	rep, err := (seqspec.KStackChecker{K: 0}).Check(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxStrain > 0 {
+		t.Fatalf("strict stack shows distance beyond overlap slack: %+v", rep)
 	}
 }

@@ -73,7 +73,7 @@ func (q *Queue[T]) stampPlacement(g *geometry[T], homes []int) {
 // with the requester's attribution), sockets is the machine's socket count
 // clamped to [1, core.MaxPlacementSockets]. Under a local-probe policy
 // operation searches visit slots homed on the handle's socket first;
-// window validity is untouched, so the relaxation envelope is unaffected
+// window validity is untouched, so the relaxation bound is unaffected
 // (DESIGN.md §7).
 func (q *Queue[T]) SetPlacement(policy core.PlacementPolicy, sockets int) {
 	q.reMu.Lock()

@@ -13,9 +13,13 @@
 // fallback, hop-on-contention) is the stack's search verbatim.
 //
 // Relaxation: within one window epoch each sub-queue completes at most
-// `depth` dequeues, so items dequeue at most (2·shift + depth)·(width − 1)
+// `depth` dequeues, so items dequeue at most (2·depth + shift)·(width − 1)
 // positions out of FIFO order in sequential executions — the direct
-// analogue of the stack's Theorem 1. Under concurrency the monotonic
+// analogue of the stack's (corrected) Theorem 1 constant, shared so that
+// one formula serves both structures (exhaustive small-geometry
+// exploration realises queue distances only up to depth·(width − 1), the
+// monotone ceilings never re-expose a stale front; see
+// seqspec.ExploreQueue and DESIGN.md §2). Under concurrency the monotonic
 // counters are incremented after the sub-queue operation completes, adding
 // up to one position of slack per in-flight operation (at most the number
 // of concurrent handles); see K and the tests in twodqueue_test.go.
@@ -86,10 +90,13 @@ func (c Config) Validate() error {
 }
 
 // K returns the sequential k-out-of-order bound of this configuration,
-// (2·shift + depth)(width − 1); concurrent executions add at most one
-// position per in-flight operation on top.
+// (2·depth + shift)(width − 1) — the corrected Theorem-1 constant shared
+// with the stack (DESIGN.md §2; exhaustive small-geometry exploration
+// realises queue distances only up to depth·(width − 1), so the shared
+// constant is comfortably safe here). Concurrent executions add at most
+// one position per in-flight operation on top.
 func (c Config) K() int64 {
-	return (2*c.Shift + c.Depth) * int64(c.Width-1)
+	return (2*c.Depth + c.Shift) * int64(c.Width-1)
 }
 
 // Core converts to the structurally identical stack configuration, the

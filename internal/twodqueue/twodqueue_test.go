@@ -35,8 +35,8 @@ func TestConfigValidate(t *testing.T) {
 
 func TestKFormula(t *testing.T) {
 	cfg := Config{Width: 3, Depth: 8, Shift: 4}
-	if got := cfg.K(); got != (2*4+8)*2 {
-		t.Fatalf("K = %d, want 32", got)
+	if got := cfg.K(); got != (2*8+4)*2 {
+		t.Fatalf("K = %d, want 40", got)
 	}
 	if (Config{Width: 1, Depth: 8, Shift: 8}).K() != 0 {
 		t.Fatal("width-1 queue should be strict (k=0)")

@@ -146,9 +146,9 @@ func (h *QueueHandle[T]) Dequeue() (v T, ok bool) { return h.h.Dequeue() }
 func (q *Queue[T]) Len() int { return q.inner.Len() }
 
 // K returns the queue's sequential k-out-of-order relaxation bound,
-// (2·shift + depth)·(width − 1); concurrent executions add one position
-// per in-flight operation, and the constant carries the same
-// shift < depth caveat as the stack's (DESIGN.md §2).
+// (2·depth + shift)·(width − 1) — the corrected Theorem-1 constant shared
+// with the stack, exact for every legal shift (DESIGN.md §2); concurrent
+// executions add one position per in-flight operation.
 func (q *Queue[T]) K() int64 { return q.inner.Config().K() }
 
 // Config returns the queue's active configuration — under live

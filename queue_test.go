@@ -38,8 +38,8 @@ func TestQueueConfigAndK(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := q.K(); got != (2*4+8)*2 {
-		t.Fatalf("K = %d, want 32", got)
+	if got := q.K(); got != (2*8+4)*2 {
+		t.Fatalf("K = %d, want 40", got)
 	}
 	if q.Config().Width != 3 {
 		t.Fatalf("Config lost: %+v", q.Config())

@@ -119,12 +119,14 @@ func (s *Stack[T]) Len() int { return s.inner.Len() }
 func (s *Stack[T]) Empty() bool { return s.inner.Empty() }
 
 // K returns the stack's k-out-of-order relaxation bound, Theorem 1's
-// k = (2·shift + depth)·(width − 1). The constant is exact for
-// shift = depth (the setting of every configuration this package
-// derives); for shift < depth sequential counterexamples exceed it by a
-// small margin — width 2, depth 4, shift 1 realises distance 7 against
-// k = 6 — and the proven-safe envelope is (2·depth + shift)·(width − 1),
-// which coincides with k at shift = depth. See DESIGN.md §2.
+// k = (2·depth + shift)·(width − 1) with the constant corrected (the
+// paper's transcription swaps depth and shift, which sequential
+// counterexamples refute for shift < depth; the two coincide at
+// shift = depth, the setting of every configuration this package
+// derives). The bound is exact for every legal shift — certified by
+// exhaustive small-geometry exploration (internal/seqspec) and
+// property-tested beyond — and concurrent executions add at most one
+// position of measurement slack per in-flight operation. See DESIGN.md §2.
 func (s *Stack[T]) K() int64 { return s.inner.Config().K() }
 
 // Config returns the configuration the stack was built with.

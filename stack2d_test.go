@@ -32,9 +32,9 @@ func TestOptionsStructural(t *testing.T) {
 	if cfg.Width != 3 || cfg.Depth != 16 || cfg.Shift != 8 || cfg.RandomHops != 1 {
 		t.Fatalf("options not applied: %+v", cfg)
 	}
-	// (2*8+16)*(3-1) = 64
-	if s.K() != 64 {
-		t.Fatalf("K = %d, want 64", s.K())
+	// (2*16+8)*(3-1) = 80
+	if s.K() != 80 {
+		t.Fatalf("K = %d, want 80", s.K())
 	}
 }
 
