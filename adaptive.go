@@ -75,6 +75,11 @@ func NewAdaptive[T any](opts ...Option) *Adaptive[T] {
 	if err != nil {
 		panic(err)
 	}
+	// Observer before placement, as in New: the construction placement
+	// event must reach it.
+	if b.observer != nil {
+		a.inner.SetObserver(b.observer)
+	}
 	if b.placePolicy != nil {
 		a.inner.SetPlacement(b.placePolicy, b.placeSockets)
 	}

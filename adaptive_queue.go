@@ -36,6 +36,11 @@ func NewAdaptiveQueue[T any](opts ...QueueOption) *AdaptiveQueue[T] {
 	if err != nil {
 		panic(err)
 	}
+	// Observer before placement, as in NewQueue: the construction
+	// placement event must reach it.
+	if b.observer != nil {
+		a.inner.SetObserver(b.observer)
+	}
 	if b.placePolicy != nil {
 		a.inner.SetPlacement(b.placePolicy, b.placeSockets)
 	}

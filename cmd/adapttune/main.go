@@ -55,6 +55,14 @@
 //	          [-phase 300ms] [-tick 10ms] [-kceil 8192] [-p99-target 2ms]
 //	          [-floor 50000] [-start-width 2] [-start-depth 8] [-sim]
 //	          [-native] [-csv out.csv]
+//	          [-http :9090] [-trace out.jsonl] [-hold 30s]
+//
+// -http serves the live observability plane (DESIGN.md §8) while the native
+// run executes: /metrics in Prometheus text format, /debug/vars (expvar) and
+// /debug/pprof. -trace drains the structured event ring (reconfigurations,
+// shrink handoffs, placement changes, controller ticks) to a JSONL file on
+// exit; -hold keeps the endpoint up after the experiments finish so the
+// final state can be scraped.
 //
 // The CSV column schema is documented (and pinned by test) in README.md
 // next to this file.
@@ -100,6 +108,9 @@ func main() {
 		simP99     = flag.Int64("sim-p99-target", 4096, "simulated P99 latency target in cycles (-goal latency)")
 		floor      = flag.Float64("floor", 50000, "native throughput floor in ops/s (-goal energy)")
 		simFloor   = flag.Float64("sim-floor", 2e7, "simulated throughput floor in ops/s, 1 cycle = 1ns (-goal energy)")
+		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090) during the native run")
+		tracePath  = flag.String("trace", "", "drain the structured event ring to this JSONL file on exit")
+		hold       = flag.Duration("hold", 0, "keep the -http endpoint up this long after the experiments finish")
 	)
 	flag.Parse()
 
@@ -138,6 +149,7 @@ func main() {
 			fatal("-csv: %v", err)
 		}
 	}
+	plane := newObsPlane(*httpAddr, *tracePath, *hold)
 
 	failed := false
 	if *runSim {
@@ -148,9 +160,9 @@ func main() {
 	if *runNative {
 		var ok bool
 		if *queueMode {
-			ok = nativeQueueDemo(spec, start, placement, *kceil, *threads, *phaseDur, *tick, *prefill, *seed, *quality, *maxDepth, sink)
+			ok = nativeQueueDemo(spec, start, placement, *kceil, *threads, *phaseDur, *tick, *prefill, *seed, *quality, *maxDepth, sink, plane)
 		} else {
-			ok = nativeDemo(spec, start, placement, *kceil, *threads, *phaseDur, *tick, *prefill, *seed, *quality, *maxDepth, sink)
+			ok = nativeDemo(spec, start, placement, *kceil, *threads, *phaseDur, *tick, *prefill, *seed, *quality, *maxDepth, sink, plane)
 		}
 		if !ok {
 			failed = true
@@ -162,6 +174,7 @@ func main() {
 		}
 		fmt.Printf("\ncsv time series written to %s (%d rows)\n", *csvPath, sink.rows)
 	}
+	plane.finish()
 	if failed {
 		os.Exit(1)
 	}
@@ -665,7 +678,7 @@ func simDemo(spec goalSpec, structure string, start core.Config, placement core.
 // since native contention and latency depend on the hardware — the
 // deterministic pass/fail lives in the simulated section).
 func nativeDemo(spec goalSpec, start core.Config, placement core.PlacementPolicy, kceil int64, threads int, phaseDur, tick time.Duration,
-	prefill int, seed uint64, quality bool, maxDepth int64, sink *csvSink) bool {
+	prefill int, seed uint64, quality bool, maxDepth int64, sink *csvSink, plane *obsPlane) bool {
 
 	phases := harness.ContentionPhases(threads, phaseDur)
 	w := harness.PhasedWorkload{MaxWorkers: threads, Prefill: prefill, Seed: seed, Quality: quality}
@@ -681,6 +694,7 @@ func nativeDemo(spec goalSpec, start core.Config, placement core.PlacementPolicy
 	}
 
 	adaptStack := core.MustNew[uint64](start)
+	plane.instrumentStack(adaptStack)
 	adaptStack.SetPlacement(placement, sockets)
 	ctrl, err := adapt.New(adaptStack, spec.policy(adapt.Policy{
 		KCeiling: kceil,
@@ -693,6 +707,7 @@ func nativeDemo(spec goalSpec, start core.Config, placement core.PlacementPolicy
 	if err != nil {
 		fatal("controller: %v", err)
 	}
+	plane.instrumentController(ctrl, "stack")
 	ctrl.Start()
 	adaptRes, err := harness.RunPhased(adaptStack, phases, w)
 	ctrl.Stop()
@@ -722,7 +737,7 @@ func nativeDemo(spec goalSpec, start core.Config, placement core.PlacementPolicy
 // and controller, driving the queue through the twodqueue.Steer adapter,
 // with the FIFO error-distance oracle instead of the LIFO one.
 func nativeQueueDemo(spec goalSpec, start core.Config, placement core.PlacementPolicy, kceil int64, threads int, phaseDur, tick time.Duration,
-	prefill int, seed uint64, quality bool, maxDepth int64, sink *csvSink) bool {
+	prefill int, seed uint64, quality bool, maxDepth int64, sink *csvSink, plane *obsPlane) bool {
 
 	phases := harness.ContentionPhases(threads, phaseDur)
 	w := harness.PhasedWorkload{MaxWorkers: threads, Prefill: prefill, Seed: seed, Quality: quality}
@@ -738,6 +753,7 @@ func nativeQueueDemo(spec goalSpec, start core.Config, placement core.PlacementP
 	}
 
 	adaptQueue := twodqueue.MustNew[uint64](twodqueue.FromCore(start))
+	plane.instrumentQueue(adaptQueue)
 	adaptQueue.SetPlacement(placement, sockets)
 	ctrl, err := adapt.New(twodqueue.Steer(adaptQueue), spec.policy(adapt.Policy{
 		KCeiling: kceil,
@@ -750,6 +766,7 @@ func nativeQueueDemo(spec goalSpec, start core.Config, placement core.PlacementP
 	if err != nil {
 		fatal("controller: %v", err)
 	}
+	plane.instrumentController(ctrl, "queue")
 	ctrl.Start()
 	adaptRes, err := harness.RunPhasedQueue(adaptQueue, phases, w)
 	ctrl.Stop()

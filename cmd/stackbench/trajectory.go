@@ -1,0 +1,416 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"stack2d/internal/adapt"
+	"stack2d/internal/core"
+	"stack2d/internal/harness"
+	"stack2d/internal/obs"
+	"stack2d/internal/relax"
+	"stack2d/internal/twodqueue"
+)
+
+// The perf-trajectory mode (-json) runs a fixed, fast suite of named series
+// and emits a schema-versioned JSON checkpoint; checked into the repo as
+// BENCH_<date>.json files, the checkpoints form the project's performance
+// history. -ratchet compares a fresh run against a checked-in baseline and
+// fails on regression; see ratchetCompare for the gate rules and their
+// tolerances (also documented in EXPERIMENTS.md).
+const benchSchema = "stack2d-bench/v1"
+
+type benchHost struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	CPUModel  string `json:"cpu_model,omitempty"`
+}
+
+// fingerprintEquals reports whether two hosts are comparable for wall-clock
+// gates. The Go version is deliberately excluded: a toolchain upgrade on
+// the same machine should still ratchet.
+func (h benchHost) fingerprintEquals(o benchHost) bool {
+	return h.GOOS == o.GOOS && h.GOARCH == o.GOARCH && h.CPUs == o.CPUs && h.CPUModel == o.CPUModel
+}
+
+type benchGeometry struct {
+	Width      int   `json:"width"`
+	Depth      int64 `json:"depth"`
+	Shift      int64 `json:"shift"`
+	RandomHops int   `json:"random_hops"`
+}
+
+type benchSeries struct {
+	Name      string        `json:"name"`
+	Structure string        `json:"structure"`       // "stack" or "queue"
+	Hooks     string        `json:"hooks,omitempty"` // "off"/"on" for the paired overhead series
+	Geometry  benchGeometry `json:"geometry"`
+	K         int64         `json:"k"` // realised Theorem-1 bound of the geometry
+	Workers   int           `json:"workers"`
+
+	Ops       uint64  `json:"ops"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+
+	// Single-threaded steady-state allocation counts — machine-independent,
+	// so the ratchet hard-gates them across hosts.
+	PushAllocsPerOp float64 `json:"push_allocs_per_op"`
+	PopAllocsPerOp  float64 `json:"pop_allocs_per_op"`
+
+	// Error-distance figures from a quality run (oracle attached); only the
+	// *-quality series carry them. MaxErr is gated against K plus one
+	// position of in-flight slack per worker.
+	QualityMeanErr float64 `json:"quality_mean_err,omitempty"`
+	QualityMaxErr  int     `json:"quality_max_err,omitempty"`
+	Quality        bool    `json:"quality,omitempty"`
+}
+
+type benchFile struct {
+	Schema    string        `json:"schema"`
+	Generated time.Time     `json:"generated"`
+	Benchtime string        `json:"benchtime"`
+	Host      benchHost     `json:"host"`
+	Series    []benchSeries `json:"series"`
+}
+
+// hostFingerprint collects the machine identity stamped into a checkpoint.
+func hostFingerprint() benchHost {
+	h := benchHost{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				h.CPUModel = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+				break
+			}
+		}
+	}
+	return h
+}
+
+// measureAllocs reads the single-threaded allocation cost of one push and
+// one pop on a fresh instance — the same figures the packages' own
+// TestOpAllocsPinned tests pin, re-measured here so every checkpoint
+// carries them.
+func measureAllocs(f harness.Factory) (push, pop float64) {
+	inst := f.New()
+	w := inst.NewWorker()
+	var i uint64
+	push = testing.AllocsPerRun(2000, func() { w.Push(i); i++ })
+	pop = testing.AllocsPerRun(1000, func() { _, _ = w.Pop() })
+	return push, pop
+}
+
+// benchCase is one named series of the trajectory suite.
+type benchCase struct {
+	name      string
+	structure string
+	hooks     string
+	factory   harness.Factory
+	geom      benchGeometry
+	k         int64
+	workers   int
+	quality   bool
+	cleanup   func() // stops background instrumentation after the series
+}
+
+// obsStackInstance is a harness instance over a fully instrumented stack.
+type obsStackInstance struct{ s *core.Stack[uint64] }
+
+func (i obsStackInstance) NewWorker() harness.Worker { return i.s.NewHandle() }
+func (i obsStackInstance) Len() int                  { return i.s.Len() }
+
+// instrumentedStackFactory builds 2D-Stacks with the full observability
+// plane attached — structural observer, live controller with tick tracer,
+// registered metrics bridge — for the hooks-on half of the paired overhead
+// series. The returned stop function tears down every controller the
+// factory started.
+func instrumentedStackFactory(cfg core.Config) (harness.Factory, func()) {
+	var stops []func()
+	f := harness.Factory{
+		Name: "2D-stack+obs",
+		K:    cfg.K(),
+		New: func() harness.Instance {
+			s := core.MustNew[uint64](cfg)
+			ring := obs.NewRing(1024)
+			s.SetObserver(obs.StructTracer{Structure: "stack", Ring: ring})
+			ctrl, err := adapt.New(s, adapt.Policy{Tick: 10 * time.Millisecond})
+			if err == nil {
+				ctrl.SetObserver(obs.TickTracer{Structure: "stack", Ring: ring})
+				reg := obs.NewRegistry()
+				obs.RegisterStructure(reg, "stack", s, nil)
+				obs.RegisterRing(reg, ring)
+				ctrl.Start()
+				stops = append(stops, ctrl.Stop)
+			}
+			return obsStackInstance{s}
+		},
+	}
+	return f, func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}
+}
+
+// trajectoryCases is the fixed series list every checkpoint runs.
+func trajectoryCases() []benchCase {
+	geomOf := func(c core.Config) benchGeometry {
+		return benchGeometry{Width: c.Width, Depth: c.Depth, Shift: c.Shift, RandomHops: c.RandomHops}
+	}
+	var cases []benchCase
+
+	// Figure-2 shaped scaling points: the default geometry at rising P.
+	for _, p := range []int{1, 4, 16} {
+		cfg := core.DefaultConfig(p)
+		cases = append(cases, benchCase{
+			name: fmt.Sprintf("stack-default-p%d", p), structure: "stack",
+			factory: harness.NewTwoDFactory(cfg), geom: geomOf(cfg), k: cfg.K(), workers: p,
+		})
+	}
+
+	// Figure-1 shaped relaxation point: a tight k budget at P=8.
+	tight := relax.TwoDConfigForK(256, 8)
+	cases = append(cases, benchCase{
+		name: "stack-k256-p8", structure: "stack",
+		factory: harness.NewTwoDFactory(tight), geom: geomOf(tight), k: tight.K(), workers: 8,
+	})
+
+	// Ablation-shaped width point: width 1P instead of the paper's 4P.
+	narrow := core.Config{Width: 8, Depth: 64, Shift: 64, RandomHops: 2}
+	cases = append(cases, benchCase{
+		name: "stack-width1p-p8", structure: "stack",
+		factory: harness.NewTwoDFactory(narrow), geom: geomOf(narrow), k: narrow.K(), workers: 8,
+	})
+
+	// Queue extension point.
+	qcfg := twodqueue.DefaultConfig(4)
+	cases = append(cases, benchCase{
+		name: "queue-default-p4", structure: "queue",
+		factory: harness.NewTwoDQueueFactory(qcfg), geom: geomOf(qcfg.Core()),
+		k: qcfg.K(), workers: 4,
+	})
+
+	// The paired observability-overhead series: identical geometry and
+	// workload at P=16, hooks off vs fully instrumented. The ratchet gates
+	// their same-run ns/op ratio.
+	hcfg := core.Config{Width: 16, Depth: 64, Shift: 64, RandomHops: 2}
+	cases = append(cases, benchCase{
+		name: "stack-hooks-off-p16", structure: "stack", hooks: "off",
+		factory: harness.NewTwoDFactory(hcfg), geom: geomOf(hcfg), k: hcfg.K(), workers: 16,
+	})
+	instr, stopInstr := instrumentedStackFactory(hcfg)
+	cases = append(cases, benchCase{
+		name: "stack-hooks-on-p16", structure: "stack", hooks: "on",
+		factory: instr, geom: geomOf(hcfg), k: hcfg.K(), workers: 16,
+		cleanup: stopInstr,
+	})
+
+	// Realised-k quality point: error distances measured by the oracle.
+	qual := core.DefaultConfig(8)
+	cases = append(cases, benchCase{
+		name: "stack-quality-p8", structure: "stack", quality: true,
+		factory: harness.NewTwoDFactory(qual), geom: geomOf(qual), k: qual.K(), workers: 8,
+	})
+	return cases
+}
+
+// runTrajectory executes the suite under the given -benchtime budget
+// ("100x" = 100 operations per worker, or a duration per series), writes
+// the checkpoint to jsonPath ("-" = stdout, "" = don't write) and, when
+// ratchetPath names a baseline checkpoint, gates the fresh run against it.
+func runTrajectory(benchtime, jsonPath, ratchetPath string) error {
+	opsPerWorker, duration, err := parseBenchtime(benchtime)
+	if err != nil {
+		return err
+	}
+
+	out := benchFile{
+		Schema:    benchSchema,
+		Generated: time.Now().UTC().Truncate(time.Second),
+		Benchtime: benchtime,
+		Host:      hostFingerprint(),
+	}
+
+	for _, c := range trajectoryCases() {
+		w := harness.Workload{
+			Workers:   c.workers,
+			Duration:  duration,
+			PushRatio: 0.5,
+			Prefill:   1024,
+			Seed:      1,
+		}
+		var res harness.Result
+		var err error
+		switch {
+		case c.quality:
+			if duration == 0 {
+				w.Duration = 100 * time.Millisecond
+			}
+			res, err = harness.RunQuality(c.factory, w)
+		case opsPerWorker > 0:
+			w.Duration = time.Second // validated but unused by RunOps
+			res, err = harness.RunOps(c.factory, w, opsPerWorker)
+		default:
+			res, err = harness.Run(c.factory, w)
+		}
+		if err != nil {
+			return fmt.Errorf("series %s: %w", c.name, err)
+		}
+		s := benchSeries{
+			Name: c.name, Structure: c.structure, Hooks: c.hooks,
+			Geometry: c.geom, K: c.k, Workers: c.workers,
+			Ops: res.Ops, OpsPerSec: res.Throughput,
+		}
+		if res.Ops > 0 && res.Elapsed > 0 {
+			s.NsPerOp = float64(res.Elapsed.Nanoseconds()) / float64(res.Ops) * float64(c.workers)
+		}
+		s.PushAllocsPerOp, s.PopAllocsPerOp = measureAllocs(c.factory)
+		if c.cleanup != nil {
+			c.cleanup()
+		}
+		if c.quality {
+			s.Quality = true
+			s.QualityMeanErr = res.Quality.Mean()
+			s.QualityMaxErr = res.Quality.Max
+		}
+		out.Series = append(out.Series, s)
+		fmt.Fprintf(os.Stderr, "trajectory %-22s ops=%-8d ns/op=%-8.1f allocs=%.0f/%.0f\n",
+			c.name, s.Ops, s.NsPerOp, s.PushAllocsPerOp, s.PopAllocsPerOp)
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if jsonPath == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+
+	// Self-gates run on every trajectory invocation, baseline or not.
+	if err := selfGates(out); err != nil {
+		return err
+	}
+	if ratchetPath != "" {
+		base, err := readBenchFile(ratchetPath)
+		if err != nil {
+			return err
+		}
+		if err := ratchetCompare(base, out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ratchet: ok against %s\n", ratchetPath)
+	}
+	return nil
+}
+
+func parseBenchtime(s string) (opsPerWorker int, duration time.Duration, err error) {
+	if n, ok := strings.CutSuffix(s, "x"); ok {
+		v, err := strconv.Atoi(n)
+		if err != nil || v < 1 {
+			return 0, 0, fmt.Errorf("stackbench: bad -benchtime %q (want e.g. 100x or 200ms)", s)
+		}
+		return v, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("stackbench: bad -benchtime %q (want e.g. 100x or 200ms)", s)
+	}
+	return 0, d, nil
+}
+
+func readBenchFile(path string) (benchFile, error) {
+	var f benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != benchSchema {
+		return f, fmt.Errorf("%s: schema %q, this binary speaks %q", path, f.Schema, benchSchema)
+	}
+	return f, nil
+}
+
+// selfGates are the machine-independent invariants of a single run:
+//
+//   - the paired hooks series must agree within 25% ns/op (the generous
+//     same-run bound; the real claim, ≤1%, is pinned by the dedicated
+//     BenchmarkObserverOverhead comparison, which runs long enough to
+//     resolve it — this gate just catches a hook leaking onto the hot
+//     path, which would cost far more than 25%);
+//   - a quality series' realised max error distance must respect the
+//     Theorem-1 bound plus one position of in-flight slack per worker.
+func selfGates(cur benchFile) error {
+	byName := map[string]benchSeries{}
+	for _, s := range cur.Series {
+		byName[s.Name] = s
+	}
+	off, on := byName["stack-hooks-off-p16"], byName["stack-hooks-on-p16"]
+	if off.NsPerOp > 0 && on.NsPerOp > 1.25*off.NsPerOp {
+		return fmt.Errorf("hooks-on ns/op %.1f exceeds 1.25x hooks-off %.1f — a hook reached the hot path",
+			on.NsPerOp, off.NsPerOp)
+	}
+	for _, s := range cur.Series {
+		if s.Quality && int64(s.QualityMaxErr) > s.K+int64(s.Workers) {
+			return fmt.Errorf("series %s: realised max error %d exceeds k=%d + %d in-flight slack",
+				s.Name, s.QualityMaxErr, s.K, s.Workers)
+		}
+	}
+	return nil
+}
+
+// ratchetCompare gates a fresh run against a checked-in baseline:
+//
+//   - every baseline series must still exist (renames require a new
+//     baseline, deliberately);
+//   - allocations per op must not increase — allocation counts are
+//     machine-independent, so this is a hard cross-host gate;
+//   - ns/op must stay within 3x of the baseline, but only when the host
+//     fingerprints match — wall-clock numbers from different machines are
+//     not comparable, and at the CI-scale -benchtime the gate is a coarse
+//     guard against order-of-magnitude regressions, not a benchmark.
+func ratchetCompare(base, cur benchFile) error {
+	curByName := map[string]benchSeries{}
+	for _, s := range cur.Series {
+		curByName[s.Name] = s
+	}
+	sameHost := base.Host.fingerprintEquals(cur.Host)
+	for _, b := range base.Series {
+		c, ok := curByName[b.Name]
+		if !ok {
+			return fmt.Errorf("ratchet: baseline series %q missing from this run", b.Name)
+		}
+		if c.PushAllocsPerOp > b.PushAllocsPerOp || c.PopAllocsPerOp > b.PopAllocsPerOp {
+			return fmt.Errorf("ratchet: %s allocations grew: push %.1f→%.1f, pop %.1f→%.1f",
+				b.Name, b.PushAllocsPerOp, c.PushAllocsPerOp, b.PopAllocsPerOp, c.PopAllocsPerOp)
+		}
+		if sameHost && b.NsPerOp > 0 && c.NsPerOp > 3*b.NsPerOp {
+			return fmt.Errorf("ratchet: %s ns/op regressed beyond 3x: %.1f → %.1f",
+				b.Name, b.NsPerOp, c.NsPerOp)
+		}
+	}
+	if !sameHost {
+		fmt.Fprintln(os.Stderr, "ratchet: host fingerprint differs from baseline; wall-clock gates skipped, allocation gates applied")
+	}
+	return nil
+}

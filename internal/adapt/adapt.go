@@ -318,6 +318,15 @@ type TickRecord struct {
 	K     int64
 }
 
+// Observer receives one callback per completed control decision, after the
+// TickRecord has been appended to the history. It runs on the controller's
+// goroutine with the controller lock held, so implementations must be fast
+// and must not call back into the controller. internal/obs provides the
+// ring-buffer implementation (obs.TickTracer).
+type Observer interface {
+	ObserveTick(goal Goal, rec TickRecord)
+}
+
 // Controller drives a Reconfigurable's geometry from its observed signals. Create
 // with New; run it in the background with Start/Stop, or call Step
 // manually for deterministic control (tests, simulation).
@@ -331,10 +340,14 @@ type Controller struct {
 	// pressure is the current tick's CAS-pressure socket, stashed by Step
 	// for apply to hand to SocketAware targets; mu held.
 	pressure int
-	hist     []TickRecord
-	started  bool
-	stopCh   chan struct{}
-	doneCh   chan struct{}
+	// obsv receives a callback per Step; nil — the default — costs one
+	// predicted branch per tick (not per operation). Guarded by mu, which
+	// Step holds at the emission point. See SetObserver and DESIGN.md §8.
+	obsv    Observer
+	hist    []TickRecord
+	started bool
+	stopCh  chan struct{}
+	doneCh  chan struct{}
 }
 
 // New builds a controller for target; the policy is defaulted, then
@@ -355,6 +368,16 @@ func New(target Reconfigurable, pol Policy) (*Controller, error) {
 
 // Policy returns the defaulted policy the controller runs.
 func (c *Controller) Policy() Policy { return c.pol }
+
+// SetObserver installs (or, with nil, removes) the controller's tick
+// observer. Safe to call while the background loop runs: the observer is
+// read under the same lock Step holds, so a tick sees either the old or the
+// new observer, never a torn state.
+func (c *Controller) SetObserver(o Observer) {
+	c.mu.Lock()
+	c.obsv = o
+	c.mu.Unlock()
+}
 
 // Start launches the background sampling loop. Repeated Starts are no-ops
 // until Stop is called.
@@ -447,6 +470,12 @@ func (c *Controller) Step(elapsed time.Duration) TickRecord {
 	cfg := c.target.Config()
 	rec.Width, rec.Depth, rec.Shift, rec.K = cfg.Width, cfg.Depth, cfg.Shift, cfg.K()
 	c.hist = append(c.hist, rec)
+	// The tick event fires after any reconfiguration this decision applied,
+	// so a drained trace reads causally: the structural events a decision
+	// caused precede the tick that reported the decision.
+	if c.obsv != nil {
+		c.obsv.ObserveTick(c.pol.Goal, rec)
+	}
 	return rec
 }
 

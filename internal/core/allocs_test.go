@@ -1,0 +1,35 @@
+package core
+
+import "testing"
+
+// TestOpAllocsPinned pins the steady-state allocation cost of the hot path,
+// sampling branch included (AllocsPerRun's iteration count crosses many
+// 1-in-64 sampling strides): Push allocates exactly its node and the
+// replacement descriptor, Pop only the replacement descriptor. The latency
+// sampler must add nothing — the countdown is a plain field decrement and
+// time.Now does not allocate — and neither must an installed structural
+// observer, which is never read on the operation path.
+func TestOpAllocsPinned(t *testing.T) {
+	run := func(t *testing.T, s *Stack[uint64]) {
+		h := s.NewHandle()
+		var i uint64
+		if got := testing.AllocsPerRun(10000, func() { h.Push(i); i++ }); got != 2 {
+			t.Fatalf("Push allocates %v per op, pinned at 2 (node + descriptor)", got)
+		}
+		if got := testing.AllocsPerRun(5000, func() { h.Pop() }); got != 1 {
+			t.Fatalf("Pop allocates %v per op, pinned at 1 (descriptor)", got)
+		}
+	}
+	t.Run("no-observer", func(t *testing.T) {
+		run(t, MustNew[uint64](Config{Width: 4, Depth: 64, Shift: 64, RandomHops: 2}))
+	})
+	t.Run("observer-installed", func(t *testing.T) {
+		s := MustNew[uint64](Config{Width: 4, Depth: 64, Shift: 64, RandomHops: 2})
+		s.SetObserver(countingObserver{})
+		run(t, s)
+	})
+}
+
+type countingObserver struct{}
+
+func (countingObserver) ObserveStruct(StructEvent) {}

@@ -144,8 +144,13 @@ type Stack[T any] struct {
 	seed pad.Uint64Line
 
 	// reMu serialises reconfigurations. It also guards the placement
-	// settings below, which every geometry build reads.
+	// settings below, which every geometry build reads, and the structural
+	// observer (obsv), whose events are emitted only under it.
 	reMu sync.Mutex
+	// obsv receives structural transition events (reconfigurations, shrink
+	// handoffs, placement re-homes); nil — the default — costs nothing.
+	// See SetObserver and DESIGN.md §8.
+	obsv Observer
 	// placePolicy/placeSockets are the socket-placement model installed by
 	// SetPlacement (nil policy / 1 socket = placement off, the default):
 	// the policy homes new slots on width growth and picks shrink

@@ -106,6 +106,11 @@ func (s *Stack[T]) SetPlacement(policy PlacementPolicy, sockets int) {
 	}
 	s.stampPlacement(next, PlaceSlots(policy, nil, old.width, -1, sockets))
 	s.geo.Store(next)
+	s.emitStruct(StructEvent{
+		Kind: StructPlacement, Epoch: next.epoch,
+		OldWidth: old.width, Width: next.width, Depth: next.depth, Shift: next.shift,
+		Requester: -1, Sockets: sockets,
+	})
 }
 
 // Placement returns a copy of the current slot→socket home map (all zeros
@@ -261,13 +266,28 @@ func (s *Stack[T]) reconfigureLocked(cfg Config, requester int) error {
 		}
 	}
 
+	// The reconfiguration event marks the publish point: it precedes any
+	// handoff event of the same shrink, so a drained trace reads causally
+	// (reconfig, then its migration, then the controller tick that reported
+	// both).
+	s.emitStruct(StructEvent{
+		Kind: StructReconfig, Epoch: next.epoch,
+		OldWidth: old.width, Width: next.width, Depth: next.depth, Shift: next.shift,
+		Requester: requester, Stranded: len(dropped),
+	})
+
 	if len(dropped) > 0 {
 		// Items in the dropped slots are invisible to the new geometry.
 		// Wait until no operation can touch them through the old one, then
 		// move them into the live window. After quiescence the slots are
 		// exclusively ours (new-geometry searches never index past width).
 		s.waitQuiesce(old.epoch)
-		s.spliceStranded(next, dropped)
+		disp := s.spliceStranded(next, dropped)
+		s.emitStruct(StructEvent{
+			Kind: StructShrinkHandoff, Epoch: next.epoch,
+			OldWidth: old.width, Width: next.width, Depth: next.depth, Shift: next.shift,
+			Requester: requester, Stranded: len(dropped), Displacement: disp,
+		})
 	}
 	return nil
 }
@@ -291,7 +311,11 @@ func (s *Stack[T]) reconfigureLocked(cfg Config, requester int) error {
 // exclusively ours, so writing the chain bottom's next pointer is race-free
 // until the CAS publishes it; a CAS loss to a concurrent operation on the
 // target just re-picks the least-loaded target and retries.
-func (s *Stack[T]) spliceStranded(next *geometry[T], dropped []*subStack[T]) {
+//
+// The returned value is this migration's addition to the displacement
+// bound (also accumulated into shrinkDisp), which the caller forwards to
+// the shrink-handoff observer event.
+func (s *Stack[T]) spliceStranded(next *geometry[T], dropped []*subStack[T]) int64 {
 	var disp int64
 	for _, ss := range dropped {
 		d := ss.load()
@@ -348,6 +372,7 @@ func (s *Stack[T]) spliceStranded(next *geometry[T], dropped []*subStack[T]) {
 			}
 		}
 	}
+	return disp
 }
 
 // waitQuiesce blocks until no handle is pinned to an epoch <= oldEpoch.

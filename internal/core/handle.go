@@ -42,12 +42,16 @@ type Handle[T any] struct {
 	// shared (see maybeFlush in stats.go).
 	sinceFlush int
 
-	// opSeq counts operations begun; every latencySampleInterval-th one is
-	// latency-sampled end to end (latSampling/latStart carry the in-flight
-	// sample between pin and unpin). Owner-goroutine only.
-	opSeq       uint64
-	latSampling bool
-	latStart    time.Time
+	// latCountdown counts operations down to the next latency sample: one
+	// operation in latencySampleInterval is timed end to end
+	// (latSampling/latStart carry the in-flight sample between pin and
+	// unpin). A decrement-and-test countdown instead of the former
+	// counter-and-modulo keeps the uncontended fast path to one predicted-
+	// untaken branch and defers the clock read until after the sample
+	// decision. Owner-goroutine only.
+	latCountdown int
+	latSampling  bool
+	latStart     time.Time
 
 	// epoch is the geometry epoch the handle is currently operating under,
 	// or 0 when idle. Written only by the owner, read by reconfigurers to
@@ -84,11 +88,12 @@ func (s *Stack[T]) NewHandle() *Handle[T] {
 	rng := xrand.New(seed)
 	order := int(s.handleSeq.Add(1) - 1)
 	h := &Handle[T]{
-		s:      s,
-		rng:    rng,
-		last:   rng.Intn(s.geo.Load().width),
-		socket: HeuristicSocket(order, s.geo.Load().nsockets),
-		shared: &SharedCounters{},
+		s:            s,
+		rng:          rng,
+		last:         rng.Intn(s.geo.Load().width),
+		socket:       HeuristicSocket(order, s.geo.Load().nsockets),
+		latCountdown: latencySampleInterval,
+		shared:       &SharedCounters{},
 	}
 	s.hMu.Lock()
 	live := s.handles[:0]
@@ -165,8 +170,9 @@ func (h *Handle[T]) probe(geo *geometry[T]) (ord, pos []int, localN int) {
 // from here to the matching unpin, so the estimate covers the whole search
 // including window maintenance and restarts.
 func (h *Handle[T]) pin() *geometry[T] {
-	h.opSeq++
-	if h.opSeq%latencySampleInterval == 0 {
+	h.latCountdown--
+	if h.latCountdown <= 0 {
+		h.latCountdown = latencySampleInterval
 		h.latSampling = true
 		h.latStart = time.Now()
 	}

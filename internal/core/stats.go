@@ -92,16 +92,25 @@ func (s OpStats) LatencySamples() uint64 {
 	return n
 }
 
+// NoLatencySample is the sentinel LatencyPercentile returns for an empty
+// (all-zero) histogram. It is negative — no real sample can produce it —
+// so consumers can distinguish "no data this interval" from a genuinely
+// sub-nanosecond estimate, which the former zero return conflated with a
+// bucket-0 reading. Gauges exported through internal/obs surface it as -1.
+const NoLatencySample time.Duration = -1
+
 // LatencyPercentile estimates the p-th percentile (0..100) of the sampled
 // operation latency from the histogram, interpolating linearly within the
-// winning bucket. Zero when no samples were recorded. Log2 buckets bound
-// the estimation error by a factor of two of the true sample value, which
-// is far finer than the order-of-magnitude swings the latency-goal
-// controller steers on.
+// winning bucket. It returns NoLatencySample when no samples were
+// recorded; callers that gate on LatencySamples() > 0 (as the adaptive
+// controller does) never see the sentinel. Log2 buckets bound the
+// estimation error by a factor of two of the true sample value, which is
+// far finer than the order-of-magnitude swings the latency-goal controller
+// steers on.
 func (s OpStats) LatencyPercentile(p float64) time.Duration {
 	total := s.LatencySamples()
 	if total == 0 {
-		return 0
+		return NoLatencySample
 	}
 	if p < 0 {
 		p = 0

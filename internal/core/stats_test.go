@@ -119,8 +119,8 @@ func TestLatencyBucketLayout(t *testing.T) {
 
 func TestLatencyPercentileEstimate(t *testing.T) {
 	var st OpStats
-	if st.LatencyPercentile(99) != 0 {
-		t.Fatal("percentile of empty histogram not 0")
+	if got := st.LatencyPercentile(99); got != NoLatencySample {
+		t.Fatalf("percentile of empty histogram = %v, want NoLatencySample", got)
 	}
 	// 99 samples in [256,512) ns, 1 sample in [65536,131072) ns: P50 must
 	// fall in the low bucket, P99.5 (past the low bucket's mass) in the
@@ -139,6 +139,68 @@ func TestLatencyPercentileEstimate(t *testing.T) {
 	// Percentiles are monotone in p.
 	if st.LatencyPercentile(10) > st.LatencyPercentile(90) {
 		t.Fatal("percentile not monotone")
+	}
+}
+
+// TestLatencyPercentileSentinel pins the empty-histogram contract: every
+// percentile of an all-zero histogram is the NoLatencySample sentinel, which
+// is negative so no interpolated estimate can collide with it.
+func TestLatencyPercentileSentinel(t *testing.T) {
+	var st OpStats
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := st.LatencyPercentile(p); got != NoLatencySample {
+			t.Fatalf("LatencyPercentile(%v) on empty histogram = %v, want NoLatencySample", p, got)
+		}
+	}
+	if NoLatencySample >= 0 {
+		t.Fatal("NoLatencySample must be negative to stay out of the estimate range")
+	}
+	// One sample flips every percentile to a real (non-negative) estimate.
+	st.Latency[LatencyBucket(300)] = 1
+	if got := st.LatencyPercentile(50); got == NoLatencySample || got < 0 {
+		t.Fatalf("LatencyPercentile(50) with one sample = %v, want a real estimate", got)
+	}
+}
+
+// TestLatencyPercentileSingleBucket: with all mass in one bucket, every
+// percentile interpolates within that bucket's bounds.
+func TestLatencyPercentileSingleBucket(t *testing.T) {
+	var st OpStats
+	b := LatencyBucket(1000) // [512ns, 1024ns)
+	st.Latency[b] = 1000
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		got := st.LatencyPercentile(p)
+		if got < 512 || got > 1024 {
+			t.Fatalf("LatencyPercentile(%v) = %v outside single bucket [512ns,1024ns]", p, got)
+		}
+	}
+	// Out-of-range p clamps rather than escaping the histogram.
+	if got := st.LatencyPercentile(-5); got < 512 || got > 1024 {
+		t.Fatalf("LatencyPercentile(-5) = %v, want clamp into bucket", got)
+	}
+	if got := st.LatencyPercentile(150); got < 512 || got > 1024 {
+		t.Fatalf("LatencyPercentile(150) = %v, want clamp into bucket", got)
+	}
+}
+
+// TestLatencyPercentileSaturated: mass in the last (overflow) bucket must
+// not push the estimate past the bucket's upper bound, even at P100.
+func TestLatencyPercentileSaturated(t *testing.T) {
+	var st OpStats
+	st.Latency[NumLatencyBuckets-1] = 42
+	_, hi := latencyBucketBounds(NumLatencyBuckets - 1)
+	for _, p := range []float64{0, 50, 100} {
+		got := st.LatencyPercentile(p)
+		if got <= 0 || got > hi {
+			t.Fatalf("LatencyPercentile(%v) on saturated histogram = %v, want (0, %v]", p, got, hi)
+		}
+	}
+	// Every bucket populated: P100 still lands at the histogram ceiling.
+	for i := range st.Latency {
+		st.Latency[i] = 1
+	}
+	if got := st.LatencyPercentile(100); got > hi {
+		t.Fatalf("LatencyPercentile(100) fully populated = %v, exceeds ceiling %v", got, hi)
 	}
 }
 

@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux wires the observability surfaces onto one http.ServeMux:
+//
+//	/metrics      — reg in Prometheus text exposition format
+//	/debug/vars   — the process's expvar JSON (includes the registry
+//	                snapshot once PublishExpvar has been called)
+//	/debug/pprof  — the standard runtime profiles
+//
+// The pprof handlers are mounted explicitly rather than through
+// net/http/pprof's DefaultServeMux side effect, so serving this mux never
+// exposes profiles on a mux the caller did not ask for.
+func NewMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

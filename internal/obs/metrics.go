@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry is a pull-based metrics collection: every metric is a closure
+// evaluated at render time (a Prometheus scrape or an expvar read), so
+// registration costs nothing on any hot path and the registry holds no
+// state to keep coherent — the closures read the structures' own atomic
+// snapshots. Rendering is deterministic (sorted by name, then labels),
+// which is what the golden-file test pins.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+}
+
+type metric struct {
+	name   string // full metric name, e.g. stack2d_stack_pushes_total
+	labels string // rendered label block without braces, e.g. `socket="3"`, or ""
+	help   string
+	typ    string // "counter", "gauge" or "histogram"
+	read   func() float64
+	// readHist returns cumulative-ready raw bucket counts in the log2-ns
+	// layout: bucket i counts samples of bit-length i ns (upper bound 2^i),
+	// the final bucket absorbs the rest (+Inf). Histogram metrics only.
+	readHist func() []uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) add(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers a monotone total read by the closure.
+func (r *Registry) Counter(name, help string, read func() float64) {
+	r.add(&metric{name: name, help: help, typ: "counter", read: read})
+}
+
+// LabeledCounter registers one labelled series of a counter family; labels
+// is the rendered pair list, e.g. `socket="0"`. Series sharing a name form
+// one family with a single HELP/TYPE header.
+func (r *Registry) LabeledCounter(name, labels, help string, read func() float64) {
+	r.add(&metric{name: name, labels: labels, help: help, typ: "counter", read: read})
+}
+
+// Gauge registers an instantaneous value read by the closure.
+func (r *Registry) Gauge(name, help string, read func() float64) {
+	r.add(&metric{name: name, help: help, typ: "gauge", read: read})
+}
+
+// Histogram registers a log2-nanosecond histogram: read returns raw bucket
+// counts where bucket i holds samples whose duration has bit-length i ns
+// (core.LatencyBucket's layout); the last bucket is rendered as +Inf.
+func (r *Registry) Histogram(name, help string, read func() []uint64) {
+	r.add(&metric{name: name, help: help, typ: "histogram", readHist: read})
+}
+
+// snapshot returns the metrics sorted by (name, labels); families stay
+// adjacent so headers render once.
+func (r *Registry) snapshot() []*metric {
+	r.mu.Lock()
+	out := make([]*metric, len(r.metrics))
+	copy(out, r.metrics)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders the registry in the Prometheus text exposition format
+// (version 0.0.4): HELP/TYPE once per family, series sorted by labels,
+// histograms as cumulative le-bucketed series with the documented log2-ns
+// bounds. The _sum series is estimated from bucket midpoints (the log2
+// layout keeps no exact sum); _count is exact.
+func (r *Registry) WriteProm(w *strings.Builder) {
+	var lastHeader string
+	for _, m := range r.snapshot() {
+		if m.name != lastHeader {
+			fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help)
+			fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ)
+			lastHeader = m.name
+		}
+		switch m.typ {
+		case "histogram":
+			buckets := m.readHist()
+			var cum, count uint64
+			var sum float64
+			for i, b := range buckets {
+				cum += b
+				count += b
+				sum += float64(b) * bucketMidpointNs(i, len(buckets))
+				if i == len(buckets)-1 {
+					fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+				} else {
+					fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", m.name, uint64(1)<<i, cum)
+				}
+			}
+			fmt.Fprintf(w, "%s_sum %s\n", m.name, formatValue(sum))
+			fmt.Fprintf(w, "%s_count %d\n", m.name, count)
+		default:
+			if m.labels != "" {
+				fmt.Fprintf(w, "%s{%s} %s\n", m.name, m.labels, formatValue(m.read()))
+			} else {
+				fmt.Fprintf(w, "%s %s\n", m.name, formatValue(m.read()))
+			}
+		}
+	}
+}
+
+// bucketMidpointNs estimates the representative value of log2 bucket i:
+// bucket 0 covers (0,1] ns, bucket i covers (2^(i-1), 2^i] ns, the last
+// bucket is open-ended and represented by 1.5x its lower bound.
+func bucketMidpointNs(i, n int) float64 {
+	switch {
+	case i == 0:
+		return 0.5
+	case i == n-1:
+		return 1.5 * float64(uint64(1)<<(i-1))
+	default:
+		return 0.75 * float64(uint64(1)<<i)
+	}
+}
+
+// Render returns the Prometheus text rendering as a string.
+func (r *Registry) Render() string {
+	var b strings.Builder
+	r.WriteProm(&b)
+	return b.String()
+}
+
+// Handler serves the Prometheus text rendering over HTTP.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, r.Render())
+	})
+}
+
+// ExpvarSnapshot returns the registry as one JSON-ready map — counters and
+// gauges as numbers keyed by name{labels}, histograms as raw bucket count
+// slices — suitable for expvar.Func.
+func (r *Registry) ExpvarSnapshot() any {
+	out := make(map[string]any)
+	for _, m := range r.snapshot() {
+		key := m.name
+		if m.labels != "" {
+			key += "{" + m.labels + "}"
+		}
+		if m.typ == "histogram" {
+			out[key] = m.readHist()
+		} else {
+			out[key] = m.read()
+		}
+	}
+	return out
+}
+
+// PublishExpvar exposes the registry under the given expvar name on the
+// process-global /debug/vars page. Like expvar.Publish it must be called
+// at most once per name per process (it panics on duplicates), so it
+// belongs in main(), not in libraries or tests — tests read
+// ExpvarSnapshot directly.
+func (r *Registry) PublishExpvar(name string) {
+	expvar.Publish(name, expvar.Func(func() any { return r.ExpvarSnapshot() }))
+}

@@ -1,0 +1,119 @@
+// Package obs is the observability plane of the 2D structures: it bridges
+// the stats the structures already keep (core.OpStats aggregated by
+// StatsSnapshot, adapt.TickRecord time series, shrink displacement, socket
+// CAS pressure) into three operator-facing surfaces, none of which touch
+// the operation hot path:
+//
+//   - a named metrics model (Registry): pull-based counters, gauges and
+//     log2 histograms reusing OpStats' 28-bucket latency layout, rendered
+//     as Prometheus text exposition (WriteProm/Handler) and as an expvar
+//     JSON snapshot (ExpvarSnapshot) — see names.go for the exported
+//     vocabulary;
+//
+//   - a structured event tracer (Ring): a bounded lock-free ring of typed
+//     events — controller ticks with their goal/decision/TickRecord fields,
+//     geometry reconfigurations, warm shrink handoffs with their tracked
+//     displacement, placement re-homes — fed by the structures' observer
+//     hook points (core.Observer, adapt.Observer) through the StructTracer
+//     and TickTracer adapters, drainable as JSONL (WriteJSONL) for offline
+//     correlation;
+//
+//   - HTTP wiring (NewMux): /metrics, /debug/vars and /debug/pprof on one
+//     mux, served by cmd/adapttune -http during a run.
+//
+// Overhead model (DESIGN.md §8): the producers' hooks are nil-checked
+// interface fields read only on reconfiguration paths and controller
+// ticks — never inside Push/Pop/Enqueue/Dequeue — so an uninstrumented
+// structure pays nothing and an instrumented one pays one small allocation
+// per *event* (tick/reconfig rate, not operation rate). The metrics side is
+// entirely pull: a scrape calls StatsSnapshot, the same aggregation the
+// adaptive controller already performs per tick.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Kind types the events the tracer ring carries.
+type Kind uint8
+
+const (
+	// KindTick is one adapt.Controller decision: the interval's signals and
+	// the action taken (adapt.TickRecord verbatim).
+	KindTick Kind = iota + 1
+	// KindReconfig is a geometry swap: a new geometry (width/depth/shift)
+	// published by Reconfigure, SetWindow/SetWidth or the controller.
+	KindReconfig
+	// KindShrinkHandoff is the warm migration that follows a width shrink:
+	// stranded chains spliced into the survivors, with the displacement
+	// bound the migration added (ShrinkDisplacementBound's increment).
+	KindShrinkHandoff
+	// KindPlacement is a SetPlacement re-home: the slot→socket map was
+	// rebuilt for a new policy/socket count.
+	KindPlacement
+)
+
+// String returns the JSONL spelling of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindTick:
+		return "tick"
+	case KindReconfig:
+		return "reconfig"
+	case KindShrinkHandoff:
+		return "shrink-handoff"
+	case KindPlacement:
+		return "placement"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// MarshalJSON spells the kind as its string form in drained JSONL.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// Event is one typed entry of the tracer ring. It is a flat union: the
+// geometry block is filled for every kind, the transition block for the
+// structural kinds, the controller block only for KindTick. Flat (rather
+// than nested per kind) so one JSONL schema serves every event and offline
+// consumers can join ticks against the reconfigurations they caused on the
+// shared geometry columns.
+type Event struct {
+	Seq       uint64    `json:"seq"`  // ring-assigned, strictly increasing
+	Time      time.Time `json:"time"` // stamped at Emit
+	Kind      Kind      `json:"kind"`
+	Structure string    `json:"structure,omitempty"` // "stack", "queue", ...
+
+	// Geometry current after the event (for KindTick: after the decision),
+	// and its Theorem-1 bound.
+	Width int    `json:"width,omitempty"`
+	Depth int64  `json:"depth,omitempty"`
+	Shift int64  `json:"shift,omitempty"`
+	K     int64  `json:"k,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
+
+	// Structural-transition block (KindReconfig/KindShrinkHandoff/
+	// KindPlacement).
+	OldWidth     int   `json:"old_width,omitempty"`
+	Requester    int   `json:"requester,omitempty"` // socket attribution, -1 unknown
+	Stranded     int   `json:"stranded,omitempty"`  // dropped slots carrying items
+	Displacement int64 `json:"displacement,omitempty"`
+	Sockets      int   `json:"sockets,omitempty"`
+
+	// Controller block (KindTick).
+	Tick           int     `json:"tick,omitempty"`
+	Goal           string  `json:"goal,omitempty"`
+	Action         string  `json:"action,omitempty"`
+	Ops            uint64  `json:"ops,omitempty"`
+	Throughput     float64 `json:"throughput,omitempty"`
+	CASPerOp       float64 `json:"cas_per_op,omitempty"`
+	MovesPerOp     float64 `json:"moves_per_op,omitempty"`
+	ProbesPerOp    float64 `json:"probes_per_op,omitempty"`
+	EnergyPerOp    float64 `json:"energy_per_op,omitempty"`
+	LatencySamples uint64  `json:"latency_samples,omitempty"`
+	P50Ns          int64   `json:"p50_ns,omitempty"`
+	P99Ns          int64   `json:"p99_ns,omitempty"`
+	PressureSocket int     `json:"pressure_socket,omitempty"`
+}

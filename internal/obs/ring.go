@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Ring is a bounded, lock-free, multi-producer event buffer: Emit claims
+// the next sequence number with one atomic add and publishes the event
+// into slot seq&mask with one atomic pointer store, overwriting the entry
+// `capacity` sequence numbers older. Writers never block and never spin;
+// an overflowing ring silently drops the oldest events (counted by
+// Dropped), which is the right failure mode for a diagnostic stream.
+//
+// Each slot holds an immutable *Event — published wholesale, never written
+// in place — so concurrent Snapshot/WriteJSONL readers are race-free by
+// construction (an in-place seqlock payload would be faster by one small
+// allocation per event, but events arrive at tick/reconfiguration rate,
+// not operation rate, and pointer publication is what keeps the ring clean
+// under the race detector).
+type Ring struct {
+	mask  uint64
+	slots []atomic.Pointer[Event]
+	next  atomic.Uint64
+}
+
+// NewRing returns a ring holding the most recent `capacity` events;
+// capacity is rounded up to a power of two, minimum 16.
+func NewRing(capacity int) *Ring {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{mask: uint64(n - 1), slots: make([]atomic.Pointer[Event], n)}
+}
+
+// Cap returns the ring's slot count.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Emit stamps the event with the next sequence number (and the current
+// time, unless the producer already stamped one) and publishes it. Safe
+// for any number of concurrent producers.
+func (r *Ring) Emit(e Event) {
+	e.Seq = r.next.Add(1) - 1
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	ev := new(Event)
+	*ev = e
+	r.slots[e.Seq&r.mask].Store(ev)
+}
+
+// Emitted returns how many events have been emitted over the ring's
+// lifetime (retained or not).
+func (r *Ring) Emitted() uint64 { return r.next.Load() }
+
+// Dropped returns how many events have been overwritten before they could
+// be drained — emitted minus capacity, once the ring has wrapped.
+func (r *Ring) Dropped() uint64 {
+	if n := r.next.Load(); n > uint64(len(r.slots)) {
+		return n - uint64(len(r.slots))
+	}
+	return 0
+}
+
+// Snapshot returns the retained events in sequence order. Concurrent with
+// emitters: a slot overwritten mid-snapshot yields the newer event, so the
+// result is always a set of genuinely emitted events sorted by Seq, though
+// under churn it may have gaps where overwrites raced the read.
+func (r *Ring) Snapshot() []Event {
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		if ev := r.slots[i].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// WriteJSONL drains a snapshot as one JSON object per line — the offline
+// format cmd/adapttune -trace writes, joinable against the -csv time
+// series on the tick/geometry columns.
+func (r *Ring) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Snapshot() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, c := range []struct{ ask, want int }{
+		{0, 16}, {1, 16}, {16, 16}, {17, 32}, {100, 128}, {1024, 1024},
+	} {
+		if got := NewRing(c.ask).Cap(); got != c.want {
+			t.Fatalf("NewRing(%d).Cap() = %d, want %d", c.ask, got, c.want)
+		}
+	}
+}
+
+// TestRingOverwrite pins the bounded-buffer semantics: after emitting more
+// events than the ring holds, exactly the newest Cap() events are retained,
+// in sequence order, and Dropped accounts for the overwritten prefix.
+func TestRingOverwrite(t *testing.T) {
+	r := NewRing(16)
+	const emitted = 40
+	for i := 0; i < emitted; i++ {
+		r.Emit(Event{Kind: KindTick, Tick: i})
+	}
+	if got := r.Emitted(); got != emitted {
+		t.Fatalf("Emitted = %d, want %d", got, emitted)
+	}
+	if got := r.Dropped(); got != emitted-16 {
+		t.Fatalf("Dropped = %d, want %d", got, emitted-16)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 16 {
+		t.Fatalf("Snapshot len = %d, want 16", len(snap))
+	}
+	for i, ev := range snap {
+		wantSeq := uint64(emitted - 16 + i)
+		if ev.Seq != wantSeq {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d (oldest survivors overwritten first)", i, ev.Seq, wantSeq)
+		}
+		if ev.Tick != int(wantSeq) {
+			t.Fatalf("snapshot[%d] payload %d does not match its Seq %d", i, ev.Tick, wantSeq)
+		}
+	}
+}
+
+// TestRingConcurrentEmit hammers the ring from many producers while a
+// reader snapshots continuously; run under -race this pins the lock-free
+// publication scheme (immutable events behind atomic pointers). Every
+// snapshot must be strictly Seq-sorted and contain only genuinely emitted
+// payloads.
+func TestRingConcurrentEmit(t *testing.T) {
+	r := NewRing(64)
+	const producers, perProducer = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot()
+			for i := 1; i < len(snap); i++ {
+				if snap[i].Seq <= snap[i-1].Seq {
+					t.Error("snapshot not strictly Seq-sorted")
+					return
+				}
+			}
+			for _, ev := range snap {
+				if ev.Kind != KindReconfig || ev.Width < 0 || ev.Width >= producers {
+					t.Errorf("snapshot surfaced a torn event: %+v", ev)
+					return
+				}
+			}
+		}
+	}()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				r.Emit(Event{Kind: KindReconfig, Structure: "stack", Width: p})
+			}
+		}(p)
+	}
+	// Stop the reader once every producer's emission has landed.
+	for r.Emitted() < producers*perProducer {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if got := r.Emitted(); got != producers*perProducer {
+		t.Fatalf("Emitted = %d, want %d", got, producers*perProducer)
+	}
+}
+
+func TestRingWriteJSONL(t *testing.T) {
+	r := NewRing(16)
+	when := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	r.Emit(Event{Kind: KindReconfig, Structure: "stack", Time: when, Width: 8, Depth: 64, Shift: 64, K: 1344, Epoch: 2})
+	r.Emit(Event{Kind: KindShrinkHandoff, Structure: "stack", Time: when, Width: 4, OldWidth: 8, Displacement: 17, Epoch: 3})
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var lines []map[string]any
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v", len(lines), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	if lines[0]["kind"] != "reconfig" || lines[1]["kind"] != "shrink-handoff" {
+		t.Fatalf("kinds = %v, %v", lines[0]["kind"], lines[1]["kind"])
+	}
+	if lines[1]["displacement"] != float64(17) {
+		t.Fatalf("displacement = %v, want 17", lines[1]["displacement"])
+	}
+	if _, ok := lines[0]["tick"]; ok {
+		t.Fatal("structural event leaked a zero controller field through omitempty")
+	}
+}

@@ -1,0 +1,37 @@
+package twodqueue
+
+import (
+	"testing"
+
+	"stack2d/internal/core"
+)
+
+// TestOpAllocsPinned pins the queue hot path's allocation cost, sampling
+// branch included: Enqueue allocates exactly its Michael–Scott node,
+// Dequeue allocates nothing. The 1-in-64 latency sampler and an installed
+// structural observer (never read on the operation path) must both add
+// zero.
+func TestOpAllocsPinned(t *testing.T) {
+	run := func(t *testing.T, q *Queue[uint64]) {
+		h := q.NewHandle()
+		var i uint64
+		if got := testing.AllocsPerRun(10000, func() { h.Enqueue(i); i++ }); got != 1 {
+			t.Fatalf("Enqueue allocates %v per op, pinned at 1 (node)", got)
+		}
+		if got := testing.AllocsPerRun(5000, func() { h.Dequeue() }); got != 0 {
+			t.Fatalf("Dequeue allocates %v per op, pinned at 0", got)
+		}
+	}
+	t.Run("no-observer", func(t *testing.T) {
+		run(t, MustNew[uint64](Config{Width: 4, Depth: 64, Shift: 64, RandomHops: 2}))
+	})
+	t.Run("observer-installed", func(t *testing.T) {
+		q := MustNew[uint64](Config{Width: 4, Depth: 64, Shift: 64, RandomHops: 2})
+		q.SetObserver(nopObserver{})
+		run(t, q)
+	})
+}
+
+type nopObserver struct{}
+
+func (nopObserver) ObserveStruct(core.StructEvent) {}

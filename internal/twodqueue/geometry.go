@@ -96,6 +96,11 @@ func (q *Queue[T]) SetPlacement(policy core.PlacementPolicy, sockets int) {
 	}
 	q.stampPlacement(next, core.PlaceSlots(policy, nil, old.width, -1, sockets))
 	q.geo.Store(next)
+	q.emitStruct(core.StructEvent{
+		Kind: core.StructPlacement, Epoch: next.epoch,
+		OldWidth: old.width, Width: next.width, Depth: next.depth, Shift: next.shift,
+		Requester: -1, Sockets: sockets,
+	})
 }
 
 // Placement returns a copy of the current slot→socket home map (all zeros
@@ -247,12 +252,27 @@ func (q *Queue[T]) reconfigureLocked(cfg Config, requester int) error {
 		}
 	}
 
+	// The reconfiguration event marks the publish point: it precedes any
+	// handoff event of the same shrink, so a drained trace reads causally
+	// (reconfig, then its migration, then the controller tick that reported
+	// both) — the same ordering core's stack guarantees.
+	q.emitStruct(core.StructEvent{
+		Kind: core.StructReconfig, Epoch: next.epoch,
+		OldWidth: old.width, Width: next.width, Depth: next.depth, Shift: next.shift,
+		Requester: requester, Stranded: len(dropped),
+	})
+
 	if len(dropped) > 0 {
 		// Items in the dropped slots are invisible to the new geometry.
 		// Wait until no operation can touch them through the old one, then
 		// hand them to the live window directly (see handoffStranded).
 		q.waitQuiesce(old.epoch)
-		q.handoffStranded(next, dropped)
+		disp := q.handoffStranded(next, dropped)
+		q.emitStruct(core.StructEvent{
+			Kind: core.StructShrinkHandoff, Epoch: next.epoch,
+			OldWidth: old.width, Width: next.width, Depth: next.depth, Shift: next.shift,
+			Requester: requester, Stranded: len(dropped), Displacement: disp,
+		})
 	}
 	return nil
 }
@@ -274,8 +294,10 @@ func (q *Queue[T]) reconfigureLocked(cfg Config, requester int) error {
 // The load table is seeded from the live populations and updated locally as
 // items are placed; concurrent client operations keep mutating the real
 // lengths, so the balance is approximate — the displacement bound below
-// does not depend on it being exact.
-func (q *Queue[T]) handoffStranded(next *geometry[T], dropped []*subQueue[T]) {
+// does not depend on it being exact. The return value is this migration's
+// addition to ShrinkDisplacementBound, which the caller forwards into the
+// handoff's structural event.
+func (q *Queue[T]) handoffStranded(next *geometry[T], dropped []*subQueue[T]) int64 {
 	loads := make([]int64, len(next.subs))
 	var live, enqStart int64
 	for i, sq := range next.subs {
@@ -291,7 +313,7 @@ func (q *Queue[T]) handoffStranded(next *geometry[T], dropped []*subQueue[T]) {
 		// Nothing to migrate: no displacement happened and no counter was
 		// bumped, so neither the accounting nor the window raise below has
 		// anything to justify it (mirroring the stack's disp > 0 guard).
-		return
+		return 0
 	}
 	for moved := true; moved; {
 		moved = false
@@ -330,7 +352,8 @@ func (q *Queue[T]) handoffStranded(next *geometry[T], dropped []*subQueue[T]) {
 	if concurrent < 0 {
 		concurrent = 0
 	}
-	q.shrinkDisp.Add(live + stranded + concurrent)
+	disp := live + stranded + concurrent
+	q.shrinkDisp.Add(disp)
 
 	// Reopen the enqueue window. The bumps above push every survivor's
 	// counter toward (or past) the untouched GlobalEnq ceiling, and with
@@ -350,6 +373,7 @@ func (q *Queue[T]) handoffStranded(next *geometry[T], dropped []*subQueue[T]) {
 			break
 		}
 	}
+	return disp
 }
 
 // waitQuiesce blocks until no handle is pinned to an epoch <= oldEpoch.

@@ -1,0 +1,25 @@
+package twodqueue
+
+import "stack2d/internal/core"
+
+// SetObserver installs (or, with nil, removes) the queue's structural
+// observer. The queue reuses core.Observer and core.StructEvent — the event
+// vocabulary is identical (reconfiguration, warm shrink handoff, placement
+// re-home), so internal/obs's ring tracer serves both structures unchanged.
+// Emission sites all run under the reconfiguration lock, which SetObserver
+// also takes, so installation is race-free against concurrent
+// reconfigurations. The operation hot path never reads the observer —
+// events exist only on reconfiguration paths — so an uninstrumented queue
+// pays literally nothing per operation (DESIGN.md §8).
+func (q *Queue[T]) SetObserver(o core.Observer) {
+	q.reMu.Lock()
+	q.obsv = o
+	q.reMu.Unlock()
+}
+
+// emitStruct reports ev to the installed observer, if any; reMu held.
+func (q *Queue[T]) emitStruct(ev core.StructEvent) {
+	if q.obsv != nil {
+		q.obsv.ObserveStruct(ev)
+	}
+}

@@ -97,3 +97,8 @@ func (s Steerable[T]) ReconfigureOnSocket(cfg core.Config, requester int) error 
 
 // StatsSnapshot exposes the queue's aggregated counters to the controller.
 func (s Steerable[T]) StatsSnapshot() core.OpStats { return s.Q.StatsSnapshot() }
+
+// ShrinkDisplacementBound exposes the queue's cumulative shrink-migration
+// displacement bound, so internal/obs can export the same gauge for either
+// structure through one interface (obs.ShrinkReporter).
+func (s Steerable[T]) ShrinkDisplacementBound() int64 { return s.Q.ShrinkDisplacementBound() }

@@ -150,8 +150,14 @@ type Queue[T any] struct {
 	seed      pad.Uint64Line
 
 	// reMu serialises reconfigurations. It also guards the placement
-	// settings below, which every geometry build reads.
+	// settings below, which every geometry build reads, and the structural
+	// observer (obsv), whose events are emitted only under it.
 	reMu sync.Mutex
+	// obsv receives structural transition events (reconfigurations, shrink
+	// handoffs, placement re-homes); nil — the default — costs nothing.
+	// The queue reuses core's event vocabulary so one consumer serves both
+	// structures. See SetObserver and DESIGN.md §8.
+	obsv core.Observer
 	// placePolicy/placeSockets are the socket-placement model installed by
 	// SetPlacement (nil policy / 1 socket = placement off, the default);
 	// see core.Stack's identically named fields and DESIGN.md §7.
@@ -299,12 +305,14 @@ type Handle[T any] struct {
 	// maybeFlush in stats.go).
 	sinceFlush int
 
-	// opSeq counts operations begun; every latencySampleInterval-th one is
-	// latency-sampled end to end, exactly as in core.Handle. Owner-goroutine
-	// only.
-	opSeq       uint64
-	latSampling bool
-	latStart    time.Time
+	// latCountdown counts operations down to the next latency sample: one
+	// operation in latencySampleInterval is timed end to end, exactly as in
+	// core.Handle — a decrement-and-test countdown so the uncontended fast
+	// path pays one predicted-untaken branch and the clock is read only
+	// after the sample decision. Owner-goroutine only.
+	latCountdown int
+	latSampling  bool
+	latStart     time.Time
 
 	// epoch is the geometry epoch the handle is currently operating under,
 	// or 0 when idle. Written only by the owner, read by reconfigurers to
@@ -329,12 +337,13 @@ func (q *Queue[T]) NewHandle() *Handle[T] {
 	geo := q.geo.Load()
 	order := int(q.handleSeq.Add(1) - 1)
 	h := &Handle[T]{
-		q:       q,
-		rng:     rng,
-		lastEnq: rng.Intn(geo.width),
-		lastDeq: rng.Intn(geo.width),
-		socket:  core.HeuristicSocket(order, geo.nsockets),
-		shared:  &core.SharedCounters{},
+		q:            q,
+		rng:          rng,
+		lastEnq:      rng.Intn(geo.width),
+		lastDeq:      rng.Intn(geo.width),
+		socket:       core.HeuristicSocket(order, geo.nsockets),
+		latCountdown: latencySampleInterval,
+		shared:       &core.SharedCounters{},
 	}
 	q.hMu.Lock()
 	live := q.handles[:0]
@@ -394,8 +403,9 @@ func (h *Handle[T]) probe(geo *geometry[T]) (ord, pos []int, localN int) {
 // geometry swap (see core.Handle.pin). pin also opens the 1-in-N latency
 // sample closed by unpin, mirroring the stack's sampler.
 func (h *Handle[T]) pin() *geometry[T] {
-	h.opSeq++
-	if h.opSeq%latencySampleInterval == 0 {
+	h.latCountdown--
+	if h.latCountdown <= 0 {
+		h.latCountdown = latencySampleInterval
 		h.latSampling = true
 		h.latStart = time.Now()
 	}

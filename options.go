@@ -26,6 +26,10 @@ type builder struct {
 	// field, so it rides beside the geometry options).
 	placePolicy  core.PlacementPolicy
 	placeSockets int
+
+	// observer is set by WithObserver and installed on the freshly built
+	// stack; like placement, a structure setting rather than a Config field.
+	observer StructObserver
 }
 
 // geomOverrides carries the explicit structural options shared by the stack
@@ -136,4 +140,35 @@ func WithRandomHops(n int) Option {
 // Stack has no controller to configure.
 func WithAdaptive(policy AdaptivePolicy) Option {
 	return func(b *builder) { b.policy = &policy }
+}
+
+// StructObserver receives the stack's structural transition events —
+// geometry reconfigurations, warm shrink handoffs, placement re-homes
+// (StructEvent). Implementations must be fast and must not call back into
+// the structure; internal/obs's ring tracer is the intended consumer. The
+// observer is never read on the operation hot path, so instrumentation
+// costs nothing per Push/Pop.
+type StructObserver = core.Observer
+
+// StructEventKind enumerates the structural transitions a StructObserver
+// distinguishes (alias of core.StructEventKind).
+type StructEventKind = core.StructEventKind
+
+// StructEvent is one structural transition report; see the field docs on
+// the underlying type for the geometry, attribution and displacement
+// payload each event kind carries.
+type StructEvent = core.StructEvent
+
+// Event kinds a StructObserver distinguishes; see core.StructEventKind.
+const (
+	StructReconfig      = core.StructReconfig
+	StructShrinkHandoff = core.StructShrinkHandoff
+	StructPlacement     = core.StructPlacement
+)
+
+// WithObserver installs a structural observer on the freshly built stack,
+// so reconfigurations are observable from the first one. Equivalent to
+// calling SetObserver immediately after New.
+func WithObserver(o StructObserver) Option {
+	return func(b *builder) { b.observer = o }
 }

@@ -37,6 +37,10 @@ type queueBuilder struct {
 	// to the freshly built queue, as in the stack's builder.
 	placePolicy  core.PlacementPolicy
 	placeSockets int
+
+	// observer is set by WithQueueObserver and installed on the freshly
+	// built queue, as in the stack's builder.
+	observer StructObserver
 }
 
 // applyQueueOptions runs the option list over a fresh queue builder.
@@ -99,6 +103,13 @@ func WithQueueAdaptive(policy AdaptivePolicy) QueueOption {
 	return func(b *queueBuilder) { b.policy = &policy }
 }
 
+// WithQueueObserver installs a structural observer on the freshly built
+// queue — WithObserver for the 2D-Queue; the queue shares the stack's event
+// vocabulary (StructEvent), so one observer implementation serves both.
+func WithQueueObserver(o StructObserver) QueueOption {
+	return func(b *queueBuilder) { b.observer = o }
+}
+
 // NewQueue builds a 2D-Queue configured by the supplied options; without
 // options it is tuned for runtime.GOMAXPROCS(0) threads (width 4P,
 // depth 64), matching New's behaviour for the stack. Invalid combinations
@@ -109,6 +120,9 @@ func NewQueue[T any](opts ...QueueOption) *Queue[T] {
 	q, err := NewQueueWithConfig[T](resolveQueueConfig(b))
 	if err != nil {
 		panic(err)
+	}
+	if b.observer != nil {
+		q.inner.SetObserver(b.observer)
 	}
 	if b.placePolicy != nil {
 		q.inner.SetPlacement(b.placePolicy, b.placeSockets)
@@ -155,6 +169,10 @@ func (q *Queue[T]) K() int64 { return q.inner.Config().K() }
 // reconfiguration (AdaptiveQueue, or a running controller) the geometry
 // current at the call, which may immediately be superseded.
 func (q *Queue[T]) Config() QueueConfig { return q.inner.Config() }
+
+// SetObserver installs (or, with nil, removes) the queue's structural
+// observer at runtime; see WithQueueObserver and StructObserver.
+func (q *Queue[T]) SetObserver(o StructObserver) { q.inner.SetObserver(o) }
 
 // Drain removes and returns all items; teardown helper, not concurrent.
 func (q *Queue[T]) Drain() []T { return q.inner.Drain() }

@@ -33,6 +33,9 @@ func New[T any](opts ...Option) *Stack[T] {
 	if err != nil {
 		panic(err)
 	}
+	if b.observer != nil {
+		s.inner.SetObserver(b.observer)
+	}
 	if b.placePolicy != nil {
 		s.inner.SetPlacement(b.placePolicy, b.placeSockets)
 	}
@@ -110,6 +113,11 @@ func (s *Stack[T]) Pop() (v T, ok bool) {
 }
 
 var _ Interface[int] = (*Stack[int])(nil)
+
+// SetObserver installs (or, with nil, removes) the stack's structural
+// observer at runtime; see WithObserver for the construction-time form and
+// StructObserver for the contract.
+func (s *Stack[T]) SetObserver(o StructObserver) { s.inner.SetObserver(o) }
 
 // Len returns the total number of stored items; exact when quiescent,
 // approximate under concurrency.
