@@ -40,6 +40,16 @@
 // the simulated adaptive run fails to beat its static baseline under high
 // contention.
 //
+// -backend auto adds a third experiment after the two above: the
+// hot-swap engine (internal/engine) with the 2D backend, an elimination
+// stack and a strict Treiber stack registered, steered by the backend
+// selector (internal/adapt.Selector). Halfway through the phased run the
+// semantics budget collapses to zero, which must deterministically evict
+// the relaxed backend for a strict one ("k-budget-zero" in the swap
+// history and the CSV); the recorded history must then verify under the
+// swap-aware k-distance budget (DESIGN.md §9). Either miss exits 1 — the
+// CI gate.
+//
 // -placement selects the NUMA width-placement policy (DESIGN.md §7):
 // local (default, LocalFirst homing + socket-first probing) or rr (the
 // pre-placement round-robin behaviour). Under -placement local with the
@@ -51,7 +61,7 @@
 // Usage:
 //
 //	adapttune [-queue] [-goal throughput|latency|energy]
-//	          [-placement local|rr] [-threads 8]
+//	          [-backend 2d|auto] [-placement local|rr] [-threads 8]
 //	          [-phase 300ms] [-tick 10ms] [-kceil 8192] [-p99-target 2ms]
 //	          [-floor 50000] [-start-width 2] [-start-depth 8] [-sim]
 //	          [-native] [-csv out.csv]
@@ -108,6 +118,7 @@ func main() {
 		simP99     = flag.Int64("sim-p99-target", 4096, "simulated P99 latency target in cycles (-goal latency)")
 		floor      = flag.Float64("floor", 50000, "native throughput floor in ops/s (-goal energy)")
 		simFloor   = flag.Float64("sim-floor", 2e7, "simulated throughput floor in ops/s, 1 cycle = 1ns (-goal energy)")
+		backendSel = flag.String("backend", "2d", "2d pins the 2D structure (geometry steering only); auto adds the hot-swap engine experiment, where a backend selector exchanges the live implementation mid-run")
 		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090) during the native run")
 		tracePath  = flag.String("trace", "", "drain the structured event ring to this JSONL file on exit")
 		hold       = flag.Duration("hold", 0, "keep the -http endpoint up this long after the experiments finish")
@@ -121,6 +132,9 @@ func main() {
 	placement, err := parsePlacement(*placeName)
 	if err != nil {
 		fatal("%v", err)
+	}
+	if *backendSel != "2d" && *backendSel != "auto" {
+		fatal("unknown -backend %q (want 2d or auto)", *backendSel)
 	}
 
 	start := core.Config{Width: *startWidth, Depth: *startDepth, Shift: *startDepth, RandomHops: 2}
@@ -165,6 +179,11 @@ func main() {
 			ok = nativeDemo(spec, start, placement, *kceil, *threads, *phaseDur, *tick, *prefill, *seed, *quality, *maxDepth, sink, plane)
 		}
 		if !ok {
+			failed = true
+		}
+	}
+	if *backendSel == "auto" {
+		if !backendDemo(start, *threads, *phaseDur, *tick, *prefill, *seed, sink, plane) {
 			failed = true
 		}
 	}
@@ -259,7 +278,7 @@ type csvSink struct {
 var csvHeader = []string{
 	"experiment", "phase", "tick", "width", "depth", "shift", "k",
 	"ops", "throughput", "cas_per_op", "moves_per_op", "probes_per_op",
-	"p99_us", "energy_per_op", "action",
+	"p99_us", "energy_per_op", "action", "backend", "reason",
 }
 
 func newCSVSink(path string) (*csvSink, error) {
@@ -277,7 +296,9 @@ func newCSVSink(path string) (*csvSink, error) {
 
 // record appends one controller tick under the given experiment label
 // ("sim-stack", "native-queue", ...); phase is empty for native runs, whose
-// ticks are not phase-aligned. Nil-safe, so call sites need no guards.
+// ticks are not phase-aligned, and the trailing backend/reason columns are
+// empty — a geometry controller retunes one fixed structure. Nil-safe, so
+// call sites need no guards.
 func (s *csvSink) record(experiment, phase string, rec adapt.TickRecord) {
 	if s == nil {
 		return
@@ -297,7 +318,32 @@ func (s *csvSink) record(experiment, phase string, rec adapt.TickRecord) {
 		fmt.Sprintf("%.3f", rec.ProbesPerOp),
 		fmt.Sprintf("%.3f", float64(rec.P99)/1e3),
 		fmt.Sprintf("%.3f", rec.EnergyPerOp),
+		rec.Action, "", "",
+	})
+}
+
+// recordSelector appends one backend-selector tick (-backend auto). The
+// geometry columns are empty — the selector exchanges whole structures,
+// it does not know the live one's window — and the trailing columns carry
+// the active backend and, on swap ticks, the trigger reason (the string
+// CI greps for). Nil-safe like record.
+func (s *csvSink) recordSelector(experiment string, rec adapt.SelectorRecord) {
+	if s == nil {
+		return
+	}
+	s.rows++
+	s.w.Write([]string{
+		experiment, "",
+		fmt.Sprintf("%d", rec.Tick),
+		"", "", "",
+		fmt.Sprintf("%d", rec.K),
+		fmt.Sprintf("%d", rec.Ops),
+		fmt.Sprintf("%.2f", rec.Throughput),
+		fmt.Sprintf("%.5f", rec.CASPerOp),
+		"", "", "", "",
 		rec.Action,
+		rec.Backend,
+		rec.Reason,
 	})
 }
 

@@ -314,6 +314,10 @@ func TestCSVSinkWritesTimeSeries(t *testing.T) {
 		P99: 1500 * time.Nanosecond, EnergyPerOp: 2.51,
 		Action: "widen-width",
 	})
+	sink.recordSelector("native-backend", adapt.SelectorRecord{
+		Tick: 7, Ops: 4096, Throughput: 98765.4, CASPerOp: 0.02,
+		Action: "swap", Reason: "k-budget-zero", Backend: "treiber", K: 0,
+	})
 	// A nil sink must be a silent no-op (the demos call it unconditionally).
 	var nilSink *csvSink
 	nilSink.record("x", "", adapt.TickRecord{})
@@ -336,12 +340,12 @@ func TestCSVSinkWritesTimeSeries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 2 {
-		t.Fatalf("got %d rows, want header + 1", len(rows))
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want header + 2", len(rows))
 	}
 	wantHeader := []string{"experiment", "phase", "tick", "width", "depth", "shift", "k",
 		"ops", "throughput", "cas_per_op", "moves_per_op", "probes_per_op",
-		"p99_us", "energy_per_op", "action"}
+		"p99_us", "energy_per_op", "action", "backend", "reason"}
 	for i, col := range wantHeader {
 		if rows[0][i] != col {
 			t.Fatalf("header[%d] = %q, want %q", i, rows[0][i], col)
@@ -351,7 +355,27 @@ func TestCSVSinkWritesTimeSeries(t *testing.T) {
 		t.Fatalf("header has %d columns, want %d", len(rows[0]), len(wantHeader))
 	}
 	if rows[1][0] != "sim-queue" || rows[1][1] != "high" || rows[1][6] != "336" ||
-		rows[1][12] != "1.500" || rows[1][13] != "2.510" || rows[1][14] != "widen-width" {
-		t.Fatalf("data row mismatch: %v", rows[1])
+		rows[1][12] != "1.500" || rows[1][13] != "2.510" || rows[1][14] != "widen-width" ||
+		rows[1][15] != "" || rows[1][16] != "" {
+		t.Fatalf("controller data row mismatch: %v", rows[1])
+	}
+	if rows[2][0] != "native-backend" || rows[2][2] != "7" || rows[2][3] != "" ||
+		rows[2][6] != "0" || rows[2][7] != "4096" || rows[2][14] != "swap" ||
+		rows[2][15] != "treiber" || rows[2][16] != "k-budget-zero" {
+		t.Fatalf("selector data row mismatch: %v", rows[2])
+	}
+}
+
+// TestBackendDemoDeterministicSwap runs the -backend auto experiment at
+// test scale and requires the full gate to hold: the mid-run budget
+// collapse evicts the relaxed backend for reason k-budget-zero, a strict
+// backend finishes the run, and the recorded history verifies under the
+// swap-aware budget — backendDemo returns false on any miss, so one
+// boolean covers all three. This is the same gate CI drives through the
+// binary; a nil sink and nil plane keep it output-only.
+func TestBackendDemoDeterministicSwap(t *testing.T) {
+	start := core.Config{Width: 2, Depth: 8, Shift: 8, RandomHops: 2}
+	if !backendDemo(start, 4, 40*time.Millisecond, 5*time.Millisecond, 512, 11, nil, nil) {
+		t.Fatal("backendDemo reported failure (see output above)")
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"stack2d/internal/adapt"
 	"stack2d/internal/core"
+	"stack2d/internal/engine"
 	"stack2d/internal/obs"
 	"stack2d/internal/twodqueue"
 )
@@ -73,6 +74,21 @@ func (p *obsPlane) instrumentQueue(q *twodqueue.Queue[uint64]) {
 	}
 	q.SetObserver(obs.StructTracer{Structure: "queue", Ring: p.ring})
 	obs.RegisterStructure(p.reg, "queue", twodqueue.Steer(q), nil)
+}
+
+// instrumentSwitcher wires the hot-swap engine (-backend auto) into the
+// plane: every completed backend exchange lands in the event ring as a
+// backend-swap event, and the swap count plus the cumulative migration
+// displacement are exported as engine-labelled metrics. The switcher's
+// per-structure counters stay with the backends themselves; the plane
+// only observes the exchanges.
+func (p *obsPlane) instrumentSwitcher(sw *engine.Switcher[uint64]) {
+	if p == nil {
+		return
+	}
+	tracer := obs.SwapTracer{Structure: "engine", Ring: p.ring}
+	sw.SetOnSwap(tracer.ObserveSwap)
+	obs.RegisterSwitcher(p.reg, "engine", sw)
 }
 
 // instrumentController attaches the tick tracer to the native controller so

@@ -62,7 +62,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "qualitytrace:", perr)
 			os.Exit(2)
 		}
-		if algorithm.KBounded() && algorithm != relax.TreiberStack {
+		if algorithm.KConfigurable() {
 			f = harness.Figure1Factory(algorithm, *k, *threads)
 		} else {
 			f = harness.Figure2Factory(algorithm, *threads)

@@ -123,6 +123,7 @@ type benchCase struct {
 	k         int64
 	workers   int
 	quality   bool
+	opsScale  int    // multiplies the -benchtime Nx ops budget (0 = 1)
 	cleanup   func() // stops background instrumentation after the series
 }
 
@@ -158,10 +159,14 @@ func instrumentedStackFactory(cfg core.Config) (harness.Factory, func()) {
 			return obsStackInstance{s}
 		},
 	}
+	// The stop function is safe to call between repetitions: it stops the
+	// controllers started so far and forgets them, so a best-of-N series
+	// never measures one repetition under another's live instrumentation.
 	return f, func() {
 		for _, stop := range stops {
 			stop()
 		}
+		stops = nil
 	}
 }
 
@@ -205,17 +210,21 @@ func trajectoryCases() []benchCase {
 
 	// The paired observability-overhead series: identical geometry and
 	// workload at P=16, hooks off vs fully instrumented. The ratchet gates
-	// their same-run ns/op ratio.
+	// their same-run ns/op ratio, so both sides run 10x the ops budget:
+	// the instrumented side carries a 10ms-tick controller, and a sample
+	// shorter than the tick period sees its cost land in-sample or not by
+	// scheduling luck — the longer window amortises it on both sides.
 	hcfg := core.Config{Width: 16, Depth: 64, Shift: 64, RandomHops: 2}
 	cases = append(cases, benchCase{
 		name: "stack-hooks-off-p16", structure: "stack", hooks: "off",
 		factory: harness.NewTwoDFactory(hcfg), geom: geomOf(hcfg), k: hcfg.K(), workers: 16,
+		opsScale: 10,
 	})
 	instr, stopInstr := instrumentedStackFactory(hcfg)
 	cases = append(cases, benchCase{
 		name: "stack-hooks-on-p16", structure: "stack", hooks: "on",
 		factory: instr, geom: geomOf(hcfg), k: hcfg.K(), workers: 16,
-		cleanup: stopInstr,
+		opsScale: 10, cleanup: stopInstr,
 	})
 
 	// Realised-k quality point: error distances measured by the oracle.
@@ -224,6 +233,27 @@ func trajectoryCases() []benchCase {
 		name: "stack-quality-p8", structure: "stack", quality: true,
 		factory: harness.NewTwoDFactory(qual), geom: geomOf(qual), k: qual.K(), workers: 8,
 	})
+
+	// The backend A/B series: the same workload through the relax.Backend
+	// adapters — the relaxed 2D default against the strict elimination and
+	// Treiber backends — at the uncontended (P=1) and contended (P=16)
+	// ends. These are the control-plane baselines: what a selector swap
+	// buys or costs at each end of the load spectrum, measured on the very
+	// adapters the engine switcher serves traffic through (so the numbers
+	// include the handle-counting layer a swapped-in backend actually pays).
+	for _, p := range []int{1, 16} {
+		for _, a := range []relax.Algorithm{relax.TwoDStack, relax.EliminationStack, relax.TreiberStack} {
+			f := harness.NewBackendFactory(a, p)
+			bc := benchCase{
+				name: fmt.Sprintf("backend-%s-p%d", a, p), structure: "stack",
+				factory: f, k: f.K, workers: p,
+			}
+			if a == relax.TwoDStack {
+				bc.geom = geomOf(core.DefaultConfig(p))
+			}
+			cases = append(cases, bc)
+		}
+	}
 	return cases
 }
 
@@ -252,19 +282,40 @@ func runTrajectory(benchtime, jsonPath, ratchetPath string) error {
 			Prefill:   1024,
 			Seed:      1,
 		}
-		var res harness.Result
-		var err error
-		switch {
-		case c.quality:
-			if duration == 0 {
-				w.Duration = 100 * time.Millisecond
+		runOnce := func() (harness.Result, error) {
+			switch {
+			case c.quality:
+				if duration == 0 {
+					w.Duration = 100 * time.Millisecond
+				}
+				return harness.RunQuality(c.factory, w)
+			case opsPerWorker > 0:
+				w.Duration = time.Second // validated but unused by RunOps
+				return harness.RunOps(c.factory, w, opsPerWorker*max(c.opsScale, 1))
+			default:
+				return harness.Run(c.factory, w)
 			}
-			res, err = harness.RunQuality(c.factory, w)
-		case opsPerWorker > 0:
-			w.Duration = time.Second // validated but unused by RunOps
-			res, err = harness.RunOps(c.factory, w, opsPerWorker)
-		default:
-			res, err = harness.Run(c.factory, w)
+		}
+		// Every series is best-of-three. At the CI-scale -benchtime a
+		// series is a few milliseconds of wall clock, and on a timeshared
+		// host a single sample jitters far past the ratchet tolerances;
+		// the fastest repetition is the noise-robust wall-clock estimator,
+		// and a real regression (a hook on the hot path, a slower op)
+		// inflates every repetition, not just the unlucky one. Allocation
+		// counts are measured separately and are deterministic.
+		res, err := runOnce()
+		for r := 0; err == nil && r < 2; r++ {
+			if c.cleanup != nil {
+				c.cleanup() // don't measure under a prior repetition's instrumentation
+			}
+			rr, rerr := runOnce()
+			if rerr != nil {
+				err = rerr
+				break
+			}
+			if rr.Throughput > res.Throughput {
+				res = rr
+			}
 		}
 		if err != nil {
 			return fmt.Errorf("series %s: %w", c.name, err)

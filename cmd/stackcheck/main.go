@@ -49,7 +49,7 @@ func main() {
 	}
 	var f harness.Factory
 	kBound := int64(-1)
-	if algorithm.KBounded() && algorithm != relax.TreiberStack {
+	if algorithm.KConfigurable() {
 		f = harness.Figure1Factory(algorithm, *k, *threads)
 		kBound = f.K
 	} else {

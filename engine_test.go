@@ -1,0 +1,90 @@
+package stack2d
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineManualSwap(t *testing.T) {
+	e := NewEngine[int](WithExpectedThreads(2), WithRelaxation(50))
+	if got := e.ActiveBackend(); got != "2D-stack" {
+		t.Fatalf("initial backend = %q", got)
+	}
+	if want := []string{"2D-stack", "elimination", "treiber"}; len(e.Backends()) != len(want) {
+		t.Fatalf("backends = %v", e.Backends())
+	}
+	h := e.NewHandle()
+	for i := 0; i < 100; i++ {
+		h.Push(i)
+	}
+	if err := e.SwapTo("treiber", "manual"); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.ActiveBackend(); got != "treiber" {
+		t.Fatalf("after swap: %q", got)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		v, ok := h.Pop()
+		if !ok || seen[v] {
+			t.Fatalf("pop %d = (%d,%v)", i, v, ok)
+		}
+		seen[v] = true
+	}
+	swaps := e.Swaps()
+	if len(swaps) != 1 || swaps[0].Migrated != 100 || swaps[0].Reason != "manual" {
+		t.Fatalf("swaps = %+v", swaps)
+	}
+	if e.K() < 1 {
+		t.Fatalf("K = %d, want the 2D backend's bound", e.K())
+	}
+	if e.Selector() != nil {
+		t.Fatal("selector present without WithBackendSelection")
+	}
+	e.Close() // no selector: must be a safe no-op
+}
+
+func TestEngineAutoSelection(t *testing.T) {
+	e := NewEngine[int](
+		WithExpectedThreads(2),
+		WithRelaxation(50),
+		WithBackendSelection(SelectorPolicy{Tick: 2 * time.Millisecond}),
+	)
+	defer e.Close()
+	sel := e.Selector()
+	if sel == nil {
+		t.Fatal("no selector")
+	}
+	h := e.NewHandle()
+	for i := 0; i < 64; i++ {
+		h.Push(i)
+	}
+	// Collapse the budget: the selector must evict the 2D backend for a
+	// strict one within a few ticks, whatever the load.
+	sel.SetKBudget(0)
+	deadline := time.After(2 * time.Second)
+	for e.ActiveBackend() == "2D-stack" {
+		select {
+		case <-deadline:
+			t.Fatalf("selector never evicted the 2D backend; history: %+v", sel.History())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if got := e.ActiveBackend(); got != "elimination" && got != "treiber" {
+		t.Fatalf("evicted to %q", got)
+	}
+	found := false
+	for _, rec := range e.Swaps() {
+		if rec.Reason == ReasonKBudgetZero {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no k-budget-zero swap recorded: %+v", e.Swaps())
+	}
+	// Conservation across the forced swap.
+	if got := len(e.Drain()); got != 64 {
+		t.Fatalf("recovered %d of 64 items", got)
+	}
+}

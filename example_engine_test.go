@@ -1,0 +1,51 @@
+package stack2d_test
+
+import (
+	"fmt"
+	"time"
+
+	"stack2d"
+)
+
+// A hot-swappable stack: the 2D structure, an elimination stack and a
+// strict Treiber stack behind one switch. Here the swap is driven by
+// hand; items survive the exchange and the swap history records why it
+// happened.
+func ExampleNewEngine() {
+	e := stack2d.NewEngine[int](stack2d.WithExpectedThreads(1))
+	defer e.Close()
+	h := e.NewHandle()
+	h.Push(1)
+	h.Push(2)
+
+	if err := e.SwapTo("treiber", "manual"); err != nil {
+		panic(err)
+	}
+	v, ok := h.Pop() // the former top still tops after the migration
+	fmt.Println(e.ActiveBackend(), v, ok, e.Swaps()[0].Migrated)
+	// Output: treiber 2 true 2
+}
+
+// WithBackendSelection starts the automatic selector: it enforces the
+// semantics budget deterministically (a collapsed budget evicts the
+// relaxed backend at the next tick) and exchanges backends on
+// contention-storm signals. Step drives a decision by hand; the
+// background loop does the same on a timer.
+func ExampleWithBackendSelection() {
+	// The hour-long tick keeps the background loop quiet, so the manual
+	// Step below is the only decision the example races against: none.
+	e := stack2d.NewEngine[int](
+		stack2d.WithExpectedThreads(1),
+		stack2d.WithBackendSelection(stack2d.SelectorPolicy{Tick: time.Hour}),
+	)
+	defer e.Close()
+	h := e.NewHandle()
+	h.Push(7)
+
+	sel := e.Selector()
+	sel.SetKBudget(0) // tolerance collapse: only a strict backend may serve
+	rec := sel.Step(0)
+	v, ok := h.Pop()
+	fmt.Println(rec.Action, rec.Reason, v, ok)
+	// Output: swap k-budget-zero 7 true
+}

@@ -1,0 +1,156 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+
+	"stack2d/internal/core"
+)
+
+// fakeEngine is a deterministic BackendTarget: a fixed catalogue, scripted
+// counters, and a swap log.
+type fakeEngine struct {
+	active   string
+	catalog  map[string]int64
+	order    []string
+	snap     core.OpStats
+	swaps    []string // "to:reason"
+	swapErrs error
+}
+
+func newFakeTarget() *fakeEngine {
+	return &fakeEngine{
+		active:  "2D-stack",
+		order:   []string{"2D-stack", "elimination", "treiber"},
+		catalog: map[string]int64{"2D-stack": 93, "elimination": 0, "treiber": 0},
+	}
+}
+
+func (f *fakeEngine) ActiveBackend() string { return f.active }
+func (f *fakeEngine) Backends() []string    { return f.order }
+func (f *fakeEngine) BackendKBound(name string) (int64, bool) {
+	k, ok := f.catalog[name]
+	return k, ok
+}
+func (f *fakeEngine) SwapBackend(name, reason string) error {
+	if f.swapErrs != nil {
+		return f.swapErrs
+	}
+	f.active = name
+	f.swaps = append(f.swaps, name+":"+reason)
+	return nil
+}
+func (f *fakeEngine) StatsSnapshot() core.OpStats { return f.snap }
+
+// tick advances the fake's counters by one interval's worth of load and
+// steps the selector.
+func tick(t *testing.T, s *Selector, f *fakeEngine, pushes, pops, cas uint64) SelectorRecord {
+	t.Helper()
+	f.snap.Pushes += pushes
+	f.snap.Pops += pops
+	f.snap.CASFailures += cas
+	return s.Step(10 * time.Millisecond)
+}
+
+func newSel(t *testing.T, f *fakeEngine, pol SelectorPolicy) *Selector {
+	t.Helper()
+	s, err := NewSelector(f, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSelectorSymmetricStorm(t *testing.T) {
+	f := newFakeTarget()
+	f.active = "treiber"
+	s := newSel(t, f, SelectorPolicy{})
+	// Balanced mix, heavy contention: elimination is the move.
+	rec := tick(t, s, f, 500, 500, 100)
+	if rec.Action != "swap" || rec.Reason != ReasonSymmetricStorm || rec.Backend != "elimination" {
+		t.Fatalf("record %+v", rec)
+	}
+	// Cooldown holds even if the storm persists.
+	if rec = tick(t, s, f, 500, 500, 100); rec.Action != "cooldown" {
+		t.Fatalf("after swap: %+v", rec)
+	}
+}
+
+func TestSelectorMixedLoad(t *testing.T) {
+	f := newFakeTarget()
+	f.active = "treiber"
+	s := newSel(t, f, SelectorPolicy{})
+	// Push-heavy contention: elimination can't pair, 2D spreads the load.
+	rec := tick(t, s, f, 900, 100, 100)
+	if rec.Action != "swap" || rec.Reason != ReasonMixedLoad || rec.Backend != "2D-stack" {
+		t.Fatalf("record %+v", rec)
+	}
+	if rec.K != 93 {
+		t.Fatalf("recorded bound %d, want the 2D backend's 93", rec.K)
+	}
+}
+
+func TestSelectorKBudgetZeroEvictsImmediately(t *testing.T) {
+	f := newFakeTarget() // active 2D-stack, k=93
+	s := newSel(t, f, SelectorPolicy{})
+	// Quiet tick: budget unconstrained, nothing happens.
+	if rec := tick(t, s, f, 1, 1, 0); rec.Action != "idle" {
+		t.Fatalf("quiet tick: %+v", rec)
+	}
+	s.SetKBudget(0)
+	// Even an idle tick enforces the budget — determinism over signals.
+	rec := tick(t, s, f, 1, 1, 0)
+	if rec.Action != "swap" || rec.Reason != ReasonKBudgetZero {
+		t.Fatalf("budget tick: %+v", rec)
+	}
+	// Of the two strict backends, registration order breaks the tie —
+	// elimination precedes treiber in the fake's catalogue.
+	if rec.Backend != "elimination" {
+		t.Fatalf("evicted to %q", rec.Backend)
+	}
+	// Budget restored: contention may move it back.
+	s.SetKBudget(1000)
+	if rec = tick(t, s, f, 900, 100, 100); rec.Action != "cooldown" {
+		t.Fatalf("cooldown after budget swap: %+v", rec)
+	}
+}
+
+func TestSelectorKBudgetExceededPicksBestFit(t *testing.T) {
+	f := newFakeTarget()
+	f.catalog["k-segment"] = 7
+	f.order = append(f.order, "k-segment")
+	s := newSel(t, f, SelectorPolicy{})
+	s.SetKBudget(10)
+	rec := tick(t, s, f, 500, 500, 0)
+	if rec.Action != "swap" || rec.Reason != ReasonKBudgetExceeded {
+		t.Fatalf("record %+v", rec)
+	}
+	// Largest bound within budget: k-segment (7), not the strict pair.
+	if rec.Backend != "k-segment" {
+		t.Fatalf("evicted to %q, want k-segment", rec.Backend)
+	}
+}
+
+func TestSelectorHoldsWhenQuiet(t *testing.T) {
+	f := newFakeTarget()
+	s := newSel(t, f, SelectorPolicy{})
+	if rec := tick(t, s, f, 500, 500, 1); rec.Action != "hold" {
+		t.Fatalf("quiet load: %+v", rec)
+	}
+	if len(f.swaps) != 0 {
+		t.Fatalf("swaps happened: %v", f.swaps)
+	}
+}
+
+func TestSelectorHistoryAndStartStop(t *testing.T) {
+	f := newFakeTarget()
+	s := newSel(t, f, SelectorPolicy{Tick: time.Millisecond})
+	s.Start()
+	s.Start() // idempotent
+	time.Sleep(10 * time.Millisecond)
+	s.Stop()
+	s.Stop()
+	if len(s.History()) == 0 {
+		t.Fatal("background loop recorded nothing")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"stack2d/internal/core"
 	"stack2d/internal/pad"
 	"stack2d/internal/treiber"
 	"stack2d/internal/xrand"
@@ -128,8 +129,9 @@ func (s *Stack[T]) Drain() []T { return s.central.Drain() }
 // Handle is the per-goroutine operation context (RNG for slot selection).
 // Not safe for concurrent use of the same handle.
 type Handle[T any] struct {
-	s   *Stack[T]
-	rng *xrand.State
+	s     *Stack[T]
+	rng   *xrand.State
+	stats *core.OpStats
 }
 
 // NewHandle returns an operation handle.
@@ -137,12 +139,23 @@ func (s *Stack[T]) NewHandle() *Handle[T] {
 	return &Handle[T]{s: s, rng: xrand.New(s.seed.V.Add(0x9e3779b97f4a7c15))}
 }
 
+// SetStats points the handle's internal-signal counters at st (nil
+// disables, the default): failed central CASes count as CASFailures,
+// collision-slot visits as Probes. Operation outcomes (Pushes/Pops/
+// EmptyPops) are deliberately not counted here — the backend adapter in
+// internal/relax owns those, so totals are not double-counted. st must be
+// owned by the handle's goroutine; owner-goroutine only.
+func (h *Handle[T]) SetStats(st *core.OpStats) { h.stats = st }
+
 // Push adds v to the stack.
 func (h *Handle[T]) Push(v T) {
 	s := h.s
 	for {
 		if s.central.TryPush(v) {
 			return
+		}
+		if h.stats != nil {
+			h.stats.CASFailures++
 		}
 		if h.tryEliminatePush(v) {
 			return
@@ -159,6 +172,9 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 		v, ok, contended := s.central.TryPop()
 		if ok {
 			return v, true
+		}
+		if contended && h.stats != nil {
+			h.stats.CASFailures++
 		}
 		if v, ok := h.tryEliminatePop(); ok {
 			return v, true
@@ -177,6 +193,9 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 func (h *Handle[T]) tryEliminatePush(v T) bool {
 	s := h.s
 	i := h.rng.Intn(len(s.slots))
+	if h.stats != nil {
+		h.stats.Probes++
+	}
 	if s.cfg.Symmetric {
 		if of := s.slots[i].P.Load(); of != nil && of.kind == kindPop {
 			if of.state.CompareAndSwap(offerWaiting, offerClaimed) {
@@ -214,6 +233,9 @@ func (h *Handle[T]) tryEliminatePush(v T) bool {
 func (h *Handle[T]) tryEliminatePop() (v T, ok bool) {
 	s := h.s
 	i := h.rng.Intn(len(s.slots))
+	if h.stats != nil {
+		h.stats.Probes++
+	}
 	of := s.slots[i].P.Load()
 	if of != nil {
 		if of.kind == kindPush && of.state.CompareAndSwap(offerWaiting, offerTaken) {

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
+	"stack2d/internal/core"
 	"stack2d/internal/pad"
 	"stack2d/internal/treiber"
 	"stack2d/internal/xrand"
@@ -135,13 +136,52 @@ func (p *Pool[T]) Drain() []T {
 
 // Handle is the per-goroutine operation context.
 type Handle[T any] struct {
-	p   *Pool[T]
-	rng *xrand.State
+	p     *Pool[T]
+	rng   *xrand.State
+	stats *core.OpStats
 }
 
 // NewHandle returns an operation handle.
 func (p *Pool[T]) NewHandle() *Handle[T] {
 	return &Handle[T]{p: p, rng: xrand.New(p.seed.V.Add(0x9e3779b97f4a7c15))}
+}
+
+// SetStats points the handle's internal-signal counters at st (nil
+// disables, the default): balancer visits, prism attempts and leaf-sweep
+// visits count as Probes, failed leaf CASes as CASFailures. Operation
+// outcomes are counted by the backend adapter in internal/relax, not
+// here. Owner-goroutine only.
+func (h *Handle[T]) SetStats(st *core.OpStats) { h.stats = st }
+
+// pushLeaf and popLeaf mirror multistack's instrumented sub-stack access.
+func (h *Handle[T]) pushLeaf(i int, v T) {
+	st := &h.p.leaves[i]
+	if h.stats == nil {
+		st.Push(v)
+		return
+	}
+	for !st.TryPush(v) {
+		h.stats.CASFailures++
+	}
+}
+
+func (h *Handle[T]) popLeaf(i int) (v T, ok bool) {
+	st := &h.p.leaves[i]
+	if h.stats == nil {
+		return st.Pop()
+	}
+	h.stats.Probes++
+	for {
+		v, ok, contended := st.TryPop()
+		if ok {
+			return v, true
+		}
+		if !contended {
+			var zero T
+			return zero, false
+		}
+		h.stats.CASFailures++
+	}
 }
 
 // Push inserts v into the pool.
@@ -150,6 +190,9 @@ func (h *Handle[T]) Push(v T) {
 	node := 0
 	for level := 0; level < p.cfg.Depth; level++ {
 		b := &p.nodes[node]
+		if h.stats != nil {
+			h.stats.Probes++ // balancer visit (prism attempt included)
+		}
 		// Try to eliminate with a concurrent pop at this balancer.
 		if h.tryParkPush(b, v) {
 			return
@@ -158,7 +201,7 @@ func (h *Handle[T]) Push(v T) {
 		dir := b.toggle.V.Add(1) & 1
 		node = 2*node + 1 + int(dir)
 	}
-	p.leaves[node-len(p.nodes)].Push(v)
+	h.pushLeaf(node-len(p.nodes), v)
 }
 
 // Pop removes a value from the pool; ok is false when the leaf reached
@@ -168,6 +211,9 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 	node := 0
 	for level := 0; level < p.cfg.Depth; level++ {
 		b := &p.nodes[node]
+		if h.stats != nil {
+			h.stats.Probes++
+		}
 		if v, ok := h.tryConsumePush(b); ok {
 			return v, true
 		}
@@ -177,7 +223,7 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 		node = 2*node + 1 + int(dir)
 	}
 	leaf := node - len(p.nodes)
-	if v, ok := p.leaves[leaf].Pop(); ok {
+	if v, ok := h.popLeaf(leaf); ok {
 		return v, true
 	}
 	// Routed to an empty leaf: sweep the others before reporting empty
@@ -187,7 +233,7 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 		if i >= len(p.leaves) {
 			i -= len(p.leaves)
 		}
-		if v, ok := p.leaves[i].Pop(); ok {
+		if v, ok := h.popLeaf(i); ok {
 			return v, true
 		}
 	}

@@ -1,0 +1,88 @@
+package eltree
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Value-pinning audit (the msqueue dummy-node bug class): the two places a
+// popped value could stay reachable are the leaf Treiber stacks — whose
+// winning CAS unlinks the node entirely, nothing to clear — and the prism
+// offers, which become unreachable as soon as the slot CAS removes them
+// (the offer object retains the value, but only for the offer's own brief
+// lifetime). These tests pin that audit down for both paths.
+
+func collectableWithin(t *testing.T, collected <-chan struct{}, site string) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		case <-deadline:
+			t.Fatalf("popped value still reachable: %s pinned it", site)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestPoppedValueIsCollectable pushes a finalizer-tracked value through
+// the tree into a leaf and pops it back out.
+func TestPoppedValueIsCollectable(t *testing.T) {
+	p := MustNew[*[]byte](Config{Depth: 2, PrismSlots: 1, Spins: 1})
+	h := p.NewHandle()
+	big := new([]byte)
+	*big = make([]byte, 1<<16)
+	collected := make(chan struct{})
+	runtime.SetFinalizer(big, func(*[]byte) { close(collected) })
+	h.Push(big)
+	got, ok := h.Pop()
+	if !ok || got != big {
+		t.Fatalf("Pop = (%p,%v), want the pushed pointer", got, ok)
+	}
+	got, big = nil, nil
+	collectableWithin(t, collected, "a leaf stack node")
+	runtime.KeepAlive(h)
+	runtime.KeepAlive(p)
+}
+
+// TestEliminatedValueIsCollectable forces a prism elimination: a parked
+// push (large spin budget) is consumed by a popper at the same balancer,
+// and the exchanged value must be collectable after both sides return.
+func TestEliminatedValueIsCollectable(t *testing.T) {
+	p := MustNew[*[]byte](Config{Depth: 1, PrismSlots: 1, Spins: 1 << 20})
+	h1, h2 := p.NewHandle(), p.NewHandle()
+	big := new([]byte)
+	*big = make([]byte, 1<<16)
+	collected := make(chan struct{})
+	runtime.SetFinalizer(big, func(*[]byte) { close(collected) })
+
+	parked := make(chan bool)
+	go func() { parked <- h1.tryParkPush(&p.nodes[0], big) }()
+	var got *[]byte
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, ok := h2.tryConsumePush(&p.nodes[0]); ok {
+			got = v
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("popper never found the parked offer")
+		}
+		runtime.Gosched()
+	}
+	if !<-parked {
+		t.Fatal("parked push reported withdrawn after its value was taken")
+	}
+	if got != big {
+		t.Fatalf("eliminated value = %p, want %p", got, big)
+	}
+	got, big = nil, nil
+	collectableWithin(t, collected, "a prism offer")
+	runtime.KeepAlive(h1)
+	runtime.KeepAlive(h2)
+	runtime.KeepAlive(p)
+}

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"stack2d/internal/core"
 	"stack2d/internal/pad"
 )
 
@@ -82,8 +83,9 @@ func (s *Stack[T]) Drain() []T {
 // Handle is a per-goroutine publication record. Not safe for concurrent
 // use of the same handle.
 type Handle[T any] struct {
-	s   *Stack[T]
-	rec *request[T]
+	s     *Stack[T]
+	rec   *request[T]
+	stats *core.OpStats
 }
 
 // NewHandle registers and returns an operation handle.
@@ -99,6 +101,14 @@ func (s *Stack[T]) NewHandle() *Handle[T] {
 	return &Handle[T]{s: s, rec: rec}
 }
 
+// SetStats points the handle's internal-signal counters at st (nil
+// disables, the default): failed combiner-lock acquisitions while an
+// operation is pending count as CASFailures — the structure's one
+// contention point — and each combining pass this handle performed for
+// others counts as a Probe. Operation outcomes are counted by the backend
+// adapter in internal/relax, not here. Owner-goroutine only.
+func (h *Handle[T]) SetStats(st *core.OpStats) { h.stats = st }
+
 // Push adds v to the top of the stack.
 func (h *Handle[T]) Push(v T) {
 	h.rec.value = v
@@ -110,7 +120,15 @@ func (h *Handle[T]) Push(v T) {
 func (h *Handle[T]) Pop() (v T, ok bool) {
 	h.rec.op.Store(opPop)
 	h.await()
-	return h.rec.value, h.rec.popOK
+	// Move the result out of the publication record rather than leaving a
+	// copy behind: a record lives as long as its handle, so a retained
+	// value would stay reachable until this handle's next operation — the
+	// same GC-pinning class as the msqueue dummy node. Safe: op is opNone,
+	// so no combiner touches the record until we publish a new op.
+	v, ok = h.rec.value, h.rec.popOK
+	var zero T
+	h.rec.value = zero
+	return v, ok
 }
 
 // await spins until the handle's pending operation has been applied,
@@ -119,9 +137,15 @@ func (h *Handle[T]) await() {
 	s := h.s
 	for h.rec.op.Load() != opNone {
 		if s.lock.CompareAndSwap(false, true) {
+			if h.stats != nil {
+				h.stats.Probes++
+			}
 			s.combine()
 			s.lock.Store(false)
 			continue // re-check own record (the combiner serves itself too)
+		}
+		if h.stats != nil {
+			h.stats.CASFailures++
 		}
 		runtime.Gosched()
 	}
@@ -130,18 +154,26 @@ func (h *Handle[T]) await() {
 // combine applies every pending published operation to the sequential
 // stack. Called only while holding the combiner lock.
 func (s *Stack[T]) combine() {
+	var zero T
 	for _, r := range *s.recs.Load() {
 		switch r.op.Load() {
 		case opPush:
 			s.seq = append(s.seq, r.value)
+			// Clear the applied value from the record: the pusher never
+			// reads it back, and leaving it would pin the pushed value to
+			// the record's lifetime even after the item is popped.
+			r.value = zero
 			r.op.Store(opNone)
 		case opPop:
 			if n := len(s.seq); n > 0 {
 				r.value = s.seq[n-1]
 				r.popOK = true
+				// Zero the vacated slot before truncating: the backing
+				// array survives the reslice, so an unzeroed slot would pin
+				// the popped value until a later push overwrites it.
+				s.seq[n-1] = zero
 				s.seq = s.seq[:n-1]
 			} else {
-				var zero T
 				r.value = zero
 				r.popOK = false
 			}

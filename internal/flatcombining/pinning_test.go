@@ -1,0 +1,79 @@
+package flatcombining
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// The publication-record scheme keeps one record alive per handle for the
+// handle's whole lifetime, which makes records (and the sequential slice's
+// backing array) prime spots for the GC-pinning bug class fixed in the
+// msqueue dummy node: a value that logically left the structure staying
+// reachable through leftover copies. These tests push a finalizer-tracked
+// value through each copy site and require it to become collectable while
+// the handles (and hence the records) stay alive.
+
+// collectableWithin asserts the finalizer fires after refs were dropped.
+func collectableWithin(t *testing.T, collected <-chan struct{}, site string) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		case <-deadline:
+			t.Fatalf("popped value still reachable: %s pinned it", site)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestPoppedValueIsCollectable runs the minimal push-then-pop flow with
+// no further operations, so every copy site stays live and unmasked: h1's
+// record (the applied push must be cleared by the combiner), the seq
+// backing array (the vacated slot must be zeroed before the truncating
+// reslice — the backing array survives it), and h2's record (the pop
+// result must be moved out, not copied out).
+func TestPoppedValueIsCollectable(t *testing.T) {
+	s := New[*[]byte]()
+	h1, h2 := s.NewHandle(), s.NewHandle()
+	big := new([]byte)
+	*big = make([]byte, 1<<16)
+	collected := make(chan struct{})
+	runtime.SetFinalizer(big, func(*[]byte) { close(collected) })
+	h1.Push(big)
+	got, ok := h2.Pop()
+	if !ok || got != big {
+		t.Fatalf("Pop = (%p,%v), want the pushed pointer", got, ok)
+	}
+	got, big = nil, nil
+	collectableWithin(t, collected, "a publication record or the seq slice")
+	runtime.KeepAlive(h1)
+	runtime.KeepAlive(h2)
+	runtime.KeepAlive(s)
+}
+
+// TestPopRecordDoesNotPinValue covers the popper's own record: after Pop
+// returns, the record must not keep a copy of the returned value until the
+// handle's next operation (which may never come).
+func TestPopRecordDoesNotPinValue(t *testing.T) {
+	s := New[*[]byte]()
+	h := s.NewHandle()
+	big := new([]byte)
+	*big = make([]byte, 1<<16)
+	collected := make(chan struct{})
+	runtime.SetFinalizer(big, func(*[]byte) { close(collected) })
+	h.Push(big)
+	got, ok := h.Pop()
+	if !ok || got != big {
+		t.Fatalf("Pop = (%p,%v), want the pushed pointer", got, ok)
+	}
+	got, big = nil, nil
+	// No further operations on h: the record must already be clean.
+	collectableWithin(t, collected, "the pop publication record")
+	runtime.KeepAlive(h)
+	runtime.KeepAlive(s)
+}

@@ -1,0 +1,156 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"stack2d/internal/adapt"
+	"stack2d/internal/engine"
+	"stack2d/internal/relax"
+	"stack2d/internal/seqspec"
+)
+
+// TestConformanceBackendSwapHammer is the engine's half of the
+// conformance subsystem: concurrent traffic runs while the active backend
+// hot-swaps across the zoo (2D → elimination → treiber → 2D → …), the
+// full interval history is recorded, and the recording is replayed
+// through KStackChecker with exactly the documented budget — the largest
+// bound of any backend that was active, plus the switcher's tracked swap
+// displacement, plus the 2D backend's shrink displacement (zero here; the
+// term is in the accounting so the budget formula is the one DESIGN.md §9
+// states, not a lucky subset).
+func TestConformanceBackendSwapHammer(t *testing.T) {
+	twod, err := relax.NewTwoDBackend[uint64](relax.TwoDConfigForK(200, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := engine.New[uint64](twod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elim, err := relax.NewDefaultBackend[uint64](relax.EliminationStack, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Register(elim); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Register(relax.NewTreiberBackend[uint64]()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The swap schedule cycles every registered backend back to the start,
+	// mid-phase, while the phased load runs.
+	targets := []string{"elimination", "treiber", "2D-stack", "elimination", "2D-stack"}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, name := range targets {
+			time.Sleep(15 * time.Millisecond)
+			if _, err := sw.Swap(name, "hammer"); err != nil {
+				t.Errorf("Swap(%s): %v", name, err)
+				return
+			}
+		}
+	}()
+
+	res, err := RunPhasedBackend(sw, reconfigPhases(8, 60*time.Millisecond), PhasedWorkload{
+		MaxWorkers: 8, Prefill: 512, Seed: 17, Record: true,
+	})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("Record produced no history")
+	}
+	if got := len(sw.Swaps()); got != len(targets) {
+		t.Fatalf("completed %d swaps, want %d", got, len(targets))
+	}
+
+	// The budget formula of DESIGN.md §9, term by term.
+	maxK := sw.KBound() // largest bound of any backend ever active
+	allowance := sw.SwapDisplacementBound()
+	if sr, ok := any(twod).(interface{ ShrinkDisplacementBound() int64 }); ok {
+		allowance += sr.ShrinkDisplacementBound()
+	}
+
+	checker := seqspec.KStackChecker{K: maxK, Allowance: allowance}
+	rep, err := checker.Check(res.History)
+	if err != nil {
+		t.Fatalf("k-distance check failed (k=%d allowance=%d, %d swaps): %v",
+			checker.K, checker.Allowance, len(sw.Swaps()), err)
+	}
+	t.Logf("backend swap hammer: %d ops, %d pops, %d swaps, maxDist=%d maxStrain=%d (k=%d allowance=%d)",
+		len(res.History), rep.Pops, len(sw.Swaps()), rep.MaxDistance, rep.MaxStrain,
+		checker.K, checker.Allowance)
+}
+
+// TestConformanceSelectorDrivenSwap runs the full control stack end to
+// end: a Selector watching the switcher's live counters drops its
+// semantics budget to zero mid-run, which must deterministically evict
+// the relaxed backend for a strict one — and the recorded history must
+// still verify under the swap-aware budget.
+func TestConformanceSelectorDrivenSwap(t *testing.T) {
+	twod, err := relax.NewTwoDBackend[uint64](relax.TwoDConfigForK(200, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := engine.New[uint64](twod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Register(relax.NewTreiberBackend[uint64]()); err != nil {
+		t.Fatal(err)
+	}
+
+	sel, err := adapt.NewSelector(sw, adapt.SelectorPolicy{Tick: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the budget to zero a third of the way in; the next tick must
+	// swap to the strict backend whatever the load looks like.
+	timer := time.AfterFunc(40*time.Millisecond, func() { sel.SetKBudget(0) })
+	defer timer.Stop()
+
+	sel.Start()
+	res, runErr := RunPhasedBackend(sw, reconfigPhases(8, 60*time.Millisecond), PhasedWorkload{
+		MaxWorkers: 8, Prefill: 512, Seed: 23, Record: true,
+	})
+	sel.Stop()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+
+	swaps := sw.Swaps()
+	var sawBudgetSwap bool
+	for _, rec := range swaps {
+		if rec.Reason == "k-budget-zero" && rec.To == "treiber" {
+			sawBudgetSwap = true
+		}
+	}
+	if !sawBudgetSwap {
+		t.Fatalf("no k-budget-zero swap to treiber recorded; swaps: %+v", swaps)
+	}
+	if got := sw.ActiveBackend(); got != "treiber" {
+		t.Fatalf("active backend after budget collapse = %q", got)
+	}
+
+	checker := seqspec.KStackChecker{
+		K:         sw.KBound(),
+		Allowance: sw.SwapDisplacementBound() + twodShrinkBound(twod),
+	}
+	rep, err := checker.Check(res.History)
+	if err != nil {
+		t.Fatalf("k-distance check failed (k=%d allowance=%d): %v", checker.K, checker.Allowance, err)
+	}
+	t.Logf("selector-driven run: %d ops, %d swaps, maxDist=%d (k=%d allowance=%d)",
+		len(res.History), len(swaps), rep.MaxDistance, checker.K, checker.Allowance)
+}
+
+func twodShrinkBound(b relax.Backend[uint64]) int64 {
+	if sr, ok := any(b).(interface{ ShrinkDisplacementBound() int64 }); ok {
+		return sr.ShrinkDisplacementBound()
+	}
+	return 0
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"stack2d/internal/core"
 	"stack2d/internal/pad"
 	"stack2d/internal/xrand"
 )
@@ -135,14 +136,22 @@ func (s *Stack[T]) Drain() []T {
 // Handle is the per-goroutine operation context. Not safe for concurrent
 // use of the same handle.
 type Handle[T any] struct {
-	s   *Stack[T]
-	rng *xrand.State
+	s     *Stack[T]
+	rng   *xrand.State
+	stats *core.OpStats
 }
 
 // NewHandle returns an operation handle.
 func (s *Stack[T]) NewHandle() *Handle[T] {
 	return &Handle[T]{s: s, rng: xrand.New(s.seed.V.Add(0x9e3779b97f4a7c15))}
 }
+
+// SetStats points the handle's internal-signal counters at st (nil
+// disables, the default): slot inspections count as Probes, failed slot
+// and top CASes as CASFailures, whole-loop retries as Restarts. Operation
+// outcomes are counted by the backend adapter in internal/relax, not
+// here. Owner-goroutine only.
+func (h *Handle[T]) SetStats(st *core.OpStats) { h.stats = st }
 
 // Push adds v to the stack.
 func (h *Handle[T]) Push(v T) {
@@ -160,6 +169,10 @@ func (h *Handle[T]) Push(v T) {
 			if s.top.CompareAndSwap(t, ns) {
 				return
 			}
+			if h.stats != nil {
+				h.stats.CASFailures++
+				h.stats.Restarts++
+			}
 			continue
 		}
 		// Probe for an empty slot from a random start.
@@ -169,6 +182,9 @@ func (h *Handle[T]) Push(v T) {
 			i := start + j
 			if i >= size {
 				i -= size
+			}
+			if h.stats != nil {
+				h.stats.Probes++
 			}
 			if t.slots[i].Load() == nil && t.slots[i].CompareAndSwap(nil, c) {
 				placed = i
@@ -182,6 +198,10 @@ func (h *Handle[T]) Push(v T) {
 			ns.slots[h.rng.Intn(size)].Store(c)
 			if s.top.CompareAndSwap(t, ns) {
 				return
+			}
+			if h.stats != nil {
+				h.stats.CASFailures++
+				h.stats.Restarts++
 			}
 			continue
 		}
@@ -235,9 +255,15 @@ func (h *Handle[T]) scanPop(seg *segment[T]) (v T, ok bool) {
 		if i >= size {
 			i -= size
 		}
+		if h.stats != nil {
+			h.stats.Probes++
+		}
 		if c := seg.slots[i].Load(); c != nil {
 			if seg.slots[i].CompareAndSwap(c, nil) {
 				return c.value, true
+			}
+			if h.stats != nil {
+				h.stats.CASFailures++
 			}
 		}
 	}

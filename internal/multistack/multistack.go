@@ -24,6 +24,7 @@ package multistack
 import (
 	"fmt"
 
+	"stack2d/internal/core"
 	"stack2d/internal/pad"
 	"stack2d/internal/treiber"
 	"stack2d/internal/xrand"
@@ -137,9 +138,10 @@ func (s *Stack[T]) Drain() []T {
 // Handle is the per-goroutine operation context: RNG for the random
 // policies, cursor for round-robin.
 type Handle[T any] struct {
-	s   *Stack[T]
-	rng *xrand.State
-	pos int
+	s     *Stack[T]
+	rng   *xrand.State
+	pos   int
+	stats *core.OpStats
 }
 
 // NewHandle returns an operation handle starting at a random cursor.
@@ -148,19 +150,61 @@ func (s *Stack[T]) NewHandle() *Handle[T] {
 	return &Handle[T]{s: s, rng: rng, pos: rng.Intn(s.cfg.Width)}
 }
 
+// SetStats points the handle's internal-signal counters at st (nil
+// disables, the default): sub-stack visits and scheduler samples count as
+// Probes, failed sub-stack CASes as CASFailures. Operation outcomes are
+// counted by the backend adapter in internal/relax, not here.
+// Owner-goroutine only.
+func (h *Handle[T]) SetStats(st *core.OpStats) { h.stats = st }
+
+// pushSub pushes v onto sub-stack i. The instrumented path retries
+// TryPush on the same sub-stack — operationally identical to Push (no
+// policy hops away from contention here) but with the failures visible.
+func (h *Handle[T]) pushSub(i int, v T) {
+	st := &h.s.subs[i].st
+	if h.stats == nil {
+		st.Push(v)
+		return
+	}
+	for !st.TryPush(v) {
+		h.stats.CASFailures++
+	}
+}
+
+// popSub pops from sub-stack i, retrying interference exactly like
+// treiber's Pop; the instrumented path counts the visit and the failures.
+func (h *Handle[T]) popSub(i int) (v T, ok bool) {
+	st := &h.s.subs[i].st
+	if h.stats == nil {
+		return st.Pop()
+	}
+	h.stats.Probes++
+	for {
+		v, ok, contended := st.TryPop()
+		if ok {
+			return v, true
+		}
+		if !contended {
+			var zero T
+			return zero, false
+		}
+		h.stats.CASFailures++
+	}
+}
+
 // Push adds v to a sub-stack chosen by the configured policy.
 func (h *Handle[T]) Push(v T) {
 	s := h.s
 	switch s.cfg.Policy {
 	case Random:
-		s.subs[h.rng.Intn(len(s.subs))].st.Push(v)
+		h.pushSub(h.rng.Intn(len(s.subs)), v)
 	case RandomC2:
 		i, j := h.twoChoices()
 		// Push to the shorter of the two samples (load balancing).
 		if s.subs[j].st.Len() < s.subs[i].st.Len() {
 			i = j
 		}
-		s.subs[i].st.Push(v)
+		h.pushSub(i, v)
 	case RoundRobin:
 		h.pos++
 		if h.pos >= len(s.subs) {
@@ -169,7 +213,7 @@ func (h *Handle[T]) Push(v T) {
 		// Treiber Push retries its CAS on the same sub-stack: k-robin does
 		// not hop away from contention, which is the behaviour Figure 1
 		// penalises.
-		s.subs[h.pos].st.Push(v)
+		h.pushSub(h.pos, v)
 	}
 }
 
@@ -203,7 +247,7 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 		if i >= width {
 			i -= width
 		}
-		if v, ok := s.subs[i].st.Pop(); ok {
+		if v, ok := h.popSub(i); ok {
 			if s.cfg.Policy == RoundRobin {
 				h.pos = i
 			}
@@ -218,6 +262,9 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 // width == 1).
 func (h *Handle[T]) twoChoices() (int, int) {
 	w := len(h.s.subs)
+	if h.stats != nil {
+		h.stats.Probes += 2 // the two scheduler samples
+	}
 	i := h.rng.Intn(w)
 	if w == 1 {
 		return i, i

@@ -7,6 +7,7 @@ import (
 
 	"stack2d/internal/adapt"
 	"stack2d/internal/core"
+	"stack2d/internal/engine"
 )
 
 // Source is what a structure must expose to be bridged into a Registry:
@@ -228,6 +229,49 @@ func (t StructTracer) ObserveStruct(ev core.StructEvent) {
 		Displacement: ev.Displacement,
 		Sockets:      ev.Sockets,
 	})
+}
+
+// SwapTracer adapts a Ring to engine.Switcher's swap hook: one completed
+// backend exchange becomes one KindBackendSwap event. Install with
+// sw.SetOnSwap(tracer.ObserveSwap); it runs under the switcher's swap
+// lock — same contract as the other tracers.
+type SwapTracer struct {
+	Structure string
+	Ring      *Ring
+}
+
+// ObserveSwap records one completed backend swap.
+func (t SwapTracer) ObserveSwap(rec engine.SwapRecord) {
+	t.Ring.Emit(Event{
+		Kind:      KindBackendSwap,
+		Structure: t.Structure,
+		K:         rec.ToK,
+
+		FromBackend:  rec.From,
+		ToBackend:    rec.To,
+		Reason:       rec.Reason,
+		Migrated:     rec.Migrated,
+		Displacement: rec.Displacement,
+	})
+}
+
+// SwapReporter is the switcher surface the metrics plane exports —
+// satisfied by *engine.Switcher for any element type.
+type SwapReporter interface {
+	SwapCount() int
+	SwapDisplacementBound() int64
+}
+
+// RegisterSwitcher exports an engine switcher's swap counters under the
+// given structure label, alongside the structure metrics its
+// StatsSnapshot already feeds through RegisterStructure.
+func RegisterSwitcher(reg *Registry, structure string, sr SwapReporter) {
+	reg.Counter(MetricName(structure, MBackendSwapsTotal),
+		"Completed backend swaps on the engine switcher.",
+		func() float64 { return float64(sr.SwapCount()) })
+	reg.Gauge(MetricName(structure, MSwapDispBound),
+		"Cumulative checker-allowance displacement added by swap migrations.",
+		func() float64 { return float64(sr.SwapDisplacementBound()) })
 }
 
 // TickTracer adapts a Ring to adapt.Observer: one controller decision

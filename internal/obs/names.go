@@ -40,6 +40,12 @@ const (
 	MGeometryShift   = "geometry_shift"
 	MRealisedK       = "realised_k"
 	MShrinkDispBound = "shrink_displacement_bound"
+	MSwapDispBound   = "swap_displacement_bound"
+)
+
+// Engine-switcher suffixes (see RegisterSwitcher).
+const (
+	MBackendSwapsTotal = "backend_swaps_total"
 )
 
 // Tracer meta-metric suffixes (structure "obs").

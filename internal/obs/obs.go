@@ -53,6 +53,10 @@ const (
 	// KindPlacement is a SetPlacement re-home: the slot→socket map was
 	// rebuilt for a new policy/socket count.
 	KindPlacement
+	// KindBackendSwap is an engine.Switcher backend exchange: the active
+	// structure changed identity mid-run, residual items migrated, and the
+	// checker allowance grew by the recorded displacement.
+	KindBackendSwap
 )
 
 // String returns the JSONL spelling of the kind.
@@ -66,6 +70,8 @@ func (k Kind) String() string {
 		return "shrink-handoff"
 	case KindPlacement:
 		return "placement"
+	case KindBackendSwap:
+		return "backend-swap"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -101,6 +107,14 @@ type Event struct {
 	Stranded     int   `json:"stranded,omitempty"`  // dropped slots carrying items
 	Displacement int64 `json:"displacement,omitempty"`
 	Sockets      int   `json:"sockets,omitempty"`
+
+	// Backend-swap block (KindBackendSwap); Displacement above carries the
+	// allowance increment the migration added, K the incoming backend's
+	// bound.
+	FromBackend string `json:"from_backend,omitempty"`
+	ToBackend   string `json:"to_backend,omitempty"`
+	Reason      string `json:"reason,omitempty"`
+	Migrated    int    `json:"migrated,omitempty"`
 
 	// Controller block (KindTick).
 	Tick           int     `json:"tick,omitempty"`

@@ -40,7 +40,11 @@ import (
 // Algorithm enumerates every stack design in the evaluation.
 type Algorithm int
 
-// The algorithms of the paper's Figures 1 and 2, by their paper names.
+// The algorithms of the paper's Figures 1 and 2, by their paper names,
+// followed by the related-work structures the repository carries beyond
+// the figures (elimination-diffraction tree, flat combining, the
+// Michael–Scott queue baseline). New entries append — the numeric values
+// are stable.
 const (
 	TwoDStack Algorithm = iota
 	KSegment
@@ -49,6 +53,9 @@ const (
 	RandomC2Stack
 	EliminationStack
 	TreiberStack
+	ElTreePool
+	FlatCombiningStack
+	MSQueue
 )
 
 func (a Algorithm) String() string {
@@ -67,19 +74,91 @@ func (a Algorithm) String() string {
 		return "elimination"
 	case TreiberStack:
 		return "treiber"
+	case ElTreePool:
+		return "eltree"
+	case FlatCombiningStack:
+		return "flat-combining"
+	case MSQueue:
+		return "ms-queue"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
 }
 
+// ParseAlgorithm inverts String; it accepts exactly the catalogue
+// spellings (the round trip is pinned by TestCatalogueAudit).
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range AllAlgorithms() {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("relax: unknown algorithm %q", s)
+}
+
+// AllAlgorithms returns the complete catalogue in declaration order.
+func AllAlgorithms() []Algorithm {
+	return []Algorithm{
+		TwoDStack, KSegment, KRobin, RandomStack, RandomC2Stack,
+		EliminationStack, TreiberStack, ElTreePool, FlatCombiningStack,
+		MSQueue,
+	}
+}
+
 // KBounded reports whether the algorithm has a deterministic k-out-of-order
-// bound (and therefore appears in Figure 1).
+// bound. The strict structures (treiber, elimination, flat-combining,
+// ms-queue) are bounded with k = 0; the random policies and the
+// elimination-diffraction pool have no deterministic bound.
 func (a Algorithm) KBounded() bool {
 	switch a {
-	case TwoDStack, KSegment, KRobin, TreiberStack:
+	case TwoDStack, KSegment, KRobin, TreiberStack,
+		EliminationStack, FlatCombiningStack, MSQueue:
 		return true
 	default:
 		return false
+	}
+}
+
+// Ordering is the sequential discipline an algorithm relaxes: most of the
+// catalogue is stack-shaped (k-out-of-order against LIFO), the
+// Michael–Scott baseline is queue-shaped, and the elimination-diffraction
+// tree and the random policies promise no deterministic order at all.
+// engine.Switcher only swaps between backends of the same ordering — a
+// swap must preserve which checker (seqspec.KStackChecker vs KFIFOChecker)
+// the run's history is replayed through.
+type Ordering int
+
+// The orderings; OrderNone marks pool semantics (no deterministic bound).
+const (
+	OrderLIFO Ordering = iota
+	OrderFIFO
+	OrderNone
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case OrderLIFO:
+		return "lifo"
+	case OrderFIFO:
+		return "fifo"
+	case OrderNone:
+		return "none"
+	default:
+		return fmt.Sprintf("Ordering(%d)", int(o))
+	}
+}
+
+// Ordering returns the algorithm's sequential discipline. The random
+// multistack policies are OrderNone for the same reason KBounded is false
+// for them: an adversarial schedule displaces items arbitrarily far.
+func (a Algorithm) Ordering() Ordering {
+	switch a {
+	case MSQueue:
+		return OrderFIFO
+	case RandomStack, RandomC2Stack, ElTreePool:
+		return OrderNone
+	default:
+		return OrderLIFO
 	}
 }
 
@@ -87,6 +166,19 @@ func (a Algorithm) KBounded() bool {
 // Figure 1, in the paper's order.
 func Figure1Algorithms() []Algorithm {
 	return []Algorithm{TwoDStack, KRobin, KSegment}
+}
+
+// KConfigurable reports whether the algorithm's structure can be derived
+// from a target relaxation budget k (the x-axis of Figure 1): these are
+// the algorithms harness.Figure1Factory accepts. The strict baselines are
+// k-bounded (k = 0) but not configurable — there is no knob to derive.
+func (a Algorithm) KConfigurable() bool {
+	switch a {
+	case TwoDStack, KSegment, KRobin:
+		return true
+	default:
+		return false
+	}
 }
 
 // Figure2Algorithms returns all designs compared in Figure 2.

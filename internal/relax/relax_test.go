@@ -28,14 +28,25 @@ func TestAlgorithmNamesMatchPaper(t *testing.T) {
 }
 
 func TestKBounded(t *testing.T) {
-	for _, a := range []Algorithm{TwoDStack, KSegment, KRobin, TreiberStack} {
+	bounded := []Algorithm{
+		TwoDStack, KSegment, KRobin, TreiberStack,
+		EliminationStack, FlatCombiningStack, MSQueue,
+	}
+	for _, a := range bounded {
 		if !a.KBounded() {
 			t.Errorf("%v should be k-bounded", a)
 		}
 	}
-	for _, a := range []Algorithm{RandomStack, RandomC2Stack, EliminationStack} {
+	for _, a := range []Algorithm{RandomStack, RandomC2Stack, ElTreePool} {
 		if a.KBounded() {
 			t.Errorf("%v should not be k-bounded", a)
+		}
+	}
+	// Only the k-configurable algorithms take a target k; every one of
+	// them must of course be k-bounded.
+	for _, a := range AllAlgorithms() {
+		if a.KConfigurable() && !a.KBounded() {
+			t.Errorf("%v is k-configurable but not k-bounded", a)
 		}
 	}
 }

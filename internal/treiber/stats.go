@@ -1,0 +1,49 @@
+package treiber
+
+import "stack2d/internal/core"
+
+// Instrumented operation variants. The plain Push/Pop stay counter-free —
+// the strict baseline must not pay for bookkeeping it does not use (the
+// allocation pins in stats_test.go hold both variants to the same per-op
+// allocation profile: one node per push, zero per pop). The *Stats
+// variants are what the backend adapters in internal/relax call: they add
+// handle-local counter increments (no atomics; st is owned by the calling
+// goroutine) so the adaptive controller's contention signal works for the
+// Treiber backend too.
+
+// PushStats is Push with operation accounting: st.Pushes counts the
+// completed operation and st.CASFailures every failed head CAS (the
+// contention events). st must not be shared across goroutines.
+func (s *Stack[T]) PushStats(v T, st *core.OpStats) {
+	n := &node[T]{value: v}
+	for {
+		old := s.top.Load()
+		n.next = old
+		if s.top.CompareAndSwap(old, n) {
+			s.length.Add(1)
+			st.Pushes++
+			return
+		}
+		st.CASFailures++
+	}
+}
+
+// PopStats is Pop with operation accounting: st.Pops or st.EmptyPops
+// counts the outcome, st.CASFailures every failed head CAS. st must not be
+// shared across goroutines.
+func (s *Stack[T]) PopStats(st *core.OpStats) (v T, ok bool) {
+	for {
+		old := s.top.Load()
+		if old == nil {
+			st.EmptyPops++
+			var zero T
+			return zero, false
+		}
+		if s.top.CompareAndSwap(old, old.next) {
+			s.length.Add(-1)
+			st.Pops++
+			return old.value, true
+		}
+		st.CASFailures++
+	}
+}

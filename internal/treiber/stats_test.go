@@ -1,0 +1,99 @@
+package treiber
+
+import (
+	"testing"
+
+	"stack2d/internal/core"
+)
+
+// TestStatsVariantsMatchPlain checks the instrumented operations preserve
+// LIFO behaviour and count exactly what they did.
+func TestStatsVariantsMatchPlain(t *testing.T) {
+	s := New[int]()
+	var st core.OpStats
+	const n = 100
+	for i := 0; i < n; i++ {
+		s.PushStats(i, &st)
+	}
+	if st.Pushes != n {
+		t.Fatalf("Pushes = %d, want %d", st.Pushes, n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		v, ok := s.PopStats(&st)
+		if !ok || v != i {
+			t.Fatalf("PopStats = (%d, %v), want (%d, true)", v, ok, i)
+		}
+	}
+	if _, ok := s.PopStats(&st); ok {
+		t.Fatal("PopStats on empty stack returned ok")
+	}
+	if st.Pops != n || st.EmptyPops != 1 {
+		t.Fatalf("Pops = %d EmptyPops = %d, want %d and 1", st.Pops, st.EmptyPops, n)
+	}
+	// Sequential runs never lose a CAS.
+	if st.CASFailures != 0 {
+		t.Fatalf("CASFailures = %d in a sequential run", st.CASFailures)
+	}
+}
+
+// TestOpAllocs pins the per-operation allocation profile of both variants:
+// one node per push, zero per pop. The instrumented variants must stay
+// allocation-identical to the plain ones — the whole point of handle-local
+// counters is that instrumentation costs increments, not allocations.
+func TestOpAllocs(t *testing.T) {
+	s := New[uint64]()
+	var st core.OpStats
+
+	if got := testing.AllocsPerRun(200, func() { s.Push(1) }); got != 1 {
+		t.Errorf("Push allocs/op = %g, want 1", got)
+	}
+	if got := testing.AllocsPerRun(200, func() { s.Pop() }); got != 0 {
+		t.Errorf("Pop allocs/op = %g, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() { s.PushStats(1, &st) }); got != 1 {
+		t.Errorf("PushStats allocs/op = %g, want 1", got)
+	}
+	if got := testing.AllocsPerRun(200, func() { s.PopStats(&st) }); got != 0 {
+		t.Errorf("PopStats allocs/op = %g, want 0", got)
+	}
+}
+
+// Overhead benchmarks: compare the plain and instrumented variants
+// directly (benchstat Push vs PushStats). Single-goroutine, so the delta
+// is pure bookkeeping, not contention noise.
+
+func BenchmarkPush(b *testing.B) {
+	s := New[uint64]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Push(uint64(i))
+	}
+}
+
+func BenchmarkPushStats(b *testing.B) {
+	s := New[uint64]()
+	var st core.OpStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.PushStats(uint64(i), &st)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	s := New[uint64]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Push(uint64(i))
+		s.Pop()
+	}
+}
+
+func BenchmarkPushPopStats(b *testing.B) {
+	s := New[uint64]()
+	var st core.OpStats
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.PushStats(uint64(i), &st)
+		s.PopStats(&st)
+	}
+}

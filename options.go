@@ -21,6 +21,8 @@ type builder struct {
 
 	policy *adapt.Policy // set by WithAdaptive; consumed by NewAdaptive
 
+	selector *adapt.SelectorPolicy // set by WithBackendSelection; consumed by NewEngine
+
 	// placePolicy/placeSockets are set by WithPlacement and applied to the
 	// freshly built stack (placement is a structure setting, not a Config
 	// field, so it rides beside the geometry options).
@@ -140,6 +142,15 @@ func WithRandomHops(n int) Option {
 // Stack has no controller to configure.
 func WithAdaptive(policy AdaptivePolicy) Option {
 	return func(b *builder) { b.policy = &policy }
+}
+
+// WithBackendSelection supplies the backend-selector policy for a
+// hot-swappable Engine and starts the selector with it; the structural
+// options then configure the initial 2D backend. It is consumed by
+// NewEngine — a plain New ignores it, since a static Stack has no
+// alternative backends to select among.
+func WithBackendSelection(policy SelectorPolicy) Option {
+	return func(b *builder) { b.selector = &policy }
 }
 
 // StructObserver receives the stack's structural transition events —
