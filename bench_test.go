@@ -28,6 +28,7 @@ import (
 	"stack2d/internal/relax"
 	"stack2d/internal/twodqueue"
 	"stack2d/internal/xrand"
+	"stack2d/internal/yield"
 )
 
 const benchPrefill = 32768
@@ -321,4 +322,45 @@ func BenchmarkBatchOps(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkDirectorGate pins the director hooks' disabled-state overhead
+// (DESIGN.md §10). "nil" is the shipped configuration; "armed-noop"
+// installs an empty hook so every gate call site executes its call. The two
+// series must stay within noise of each other and of the pre-hook seed, and
+// both must stay allocation-free: the gate is a package-level function
+// pointer checked off the fast path, so arming it may add at most the cost
+// of an indirect call on paths that are already slow (failed CAS, window
+// move). Two workloads make the sites actually execute: "window" churns the
+// window with a depth-1 geometry (every other op crosses a window-move
+// gate) and "contended" runs the canonical parallel storm (CAS-failure
+// gates).
+func BenchmarkDirectorGate(b *testing.B) {
+	window := func(b *testing.B) {
+		s := core.MustNew[uint64](core.Config{Width: 1, Depth: 1, Shift: 1, RandomHops: 0})
+		h := s.NewHandle()
+		b.ReportAllocs()
+		b.ResetTimer()
+		var label uint64
+		for i := 0; i < b.N; i++ {
+			label++
+			h.Push(label)
+			h.Pop()
+		}
+	}
+	contended := func(b *testing.B) {
+		b.ReportAllocs()
+		driveFactory(b, harness.NewTwoDFactory(core.DefaultConfig(8)), 8, 0.5)
+	}
+	for _, w := range []struct {
+		name string
+		run  func(*testing.B)
+	}{{"window", window}, {"contended", contended}} {
+		b.Run(w.name+"/gate-nil", w.run)
+		b.Run(w.name+"/gate-armed-noop", func(b *testing.B) {
+			core.Gate = func(yield.Point) {}
+			defer func() { core.Gate = nil }()
+			w.run(b)
+		})
+	}
 }

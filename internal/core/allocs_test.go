@@ -1,6 +1,10 @@
 package core
 
-import "testing"
+import (
+	"testing"
+
+	"stack2d/internal/yield"
+)
 
 // TestOpAllocsPinned pins the steady-state allocation cost of the hot path,
 // sampling branch included (AllocsPerRun's iteration count crosses many
@@ -27,6 +31,21 @@ func TestOpAllocsPinned(t *testing.T) {
 		s := MustNew[uint64](Config{Width: 4, Depth: 64, Shift: 64, RandomHops: 2})
 		s.SetObserver(countingObserver{})
 		run(t, s)
+	})
+	// The director's yield gates must not change the pinned costs either
+	// way: nil (production) is the baseline above; an armed no-op hook may
+	// add indirect calls on the slow paths but never an allocation.
+	t.Run("gate-armed-noop", func(t *testing.T) {
+		Gate = func(yield.Point) {}
+		defer func() { Gate = nil }()
+		// Depth 1 churns the window so the window-move gate site actually
+		// executes inside the measured loop.
+		s := MustNew[uint64](Config{Width: 1, Depth: 1, Shift: 1, RandomHops: 0})
+		h := s.NewHandle()
+		var i uint64
+		if got := testing.AllocsPerRun(10000, func() { h.Push(i); i++; h.Pop() }); got != 3 {
+			t.Fatalf("armed-gate Push+Pop allocates %v per pair, pinned at 3 (node + 2 descriptors)", got)
+		}
 	})
 }
 

@@ -1,5 +1,7 @@
 package core
 
+import "stack2d/internal/yield"
+
 // Batched operations. A batch applies several pushes (or pops) to one
 // sub-stack with a single descriptor CAS, amortising the search and the
 // coherence traffic. The window discipline is preserved exactly: a batch
@@ -61,6 +63,7 @@ func (h *Handle[T]) PushBatch(vs []T) {
 				}
 				h.stats.CASFailures++
 				h.stats.SocketCAS[sockIdx]++
+				gate(yield.PointCASFail)
 				idx = HopIdx(h.rng, width, ord, localN)
 				if ord != nil {
 					at = pos[idx]
@@ -95,6 +98,7 @@ func (h *Handle[T]) PushBatch(vs []T) {
 		if len(remaining) == 0 {
 			break
 		}
+		gate(yield.PointWindowMove)
 		if s.global.V.CompareAndSwap(global, global+geo.shift) {
 			h.stats.WindowRaises++
 		}
@@ -164,6 +168,7 @@ func (h *Handle[T]) PopBatch(max int) []T {
 				}
 				h.stats.CASFailures++
 				h.stats.SocketCAS[sockIdx]++
+				gate(yield.PointCASFail)
 				idx = HopIdx(h.rng, width, ord, localN)
 				if ord != nil {
 					at = pos[idx]
@@ -207,6 +212,7 @@ func (h *Handle[T]) PopBatch(max int) []T {
 		if next < depth {
 			next = depth
 		}
+		gate(yield.PointWindowMove)
 		if s.global.V.CompareAndSwap(global, next) {
 			h.stats.WindowLowers++
 		}

@@ -1,6 +1,10 @@
 package core
 
-import "runtime"
+import (
+	"runtime"
+
+	"stack2d/internal/yield"
+)
 
 // geometry is one immutable snapshot of the stack's structure: the window
 // parameters plus the sub-stack array they govern. The Stack publishes the
@@ -253,6 +257,10 @@ func (s *Stack[T]) reconfigureLocked(cfg Config, requester int) error {
 		}
 		s.stampPlacement(next, homes)
 	}
+	// Director yield point: the instant before the new window rules become
+	// visible to fresh pins — a suspended schedule here interleaves
+	// old-geometry operations against the fully built successor.
+	gate(yield.PointGeometryPublish)
 	s.geo.Store(next)
 
 	// Re-establish global >= depth so Pop's floor arithmetic starts sane on
@@ -398,6 +406,10 @@ func (s *Stack[T]) waitQuiesce(oldEpoch uint64) {
 		if !busy {
 			return
 		}
+		// Director yield point: a directed reconfiguration parks here so
+		// the scheduler can run the pinned operations to completion instead
+		// of spinning the wait loop forever (yield.PointWait semantics).
+		gate(yield.PointWait)
 		runtime.Gosched()
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"weak"
 
 	"stack2d/internal/xrand"
+	"stack2d/internal/yield"
 )
 
 // Handle carries the per-thread state of the 2D-Stack algorithm: the index
@@ -254,6 +255,7 @@ func (h *Handle[T]) Push(v T) {
 				// a random sub-stack and restart the coverage count.
 				h.stats.CASFailures++
 				h.stats.SocketCAS[sockIdx]++
+				gate(yield.PointCASFail)
 				idx = HopIdx(h.rng, width, ord, localN)
 				if ord != nil {
 					at = pos[idx]
@@ -289,6 +291,7 @@ func (h *Handle[T]) Push(v T) {
 		// A full round-robin pass found every sub-stack at the ceiling:
 		// raise the window. Whether our CAS or a competitor's wins, Global
 		// has changed; re-read and retry with a fresh search count.
+		gate(yield.PointWindowMove)
 		if s.global.V.CompareAndSwap(global, global+geo.shift) {
 			h.stats.WindowRaises++
 		}
@@ -345,6 +348,7 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 				}
 				h.stats.CASFailures++
 				h.stats.SocketCAS[sockIdx]++
+				gate(yield.PointCASFail)
 				idx = HopIdx(h.rng, width, ord, localN)
 				if ord != nil {
 					at = pos[idx]
@@ -386,6 +390,7 @@ func (h *Handle[T]) Pop() (v T, ok bool) {
 		}
 		// Lower the window (floored at depth so the validity threshold
 		// never goes negative) and retry with a fresh search count.
+		gate(yield.PointWindowMove)
 		next := global - geo.shift
 		if next < depth {
 			next = depth
@@ -428,6 +433,7 @@ func (h *Handle[T]) TryPop() (v T, ok bool) {
 			}
 			h.stats.CASFailures++
 			h.stats.SocketCAS[sockIdx]++
+			gate(yield.PointCASFail)
 		}
 		if ord == nil {
 			idx++

@@ -1,0 +1,298 @@
+// Package director is a deterministic cooperative scheduler for the real
+// concurrent structures (core.Stack, twodqueue.Queue, engine.Switcher). It
+// drives chosen interleavings through the data-path yield gates
+// (internal/yield, DESIGN.md §10): tasks run one at a time on their own
+// goroutines, every gate hit hands control back to the director, and a
+// pluggable Strategy picks which task runs next. The schedule is a pure
+// function of (tasks, strategy, seed), so any run — including one that
+// realises a worst-case relaxation distance — replays bit-for-bit.
+//
+// The director is not a model checker: it explores the schedules a strategy
+// proposes, against the real compiled code, and records an interval history
+// (seqspec.IntervalOp, ticks of the director's virtual clock) that feeds
+// straight into seqspec.KStackChecker / KFIFOChecker and the
+// internal/quality oracles. Exhaustive small-scope exploration stays with
+// seqspec.ExploreStack; the director's trace replay (ReplayStackTrace)
+// closes the loop by driving explorer counterexamples through the real
+// structure.
+//
+// Concurrency model: exactly one task goroutine is unblocked at any
+// instant. The director grants the chosen task a step by sending on its
+// private resume channel and then blocks until the task reports back — by
+// hitting a gate (suspend) or by finishing. Those channel handshakes carry
+// all the happens-before edges, so tasks may freely read the director's
+// clock and the director may read task shards without atomics, and the
+// whole arrangement is clean under -race.
+package director
+
+import (
+	"fmt"
+
+	"stack2d/internal/core"
+	"stack2d/internal/engine"
+	"stack2d/internal/seqspec"
+	"stack2d/internal/twodqueue"
+	"stack2d/internal/yield"
+)
+
+// Choice is one entry of the recorded schedule: at this step the director
+// granted task Task, which was suspended at Point (PointSpawn before its
+// first step).
+type Choice struct {
+	Task  int
+	Point yield.Point
+}
+
+// DefaultMaxSteps bounds a directed run. A step is one grant; the cap only
+// exists to turn a schedule-induced livelock (or a strategy bug) into a
+// diagnosable error instead of a hung test.
+const DefaultMaxSteps = 1 << 20
+
+// abortSentinel unwinds a task goroutine when the director aborts the run;
+// the task wrapper recovers it and reports a clean completion.
+type abortSentinel struct{}
+
+type event struct {
+	task  int
+	point yield.Point
+	done  bool
+}
+
+type task struct {
+	id     int
+	name   string
+	body   func(*Task)
+	resume chan struct{}
+	done   bool
+	parked bool
+	last   yield.Point
+	ops    []seqspec.IntervalOp
+}
+
+// Director owns the virtual clock, the task set and the recorded schedule
+// of one directed run. Build with New, add tasks with Go, then Run once.
+type Director struct {
+	strategy Strategy
+	maxSteps int
+
+	clock    int64
+	steps    int
+	label    uint64
+	tasks    []*task
+	current  *task
+	events   chan event
+	schedule []Choice
+	aborted  bool
+	ran      bool
+}
+
+// New builds a director that schedules with the given strategy.
+func New(s Strategy) *Director {
+	return &Director{strategy: s, maxSteps: DefaultMaxSteps, events: make(chan event)}
+}
+
+// SetMaxSteps overrides DefaultMaxSteps (testing the abort path, or very
+// long storms).
+func (d *Director) SetMaxSteps(n int) { d.maxSteps = n }
+
+// Go registers a task. Tasks are identified by registration order (the id
+// strategies see); name is for diagnostics only. Must be called before Run.
+func (d *Director) Go(name string, body func(*Task)) {
+	t := &task{id: len(d.tasks), name: name, body: body, resume: make(chan struct{}), last: yield.PointSpawn}
+	d.tasks = append(d.tasks, t)
+}
+
+// Task is the in-task view of the director, passed to each task body. All
+// methods must be called from the task's own goroutine while it holds the
+// grant (which it always does while its body runs outside a gate).
+type Task struct {
+	d *Director
+	t *task
+}
+
+// Label returns the next unique value label for this run (1, 2, 3, ...).
+// Single-writer under the director's one-task-at-a-time discipline.
+func (tc *Task) Label() uint64 {
+	tc.d.label++
+	return tc.d.label
+}
+
+// Yield offers the director an explicit switch point, exactly as a data-path
+// gate would.
+func (tc *Task) Yield() { tc.d.gateYield(yield.PointOpBegin) }
+
+// Op records one operation of the task's history. It yields at the op
+// boundary (PointOpBegin), stamps Begin from the virtual clock, runs do —
+// any gates do() hits inside the data path yield as usual, advancing the
+// clock — and stamps End when do returns. For OpPush, do returns the label
+// pushed; for OpPop it returns the value popped and whether the structure
+// yielded one (ok=false records an empty pop).
+func (tc *Task) Op(kind seqspec.OpKind, do func() (uint64, bool)) {
+	tc.d.gateYield(yield.PointOpBegin)
+	begin := tc.d.clock
+	v, ok := do()
+	op := seqspec.IntervalOp{Kind: kind, Value: v, Begin: begin, End: tc.d.clock}
+	if kind == seqspec.OpPop && !ok {
+		op.Value = 0
+		op.Empty = true
+	}
+	tc.t.ops = append(tc.t.ops, op)
+}
+
+// gateYield is installed into the data-path gates for the duration of Run.
+// It runs on the granted task's goroutine: report the suspension, wait for
+// the next grant.
+func (d *Director) gateYield(p yield.Point) {
+	t := d.current
+	if t == nil {
+		return
+	}
+	d.events <- event{task: t.id, point: p}
+	<-t.resume
+	if d.aborted {
+		panic(abortSentinel{})
+	}
+}
+
+// Run executes the registered tasks to completion under the strategy and
+// returns an error if the run aborted (step cap) instead of finishing. The
+// data-path gates are installed on entry and restored on return; nothing
+// else in the process may run gated operations concurrently with a directed
+// run (tests are sequential, so in practice this means: don't).
+func (d *Director) Run() error {
+	if d.ran {
+		return fmt.Errorf("director: Run called twice")
+	}
+	d.ran = true
+	if len(d.tasks) == 0 {
+		return nil
+	}
+
+	prevCore, prevQueue, prevEngine := core.Gate, twodqueue.Gate, engine.Gate
+	core.Gate, twodqueue.Gate, engine.Gate = d.gateYield, d.gateYield, d.gateYield
+	defer func() {
+		core.Gate, twodqueue.Gate, engine.Gate = prevCore, prevQueue, prevEngine
+	}()
+
+	for _, t := range d.tasks {
+		go func(t *task) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, abort := r.(abortSentinel); !abort {
+						panic(r)
+					}
+				}
+				d.events <- event{task: t.id, done: true}
+			}()
+			<-t.resume
+			if d.aborted {
+				panic(abortSentinel{})
+			}
+			t.body(&Task{d: d, t: t})
+		}(t)
+	}
+
+	live := len(d.tasks)
+	var lastChoice Choice
+	for live > 0 {
+		t := d.tasks[d.pick(lastChoice)]
+		lastChoice = Choice{Task: t.id, Point: t.last}
+		d.schedule = append(d.schedule, lastChoice)
+		d.clock++
+		d.steps++
+		if d.steps > d.maxSteps {
+			d.aborted = true
+		}
+		d.current = t
+		t.resume <- struct{}{}
+		ev := <-d.events
+		d.current = nil
+		if ev.done {
+			t.done = true
+			live--
+			d.unparkAll()
+			continue
+		}
+		t.last = ev.point
+		if ev.point == yield.PointWait {
+			// A wait-loop iteration is not progress; park the task so the
+			// strategy prefers tasks that can move the run forward.
+			t.parked = true
+		} else {
+			d.unparkAll()
+		}
+	}
+	if d.aborted {
+		return fmt.Errorf("director: run aborted after %d steps (max %d); schedule livelock or cap too low", d.steps, d.maxSteps)
+	}
+	return nil
+}
+
+// pick asks the strategy to choose among the runnable tasks. Parked tasks
+// (suspended at PointWait) are offered only when every runnable task is
+// parked — then one of them must be granted to re-check its wait condition.
+func (d *Director) pick(last Choice) int {
+	runnable := make([]int, 0, len(d.tasks))
+	for _, t := range d.tasks {
+		if !t.done && !t.parked {
+			runnable = append(runnable, t.id)
+		}
+	}
+	if len(runnable) == 0 {
+		for _, t := range d.tasks {
+			if !t.done {
+				runnable = append(runnable, t.id)
+			}
+		}
+	}
+	if len(runnable) == 1 {
+		return runnable[0]
+	}
+	idx := d.strategy.Next(runnable, d.steps, last)
+	if idx < 0 || idx >= len(runnable) {
+		idx = 0
+	}
+	return runnable[idx]
+}
+
+func (d *Director) unparkAll() {
+	for _, t := range d.tasks {
+		t.parked = false
+	}
+}
+
+// Clock returns the virtual clock (ticks = grants so far). After Run it is
+// the run's final time; AppendOp continues from it.
+func (d *Director) Clock() int64 { return d.clock }
+
+// Steps returns the number of grants issued.
+func (d *Director) Steps() int { return d.steps }
+
+// Schedule returns the recorded choice sequence — a complete, replayable
+// description of the interleaving (granting tasks in this exact order
+// reproduces the run).
+func (d *Director) Schedule() []Choice { return d.schedule }
+
+// History merges the per-task shards in task order. Intervals carry virtual
+// clock ticks; the checkers' stable sort on Begin reconstructs grant order
+// (every op's Begin is a distinct tick). Call after Run.
+func (d *Director) History() []seqspec.IntervalOp {
+	var out []seqspec.IntervalOp
+	for _, t := range d.tasks {
+		out = append(out, t.ops...)
+	}
+	return out
+}
+
+// AppendOp records one sequential post-run operation (e.g. the verification
+// drain after the directed phase) with a fresh tick strictly after every
+// directed interval, keeping the merged history a valid interval history.
+// Only meaningful after Run has returned.
+func (d *Director) AppendOp(kind seqspec.OpKind, value uint64, empty bool) {
+	d.clock++
+	op := seqspec.IntervalOp{Kind: kind, Value: value, Empty: empty, Begin: d.clock, End: d.clock}
+	if len(d.tasks) > 0 {
+		t := d.tasks[len(d.tasks)-1]
+		t.ops = append(t.ops, op)
+	}
+}

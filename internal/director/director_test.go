@@ -1,0 +1,243 @@
+package director
+
+import (
+	"reflect"
+	"testing"
+
+	"stack2d/internal/core"
+	"stack2d/internal/seqspec"
+	"stack2d/internal/twodqueue"
+)
+
+// The acceptance test of the whole layer: the sequential explorer's minimal
+// Theorem-1 counterexample (PR 5: 16 ops, distance 7 at width 2, depth 4,
+// shift 1) must replay against the real compiled core.Stack — refuting the
+// paper's transcribed constant (k = 6 at this geometry) and respecting the
+// corrected one (k = 9) with the exact distance the model predicted.
+func TestReplayTheoremOneCounterexample(t *testing.T) {
+	res, err := seqspec.ExploreStack(seqspec.ExploreConfig{
+		Width: 2, Depth: 4, Shift: 1, MaxOps: 18, Bound: 6,
+	})
+	if err != nil {
+		t.Fatalf("ExploreStack: %v", err)
+	}
+	if res.Counterexample == nil {
+		t.Fatal("explorer no longer finds the Theorem-1 counterexample")
+	}
+	if len(res.Counterexample) != 16 || res.MaxDistance != 7 {
+		t.Fatalf("counterexample drifted: %d ops, distance %d (want 16 ops, distance 7)",
+			len(res.Counterexample), res.MaxDistance)
+	}
+
+	cfg := core.Config{Width: 2, Depth: 4, Shift: 1, RandomHops: 0}
+	hist, err := ReplayStackTrace(cfg, res.Counterexample)
+	if err != nil {
+		t.Fatalf("replay diverged from the real stack: %v", err)
+	}
+	if err := seqspec.CheckIntervalSanity(hist, int(cfg.K())); err != nil {
+		t.Fatalf("replayed history fails sanity: %v", err)
+	}
+
+	// The retired transcribed constant must be refuted by the real run...
+	if _, err := (seqspec.KStackChecker{K: 6}).Check(hist); err == nil {
+		t.Fatal("real stack run respects k=6; the counterexample no longer bites")
+	}
+	// ...and the corrected bound must hold, at exactly the model's distance.
+	rep, err := (seqspec.KStackChecker{K: cfg.K()}).Check(hist)
+	if err != nil {
+		t.Fatalf("real stack run violates the corrected bound k=%d: %v", cfg.K(), err)
+	}
+	if rep.MaxDistance != 7 {
+		t.Fatalf("real stack realised distance %d, model promised 7", rep.MaxDistance)
+	}
+	if rep.MaxSlack != 0 {
+		t.Fatalf("sequential replay must have zero slack, got %d", rep.MaxSlack)
+	}
+}
+
+func TestReplayQueueWitness(t *testing.T) {
+	res, err := seqspec.ExploreQueue(seqspec.ExploreConfig{
+		Width: 2, Depth: 4, Shift: 1, MaxOps: 14, Bound: -1,
+	})
+	if err != nil {
+		t.Fatalf("ExploreQueue: %v", err)
+	}
+	if res.Witness == nil {
+		t.Fatal("queue exploration produced no witness")
+	}
+	hist, err := ReplayQueueTrace(twodqueueConfig(), res.Witness)
+	if err != nil {
+		t.Fatalf("replay diverged from the real queue: %v", err)
+	}
+	rep, err := (seqspec.KFIFOChecker{K: int64(res.MaxDistance)}).Check(hist)
+	if err != nil {
+		t.Fatalf("real queue run violates the explored maximum %d: %v", res.MaxDistance, err)
+	}
+	if rep.MaxDistance != res.MaxDistance {
+		t.Fatalf("real queue realised distance %d, model promised %d", rep.MaxDistance, res.MaxDistance)
+	}
+}
+
+// driveSmall is a minimal directed workload: pushers and poppers hammering
+// one small stack under the given strategy.
+func driveSmall(t *testing.T, s Strategy) ([]Choice, []seqspec.IntervalOp) {
+	t.Helper()
+	cfg := core.Config{Width: 2, Depth: 2, Shift: 1, RandomHops: 0}
+	st, err := core.New[uint64](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(s)
+	for w := 0; w < 2; w++ {
+		d.Go("pusher", func(tc *Task) {
+			h := st.NewHandle()
+			for i := 0; i < 6; i++ {
+				label := tc.Label()
+				tc.Op(seqspec.OpPush, func() (uint64, bool) {
+					h.Push(label)
+					return label, true
+				})
+			}
+		})
+	}
+	for w := 0; w < 2; w++ {
+		d.Go("popper", func(tc *Task) {
+			h := st.NewHandle()
+			for i := 0; i < 6; i++ {
+				tc.Op(seqspec.OpPop, func() (uint64, bool) { return h.Pop() })
+			}
+		})
+	}
+	if err := d.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Drain sequentially so conservation is fully checkable.
+	h := st.NewHandle()
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		d.AppendOp(seqspec.OpPop, v, false)
+	}
+	return d.Schedule(), d.History()
+}
+
+func TestDirectedRunPassesCheckers(t *testing.T) {
+	_, hist := driveSmall(t, NewSeededRandom(42))
+	cfg := core.Config{Width: 2, Depth: 2, Shift: 1}
+	if err := seqspec.CheckIntervalSanity(hist, int(cfg.K())); err != nil {
+		t.Fatalf("sanity: %v", err)
+	}
+	if _, err := (seqspec.KStackChecker{K: cfg.K()}).Check(hist); err != nil {
+		t.Fatalf("k-bound: %v", err)
+	}
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	for _, mk := range []func() Strategy{
+		func() Strategy { return NewSeededRandom(7) },
+		func() Strategy { return NewPCT(7, 3, 64) },
+		func() Strategy { return NewRoundRobin() },
+	} {
+		sched1, hist1 := driveSmall(t, mk())
+		sched2, hist2 := driveSmall(t, mk())
+		if !reflect.DeepEqual(sched1, sched2) {
+			t.Fatalf("%s: same seed produced different schedules", mk().Name())
+		}
+		if !reflect.DeepEqual(hist1, hist2) {
+			t.Fatalf("%s: same seed produced different histories", mk().Name())
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	sched1, _ := driveSmall(t, NewSeededRandom(1))
+	sched2, _ := driveSmall(t, NewSeededRandom(2))
+	if reflect.DeepEqual(sched1, sched2) {
+		t.Fatal("distinct seeds produced identical schedules (suspicious)")
+	}
+}
+
+// A reconfiguration mid-run must park on the quiescence wait instead of
+// livelocking the director, and the run must still satisfy the widened
+// checker budget (max active K + shrink displacement).
+func TestReconfigureUnderDirection(t *testing.T) {
+	cfgWide := core.Config{Width: 4, Depth: 4, Shift: 1, RandomHops: 0}
+	cfgNarrow := core.Config{Width: 2, Depth: 4, Shift: 1, RandomHops: 0}
+	st, err := core.New[uint64](cfgWide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(NewSeededRandom(1234))
+	for w := 0; w < 2; w++ {
+		d.Go("mixed", func(tc *Task) {
+			h := st.NewHandle()
+			for i := 0; i < 8; i++ {
+				label := tc.Label()
+				tc.Op(seqspec.OpPush, func() (uint64, bool) {
+					h.Push(label)
+					return label, true
+				})
+			}
+			for i := 0; i < 4; i++ {
+				tc.Op(seqspec.OpPop, func() (uint64, bool) { return h.Pop() })
+			}
+		})
+	}
+	d.Go("shrink", func(tc *Task) {
+		tc.Yield()
+		if err := st.Reconfigure(cfgNarrow); err != nil {
+			t.Errorf("Reconfigure: %v", err)
+		}
+	})
+	if err := d.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	h := st.NewHandle()
+	for {
+		v, ok := h.Pop()
+		if !ok {
+			break
+		}
+		d.AppendOp(seqspec.OpPop, v, false)
+	}
+	hist := d.History()
+	k := cfgWide.K()
+	if n := cfgNarrow.K(); n > k {
+		k = n
+	}
+	chk := seqspec.KStackChecker{K: k, Allowance: st.ShrinkDisplacementBound()}
+	if _, err := chk.Check(hist); err != nil {
+		t.Fatalf("directed shrink run violates the §9 budget: %v", err)
+	}
+}
+
+func TestAbortOnStepCap(t *testing.T) {
+	cfg := core.Config{Width: 2, Depth: 2, Shift: 1, RandomHops: 0}
+	st, err := core.New[uint64](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(NewRoundRobin())
+	d.SetMaxSteps(5)
+	for w := 0; w < 2; w++ {
+		d.Go("pusher", func(tc *Task) {
+			h := st.NewHandle()
+			for i := 0; i < 100; i++ {
+				label := tc.Label()
+				tc.Op(seqspec.OpPush, func() (uint64, bool) {
+					h.Push(label)
+					return label, true
+				})
+			}
+		})
+	}
+	if err := d.Run(); err == nil {
+		t.Fatal("run exceeding the step cap must return an error")
+	}
+}
+
+func twodqueueConfig() twodqueue.Config {
+	return twodqueue.Config{Width: 2, Depth: 4, Shift: 1, RandomHops: 0}
+}

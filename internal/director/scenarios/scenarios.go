@@ -1,0 +1,435 @@
+package scenarios
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"time"
+
+	"stack2d/internal/core"
+	"stack2d/internal/director"
+	"stack2d/internal/engine"
+	"stack2d/internal/quality"
+	"stack2d/internal/relax"
+	"stack2d/internal/seqspec"
+	"stack2d/internal/twodqueue"
+)
+
+// oraclePatience bounds the quality oracles' insert wait inside directed
+// runs. Under the director the oracle calls run inside op closures, between
+// gates, so a Remove can never actually race its Insert — a miss here is a
+// real conservation bug and should fail fast.
+const oraclePatience = 2 * time.Second
+
+// Outcome is the complete, deterministic result of one scenario run: the
+// recorded interval history and schedule (byte-identical across same-seed
+// runs — the determinism regression test pins this), the checker verdict
+// against the scenario's semantics budget, and the realised rank-error
+// distribution from the quality oracle.
+type Outcome struct {
+	Name     string
+	Strategy string
+	Seed     uint64
+	Steps    int
+
+	// K and Allowance are the budget the history was checked against;
+	// FIFO selects which checker family measured it.
+	K         int64
+	Allowance int64
+	FIFO      bool
+	Report    seqspec.KDistanceReport
+
+	History  []seqspec.IntervalOp
+	Schedule []director.Choice
+
+	// Quality is the realised error-distance distribution (paper §4
+	// metric: distance from the strict order at removal time).
+	Quality quality.Stats
+}
+
+// Fingerprint hashes the recorded history and schedule; two runs with the
+// same fingerprint made byte-identical recordings.
+func (o *Outcome) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, op := range o.History {
+		fmt.Fprintf(h, "%d,%d,%t,%d,%d;", op.Kind, op.Value, op.Empty, op.Begin, op.End)
+	}
+	for _, c := range o.Schedule {
+		fmt.Fprintf(h, "%d@%d;", c.Task, c.Point)
+	}
+	return h.Sum64()
+}
+
+// Scenario is one named adversarial run. Run must be a deterministic
+// function of seed.
+type Scenario struct {
+	Name  string
+	About string
+	Run   func(seed uint64) (*Outcome, error)
+}
+
+// All returns the scenario pack in its canonical order.
+func All() []Scenario {
+	return []Scenario{
+		{
+			Name:  NameTheoremOneReplay,
+			About: "explorer's minimal Theorem-1 counterexample on the real stack",
+			Run:   runTheoremOneReplay,
+		},
+		{
+			Name:  NameQueueWitnessReplay,
+			About: "queue explorer's max-distance witness on the real queue",
+			Run:   runQueueWitnessReplay,
+		},
+		{
+			Name:  NameShrinkDuringDrain,
+			About: "width shrink racing directed poppers",
+			Run:   runShrinkDuringDrain,
+		},
+		{
+			Name:  NameSwapDuringStorm,
+			About: "backend hot-swap inside a directed push/pop storm",
+			Run:   runSwapDuringStorm,
+		},
+		{
+			Name:  NameSocketSkew,
+			About: "all handles pinned to one socket of a local-first placement, PCT schedule",
+			Run:   runSocketSkew,
+		},
+	}
+}
+
+// Sweep runs the full pack with the given base seed and returns the
+// outcomes in pack order. Each scenario gets a distinct derived seed so the
+// pack explores unrelated schedules while staying a pure function of seed.
+func Sweep(seed uint64) ([]*Outcome, error) {
+	var outs []*Outcome
+	for i, sc := range All() {
+		o, err := sc.Run(seed + uint64(i)*0x9e3779b97f4a7c15)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+		outs = append(outs, o)
+	}
+	return outs, nil
+}
+
+// FormatErrorTable renders the outcomes as the markdown realised-error
+// table EXPERIMENTS.md documents: per scenario, the checked budget and the
+// realised distance distribution.
+func FormatErrorTable(outs []*Outcome) string {
+	var b strings.Builder
+	b.WriteString("| scenario | strategy | seed | pops | k | allowance | max strain | realised max | mean error |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|\n")
+	for _, o := range outs {
+		fmt.Fprintf(&b, "| %s | %s | %d | %d | %d | %d | %d | %d | %.3f |\n",
+			o.Name, o.Strategy, o.Seed, o.Report.Pops, o.K, o.Allowance,
+			o.Report.MaxStrain, o.Quality.Max, o.Quality.Mean())
+	}
+	return b.String()
+}
+
+// --- trace replays -----------------------------------------------------------
+
+// sequentialQuality replays a zero-slack sequential history through the
+// rank-error oracle of the right ordering.
+func sequentialQuality(hist []seqspec.IntervalOp, fifo bool) (quality.Stats, error) {
+	var lifo quality.Oracle
+	var fq quality.FIFOOracle
+	for _, op := range hist {
+		switch {
+		case op.Kind == seqspec.OpPush && fifo:
+			fq.Insert(op.Value)
+		case op.Kind == seqspec.OpPush:
+			lifo.Insert(op.Value)
+		case op.Empty:
+		case fifo:
+			if _, err := fq.RemoveWithin(op.Value, oraclePatience); err != nil {
+				return quality.Stats{}, err
+			}
+		default:
+			if _, err := lifo.RemoveWithin(op.Value, oraclePatience); err != nil {
+				return quality.Stats{}, err
+			}
+		}
+	}
+	if fifo {
+		return fq.Snapshot(), nil
+	}
+	return lifo.Snapshot(), nil
+}
+
+func runTheoremOneReplay(seed uint64) (*Outcome, error) {
+	res, err := seqspec.ExploreStack(seqspec.ExploreConfig{
+		Width: 2, Depth: 4, Shift: 1, MaxOps: 18, Bound: 6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Counterexample == nil {
+		return nil, fmt.Errorf("explorer no longer finds the Theorem-1 counterexample")
+	}
+	cfg := core.Config{Width: 2, Depth: 4, Shift: 1, RandomHops: 0}
+	hist, err := director.ReplayStackTrace(cfg, res.Counterexample)
+	if err != nil {
+		return nil, err
+	}
+	// The point of the scenario: the retired transcribed constant is
+	// refuted by the real structure, the corrected bound holds exactly.
+	if _, err := (seqspec.KStackChecker{K: 6}).Check(hist); err == nil {
+		return nil, fmt.Errorf("real stack respects the retired k=6; counterexample no longer bites")
+	}
+	rep, err := (seqspec.KStackChecker{K: cfg.K()}).Check(hist)
+	if err != nil {
+		return nil, fmt.Errorf("corrected bound k=%d violated: %w", cfg.K(), err)
+	}
+	if rep.MaxDistance != res.MaxDistance {
+		return nil, fmt.Errorf("real stack realised distance %d, model promised %d", rep.MaxDistance, res.MaxDistance)
+	}
+	q, err := sequentialQuality(hist, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Name: NameTheoremOneReplay, Strategy: "trace-replay", Seed: seed,
+		K: cfg.K(), Report: rep, History: hist, Quality: q,
+	}, nil
+}
+
+func runQueueWitnessReplay(seed uint64) (*Outcome, error) {
+	res, err := seqspec.ExploreQueue(seqspec.ExploreConfig{
+		Width: 2, Depth: 4, Shift: 1, MaxOps: 14, Bound: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Witness == nil {
+		return nil, fmt.Errorf("queue exploration produced no witness")
+	}
+	cfg := twodqueue.Config{Width: 2, Depth: 4, Shift: 1, RandomHops: 0}
+	hist, err := director.ReplayQueueTrace(cfg, res.Witness)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := (seqspec.KFIFOChecker{K: int64(res.MaxDistance)}).Check(hist)
+	if err != nil {
+		return nil, fmt.Errorf("explored maximum %d violated: %w", res.MaxDistance, err)
+	}
+	if rep.MaxDistance != res.MaxDistance {
+		return nil, fmt.Errorf("real queue realised distance %d, model promised %d", rep.MaxDistance, res.MaxDistance)
+	}
+	q, err := sequentialQuality(hist, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Name: NameQueueWitnessReplay, Strategy: "trace-replay", Seed: seed,
+		K: int64(res.MaxDistance), FIFO: true, Report: rep, History: hist, Quality: q,
+	}, nil
+}
+
+// --- directed concurrent scenarios ------------------------------------------
+
+// pushOp and popOp wrap one operation with its oracle bookkeeping. The
+// oracle calls run between gates, so they are atomic under the director and
+// the Remove wait can only trip on a genuine conservation bug.
+func pushOp(tc *director.Task, push func(uint64), o *quality.Oracle, errs *[]error) {
+	label := tc.Label()
+	tc.Op(seqspec.OpPush, func() (uint64, bool) {
+		push(label)
+		o.Insert(label)
+		return label, true
+	})
+}
+
+func popOp(tc *director.Task, pop func() (uint64, bool), o *quality.Oracle, errs *[]error) {
+	tc.Op(seqspec.OpPop, func() (uint64, bool) {
+		v, ok := pop()
+		if ok {
+			if _, err := o.RemoveWithin(v, oraclePatience); err != nil {
+				*errs = append(*errs, err)
+			}
+		}
+		return v, ok
+	})
+}
+
+// drainInto appends the post-run sequential drain to the history (fresh
+// ticks strictly after the directed phase), keeping conservation checkable.
+func drainInto(d *director.Director, pop func() (uint64, bool), o *quality.Oracle, errs *[]error) {
+	for {
+		v, ok := pop()
+		if !ok {
+			return
+		}
+		if _, err := o.RemoveWithin(v, oraclePatience); err != nil {
+			*errs = append(*errs, err)
+		}
+		d.AppendOp(seqspec.OpPop, v, false)
+	}
+}
+
+func finishStackOutcome(name, strategy string, seed uint64, d *director.Director, k, allowance int64, errs []error) (*Outcome, error) {
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	hist := d.History()
+	if err := seqspec.CheckIntervalSanity(hist, int(k+allowance)); err != nil {
+		return nil, fmt.Errorf("interval sanity: %w", err)
+	}
+	rep, err := (seqspec.KStackChecker{K: k, Allowance: allowance}).Check(hist)
+	if err != nil {
+		return nil, fmt.Errorf("k-budget: %w", err)
+	}
+	return &Outcome{
+		Name: name, Strategy: strategy, Seed: seed, Steps: d.Steps(),
+		K: k, Allowance: allowance, Report: rep,
+		History: hist, Schedule: d.Schedule(),
+	}, nil
+}
+
+func runShrinkDuringDrain(seed uint64) (*Outcome, error) {
+	cfgWide := core.Config{Width: 4, Depth: 4, Shift: 1, RandomHops: 0}
+	cfgNarrow := core.Config{Width: 2, Depth: 4, Shift: 1, RandomHops: 0}
+	st, err := core.New[uint64](cfgWide)
+	if err != nil {
+		return nil, err
+	}
+	var o quality.Oracle
+	var errs []error
+	strat := director.NewSeededRandom(seed)
+	d := director.New(strat)
+	for w := 0; w < 2; w++ {
+		d.Go("filler", func(tc *director.Task) {
+			h := st.NewHandle()
+			for i := 0; i < 10; i++ {
+				pushOp(tc, h.Push, &o, &errs)
+			}
+		})
+	}
+	for w := 0; w < 2; w++ {
+		d.Go("drainer", func(tc *director.Task) {
+			h := st.NewHandle()
+			for i := 0; i < 10; i++ {
+				popOp(tc, h.Pop, &o, &errs)
+			}
+		})
+	}
+	d.Go("shrink", func(tc *director.Task) {
+		// Let the storm develop a little before shrinking.
+		for i := 0; i < 6; i++ {
+			tc.Yield()
+		}
+		if err := st.Reconfigure(cfgNarrow); err != nil {
+			errs = append(errs, err)
+		}
+	})
+	if err := d.Run(); err != nil {
+		return nil, err
+	}
+	h := st.NewHandle()
+	drainInto(d, h.Pop, &o, &errs)
+	k := cfgWide.K()
+	if n := cfgNarrow.K(); n > k {
+		k = n
+	}
+	out, err := finishStackOutcome(NameShrinkDuringDrain, strat.Name(), seed, d, k, st.ShrinkDisplacementBound(), errs)
+	if err != nil {
+		return nil, err
+	}
+	out.Quality = o.Snapshot()
+	return out, nil
+}
+
+func runSwapDuringStorm(seed uint64) (*Outcome, error) {
+	twod, err := relax.NewTwoDBackend[uint64](core.Config{Width: 2, Depth: 4, Shift: 1, RandomHops: 0})
+	if err != nil {
+		return nil, err
+	}
+	sw, err := engine.New(twod)
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.Register(relax.NewTreiberBackend[uint64]()); err != nil {
+		return nil, err
+	}
+	var o quality.Oracle
+	var errs []error
+	strat := director.NewSeededRandom(seed)
+	d := director.New(strat)
+	for w := 0; w < 3; w++ {
+		d.Go("storm", func(tc *director.Task) {
+			h := sw.NewHandle()
+			for i := 0; i < 6; i++ {
+				pushOp(tc, h.Push, &o, &errs)
+				if i%2 == 1 {
+					popOp(tc, h.Pop, &o, &errs)
+				}
+			}
+		})
+	}
+	d.Go("swapper", func(tc *director.Task) {
+		for i := 0; i < 4; i++ {
+			tc.Yield()
+		}
+		if err := sw.SwapBackend("treiber", "directed storm"); err != nil {
+			errs = append(errs, err)
+		}
+		for i := 0; i < 4; i++ {
+			tc.Yield()
+		}
+		if err := sw.SwapBackend("2D-stack", "directed storm return"); err != nil {
+			errs = append(errs, err)
+		}
+	})
+	if err := d.Run(); err != nil {
+		return nil, err
+	}
+	h := sw.NewHandle()
+	drainInto(d, h.Pop, &o, &errs)
+	out, err := finishStackOutcome(NameSwapDuringStorm, strat.Name(), seed, d, sw.KBound(), sw.SwapDisplacementBound(), errs)
+	if err != nil {
+		return nil, err
+	}
+	if sw.SwapCount() != 2 {
+		return nil, fmt.Errorf("expected 2 swaps, got %d", sw.SwapCount())
+	}
+	out.Quality = o.Snapshot()
+	return out, nil
+}
+
+func runSocketSkew(seed uint64) (*Outcome, error) {
+	cfg := core.Config{Width: 4, Depth: 4, Shift: 1, RandomHops: 0}
+	st, err := core.New[uint64](cfg)
+	if err != nil {
+		return nil, err
+	}
+	st.SetPlacement(core.LocalFirst(), 2)
+	var o quality.Oracle
+	var errs []error
+	strat := director.NewPCT(seed, 4, 400)
+	d := director.New(strat)
+	for w := 0; w < 4; w++ {
+		d.Go("skewed", func(tc *director.Task) {
+			h := st.NewHandle()
+			h.Pin(0) // every worker claims socket 0: maximal placement skew
+			for i := 0; i < 8; i++ {
+				pushOp(tc, h.Push, &o, &errs)
+				if i%2 == 1 {
+					popOp(tc, h.Pop, &o, &errs)
+				}
+			}
+		})
+	}
+	if err := d.Run(); err != nil {
+		return nil, err
+	}
+	h := st.NewHandle()
+	drainInto(d, h.Pop, &o, &errs)
+	out, err := finishStackOutcome(NameSocketSkew, strat.Name(), seed, d, cfg.K(), 0, errs)
+	if err != nil {
+		return nil, err
+	}
+	out.Quality = o.Snapshot()
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package director
+
+import "stack2d/internal/xrand"
+
+// Strategy picks which runnable task the director grants next. Next
+// receives the runnable task ids in ascending order, the current step
+// number and the previous choice, and returns an index into runnable.
+// Implementations must be deterministic functions of their construction
+// parameters (seed) and the observed call sequence — that is what makes a
+// directed run replayable.
+type Strategy interface {
+	Name() string
+	Next(runnable []int, step int, last Choice) int
+}
+
+// --- seeded random -----------------------------------------------------------
+
+// SeededRandom grants a uniformly random runnable task at every step, from
+// a fixed xrand stream. The workhorse strategy: unbiased schedule sampling
+// with perfect reproducibility.
+type SeededRandom struct {
+	rng *xrand.State
+}
+
+// NewSeededRandom builds the strategy from a seed.
+func NewSeededRandom(seed uint64) *SeededRandom {
+	return &SeededRandom{rng: xrand.New(seed)}
+}
+
+func (s *SeededRandom) Name() string { return "seeded-random" }
+
+func (s *SeededRandom) Next(runnable []int, step int, last Choice) int {
+	return s.rng.Intn(len(runnable))
+}
+
+// --- PCT-style priorities ----------------------------------------------------
+
+// PCT is a probabilistic concurrency testing strategy in the style of
+// Burckhardt et al. (ASPLOS'10): each task gets a random distinct priority,
+// the highest-priority runnable task always runs, and at d−1 random change
+// points the currently running task's priority drops below everyone else's.
+// With a schedule horizon n and bug depth d this finds any depth-d ordering
+// bug with probability ≥ 1/(n·k^(d−1)) — in practice it drives long
+// uninterrupted runs punctuated by adversarial preemptions at a handful of
+// random instants, a very different (and often nastier) schedule
+// distribution than uniform sampling.
+type PCT struct {
+	rng      *xrand.State
+	prio     map[int]int // task id -> priority; higher runs first
+	nextPrio int         // grows upward for initial assignment
+	minPrio  int         // grows downward for demotions
+	changeAt map[int]bool
+}
+
+// NewPCT builds the strategy. depth is the bug depth d (number of ordered
+// scheduling constraints to search for, ≥ 1); horizon an estimate of the
+// schedule length used to place the d−1 change points.
+func NewPCT(seed uint64, depth, horizon int) *PCT {
+	if depth < 1 {
+		depth = 1
+	}
+	if horizon < 1 {
+		horizon = 1
+	}
+	p := &PCT{
+		rng:      xrand.New(seed),
+		prio:     map[int]int{},
+		changeAt: map[int]bool{},
+	}
+	for i := 0; i < depth-1; i++ {
+		p.changeAt[p.rng.Intn(horizon)] = true
+	}
+	return p
+}
+
+func (p *PCT) Name() string { return "pct" }
+
+func (p *PCT) Next(runnable []int, step int, last Choice) int {
+	// Assign priorities lazily in a random order as tasks first appear.
+	for _, id := range runnable {
+		if _, ok := p.prio[id]; !ok {
+			// Random insertion among existing priorities via a random
+			// offset keeps assignment order from dictating priority order.
+			p.nextPrio++
+			p.prio[id] = p.nextPrio*16 + p.rng.Intn(16)
+		}
+	}
+	if p.changeAt[step] {
+		p.minPrio--
+		p.prio[last.Task] = p.minPrio
+	}
+	best := 0
+	for i, id := range runnable {
+		if p.prio[id] > p.prio[runnable[best]] {
+			best = i
+		}
+	}
+	return best
+}
+
+// --- round robin -------------------------------------------------------------
+
+// RoundRobin cycles through the runnable tasks — the maximally fair, fully
+// deterministic baseline (useful for smoke tests and as the degenerate
+// strategy whose schedules a new gate site must survive).
+type RoundRobin struct {
+	lastID int
+}
+
+// NewRoundRobin builds the strategy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{lastID: -1} }
+
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+func (r *RoundRobin) Next(runnable []int, step int, last Choice) int {
+	for i, id := range runnable {
+		if id > r.lastID {
+			r.lastID = id
+			return i
+		}
+	}
+	r.lastID = runnable[0]
+	return 0
+}

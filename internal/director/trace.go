@@ -1,0 +1,91 @@
+package director
+
+import (
+	"fmt"
+
+	"stack2d/internal/core"
+	"stack2d/internal/seqspec"
+	"stack2d/internal/twodqueue"
+)
+
+// Exact trace replay: drive the real structure through a seqspec explorer
+// trace (counterexample or witness), operation by operation, and record the
+// interval history the trace realises.
+//
+// Replay is sequential — one handle, no director concurrency — because the
+// explorer's traces are sequential histories: the k-out-of-order bound of
+// Theorem 1 is already violated (or realised) by single-threaded schedules
+// that steer sub-structure choice, which is exactly what the explorer
+// searches over. What the explorer cannot do is run the real compiled
+// data path; replay closes that gap. Steering works through
+// Handle.SetAnchor: with RandomHops = 0 and no concurrency, an operation
+// lands on its anchor whenever the anchor is window-valid, and the
+// explorer's model moves its windows by the same deterministic rules as the
+// real structure, so every step's Sub is window-valid when its turn comes.
+// The replay verifies this rather than assuming it: each pop must return
+// exactly the label the trace promises.
+
+// ReplayStackTrace drives a fresh core.Stack with the given geometry
+// through steps and returns the realised interval history (zero-slack,
+// non-overlapping intervals). The geometry must match the exploration that
+// produced the trace; RandomHops must be 0 for steering to be exact. An
+// error reports the first step whose outcome diverges from the trace.
+func ReplayStackTrace(cfg core.Config, steps []seqspec.ExploreStep) ([]seqspec.IntervalOp, error) {
+	if cfg.RandomHops != 0 {
+		return nil, fmt.Errorf("director: trace replay needs RandomHops=0, got %d", cfg.RandomHops)
+	}
+	s, err := core.New[uint64](cfg)
+	if err != nil {
+		return nil, err
+	}
+	h := s.NewHandle()
+	ops := make([]seqspec.Op, 0, len(steps))
+	for i, st := range steps {
+		h.SetAnchor(st.Sub)
+		if st.Push {
+			h.Push(uint64(st.Value))
+			ops = append(ops, seqspec.Op{Kind: seqspec.OpPush, Value: uint64(st.Value)})
+			continue
+		}
+		v, ok := h.Pop()
+		if !ok {
+			return nil, fmt.Errorf("director: step %d (%v): real stack empty, trace expects label %d", i, st, st.Value)
+		}
+		if v != uint64(st.Value) {
+			return nil, fmt.Errorf("director: step %d (%v): real stack popped %d, trace expects %d", i, st, v, st.Value)
+		}
+		ops = append(ops, seqspec.Op{Kind: seqspec.OpPop, Value: v})
+	}
+	return seqspec.SequentialIntervals(ops), nil
+}
+
+// ReplayQueueTrace is ReplayStackTrace's 2D-Queue counterpart (OpPush =
+// enqueue, OpPop = dequeue, as in seqspec.ExploreQueue traces).
+func ReplayQueueTrace(cfg twodqueue.Config, steps []seqspec.ExploreStep) ([]seqspec.IntervalOp, error) {
+	if cfg.RandomHops != 0 {
+		return nil, fmt.Errorf("director: trace replay needs RandomHops=0, got %d", cfg.RandomHops)
+	}
+	q, err := twodqueue.New[uint64](cfg)
+	if err != nil {
+		return nil, err
+	}
+	h := q.NewHandle()
+	ops := make([]seqspec.Op, 0, len(steps))
+	for i, st := range steps {
+		h.SetAnchor(st.Sub)
+		if st.Push {
+			h.Enqueue(uint64(st.Value))
+			ops = append(ops, seqspec.Op{Kind: seqspec.OpPush, Value: uint64(st.Value)})
+			continue
+		}
+		v, ok := h.Dequeue()
+		if !ok {
+			return nil, fmt.Errorf("director: step %d (%v): real queue empty, trace expects label %d", i, st, st.Value)
+		}
+		if v != uint64(st.Value) {
+			return nil, fmt.Errorf("director: step %d (%v): real queue dequeued %d, trace expects %d", i, st, v, st.Value)
+		}
+		ops = append(ops, seqspec.Op{Kind: seqspec.OpPop, Value: v})
+	}
+	return seqspec.SequentialIntervals(ops), nil
+}

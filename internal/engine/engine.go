@@ -36,6 +36,7 @@ import (
 
 	"stack2d/internal/core"
 	"stack2d/internal/relax"
+	"stack2d/internal/yield"
 )
 
 // SwapRecord describes one completed backend swap.
@@ -201,7 +202,11 @@ func (s *Switcher[T]) Swap(name, reason string) (SwapRecord, error) {
 	// for the pinned ones to finish. New operations spin on the active
 	// pointer and proceed the moment the incoming slot publishes.
 	from.draining.Store(true)
+	// Director yield point: drain entry — the outgoing slot just stopped
+	// admitting operations, pinned ones are still in flight.
+	gate(yield.PointSwapDrain)
 	for from.pins.Load() != 0 {
+		gate(yield.PointWait)
 		runtime.Gosched()
 	}
 
@@ -325,6 +330,8 @@ func (h *Handle[T]) pin() *slot[T] {
 			return s
 		}
 		s.pins.Add(-1)
+		// Draining slot: park under the director until the swap publishes.
+		gate(yield.PointWait)
 		runtime.Gosched()
 	}
 }

@@ -1,0 +1,15 @@
+package engine
+
+import "stack2d/internal/yield"
+
+// Gate is the deterministic schedule director's yield hook for the backend
+// engine (DESIGN.md §10). Nil in production; the swap path and the
+// draining-slot retry are the only call sites, both far off the uncontended
+// fast path. Install and clear only while no operations are in flight.
+var Gate func(yield.Point)
+
+func gate(p yield.Point) {
+	if g := Gate; g != nil {
+		g(p)
+	}
+}

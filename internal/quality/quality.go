@@ -15,10 +15,20 @@
 package quality
 
 import (
+	"fmt"
 	"math/bits"
 	"runtime"
 	"sync"
+	"time"
 )
+
+// DefaultPatience bounds how long Remove waits for a racing Insert before
+// declaring the history broken. The legitimate wait is one preempted
+// goroutine's reschedule (the pusher has already returned from the stack
+// op), so seconds of patience separates that from a genuinely absent label
+// — a lost item, a duplicated pop, or a mislabeled harness — by orders of
+// magnitude.
+const DefaultPatience = 5 * time.Second
 
 // entry is a node of the oracle's sequential list.
 type entry struct {
@@ -66,9 +76,23 @@ func (o *Oracle) Insert(label uint64) {
 }
 
 // Remove deletes label from the list and records its distance from the
-// head. It spins until the label appears (see package comment); it returns
-// the observed distance.
+// head. It waits up to DefaultPatience for the label's racing Insert (see
+// package comment) and panics with a diagnostic if it never arrives — an
+// out-of-sync label is a harness or structure bug, and a loud immediate
+// failure beats a silent test timeout.
 func (o *Oracle) Remove(label uint64) int {
+	d, err := o.RemoveWithin(label, DefaultPatience)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// RemoveWithin is Remove with an explicit patience bound, returning a
+// diagnostic error instead of panicking when the label never appears.
+func (o *Oracle) RemoveWithin(label uint64, patience time.Duration) (int, error) {
+	// The deadline is armed lazily: the hit path never reads the clock.
+	var deadline time.Time
 	for {
 		o.mu.Lock()
 		dist := 0
@@ -88,14 +112,22 @@ func (o *Oracle) Remove(label uint64) int {
 				}
 				o.stats.Hist[bits.Len(uint(dist))]++
 				o.mu.Unlock()
-				return dist
+				return dist, nil
 			}
 			prev = e
 			dist++
 		}
 		// Label not present yet: its Push has linearized on the stack but
-		// the pusher has not reached Insert. Yield and retry.
+		// the pusher has not reached Insert. Yield and retry, up to the
+		// patience bound.
+		n := o.n
 		o.mu.Unlock()
+		now := time.Now()
+		if deadline.IsZero() {
+			deadline = now.Add(patience)
+		} else if now.After(deadline) {
+			return 0, fmt.Errorf("quality: label %d never inserted (waited %v, %d labels resident): lost item, duplicated pop, or mislabeled harness", label, patience, n)
+		}
 		runtime.Gosched()
 	}
 }
@@ -142,8 +174,20 @@ func (o *FIFOOracle) Insert(label uint64) {
 }
 
 // Remove deletes label and records its distance from the head (0 = exact
-// FIFO). Like Oracle.Remove it spins until the label's insert arrives.
+// FIFO). Like Oracle.Remove it waits up to DefaultPatience for the label's
+// racing Insert and panics with a diagnostic if it never arrives.
 func (o *FIFOOracle) Remove(label uint64) int {
+	d, err := o.RemoveWithin(label, DefaultPatience)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// RemoveWithin is Remove with an explicit patience bound, returning a
+// diagnostic error instead of panicking when the label never appears.
+func (o *FIFOOracle) RemoveWithin(label uint64, patience time.Duration) (int, error) {
+	var deadline time.Time
 	for {
 		o.mu.Lock()
 		dist := 0
@@ -166,12 +210,19 @@ func (o *FIFOOracle) Remove(label uint64) int {
 				}
 				o.stats.Hist[bits.Len(uint(dist))]++
 				o.mu.Unlock()
-				return dist
+				return dist, nil
 			}
 			prev = e
 			dist++
 		}
+		n := o.n
 		o.mu.Unlock()
+		now := time.Now()
+		if deadline.IsZero() {
+			deadline = now.Add(patience)
+		} else if now.After(deadline) {
+			return 0, fmt.Errorf("quality: label %d never inserted (waited %v, %d labels resident): lost item, duplicated pop, or mislabeled harness", label, patience, n)
+		}
 		runtime.Gosched()
 	}
 }

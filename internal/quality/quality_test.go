@@ -1,8 +1,10 @@
 package quality
 
 import (
+	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestStrictLIFOScoresZero(t *testing.T) {
@@ -193,3 +195,36 @@ func TestFIFOOracleConcurrent(t *testing.T) {
 		t.Fatalf("Count = %d, want %d", st.Count, workers*perW)
 	}
 }
+
+func TestRemoveWithinTimesOutOnAbsentLabel(t *testing.T) {
+	var o Oracle
+	o.Insert(1)
+	o.Insert(2)
+	if _, err := o.RemoveWithin(99, 20*time.Millisecond); err == nil {
+		t.Fatal("RemoveWithin on a never-inserted label must fail")
+	} else {
+		msg := err.Error()
+		if !strings.Contains(msg, "label 99") || !strings.Contains(msg, "2 labels resident") {
+			t.Fatalf("diagnostic should name the label and the population, got: %v", err)
+		}
+	}
+	// The miss must not perturb the list or the stats.
+	if o.Len() != 2 {
+		t.Fatalf("Len = %d after a timed-out Remove, want 2", o.Len())
+	}
+	if st := o.Snapshot(); st.Count != 0 {
+		t.Fatalf("Count = %d after a timed-out Remove, want 0", st.Count)
+	}
+}
+
+func TestFIFORemoveWithinTimesOutOnAbsentLabel(t *testing.T) {
+	var o FIFOOracle
+	o.Insert(1)
+	if _, err := o.RemoveWithin(99, 20*time.Millisecond); err == nil {
+		t.Fatal("RemoveWithin on a never-inserted label must fail")
+	}
+	if o.Len() != 1 {
+		t.Fatalf("Len = %d after a timed-out Remove, want 1", o.Len())
+	}
+}
+

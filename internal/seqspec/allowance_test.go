@@ -1,0 +1,114 @@
+package seqspec
+
+import "testing"
+
+// Combined Allowance accounting (DESIGN.md §9): a history spanning both a
+// width shrink and a backend swap is budgeted K + Allowance where Allowance
+// is the SUM of the shrink displacement and the swap displacement — the two
+// migrations compose additively. Until now only the hammers exercised the
+// composed budget; these tables pin the checker arithmetic exactly at the
+// boundary.
+
+// stackDistanceHistory builds a sequential history whose single measured
+// pop realises exactly dist: push labels 1..dist+1, then pop label 1 (dist
+// younger items resident).
+func stackDistanceHistory(dist int) []Op {
+	ops := make([]Op, 0, dist+2)
+	for v := 1; v <= dist+1; v++ {
+		ops = append(ops, Op{Kind: OpPush, Value: uint64(v)})
+	}
+	return append(ops, Op{Kind: OpPop, Value: 1})
+}
+
+// fifoDistanceHistory is the queue counterpart: push labels 1..dist+1, then
+// dequeue label dist+1 (dist older items ahead of it).
+func fifoDistanceHistory(dist int) []Op {
+	ops := make([]Op, 0, dist+2)
+	for v := 1; v <= dist+1; v++ {
+		ops = append(ops, Op{Kind: OpPush, Value: uint64(v)})
+	}
+	return append(ops, Op{Kind: OpPop, Value: uint64(dist + 1)})
+}
+
+func TestCombinedAllowanceBudget(t *testing.T) {
+	cases := []struct {
+		name       string
+		k          int64
+		shrinkDisp int64 // shrink displacement active in the history
+		swapDisp   int64 // swap displacement active in the same history
+	}{
+		{"no-allowance", 9, 0, 0},
+		{"shrink-only", 9, 4, 0},
+		{"swap-only", 9, 0, 5},
+		{"shrink-and-swap", 9, 4, 5},
+		{"strict-structure-migrations-only", 0, 3, 2},
+		{"large-composed", 27, 12, 9},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			allow := tc.shrinkDisp + tc.swapDisp
+			budget := int(tc.k + allow)
+
+			// A history realising exactly the composed budget passes...
+			hist := SequentialIntervals(stackDistanceHistory(budget))
+			rep, err := (KStackChecker{K: tc.k, Allowance: allow}).Check(hist)
+			if err != nil {
+				t.Fatalf("distance %d must pass k=%d allowance=%d: %v", budget, tc.k, allow, err)
+			}
+			if rep.MaxDistance != budget || rep.MaxStrain != budget {
+				t.Fatalf("report %+v, want distance=strain=%d", rep, budget)
+			}
+
+			// ...one more fails...
+			over := SequentialIntervals(stackDistanceHistory(budget + 1))
+			if _, err := (KStackChecker{K: tc.k, Allowance: allow}).Check(over); err == nil {
+				t.Fatalf("distance %d must fail k=%d allowance=%d", budget+1, tc.k, allow)
+			}
+
+			// ...and misattributing the composed allowance to K alone is NOT
+			// equivalent for the failing case's diagnosis, but the arithmetic
+			// boundary must agree: K+allowance and (K+allowance, 0) admit the
+			// same histories.
+			if _, err := (KStackChecker{K: tc.k + allow}).Check(over); err == nil {
+				t.Fatalf("folded budget must reject distance %d too", budget+1)
+			}
+
+			// FIFO checker: same composition, same boundary.
+			fhist := SequentialIntervals(fifoDistanceHistory(budget))
+			frep, err := (KFIFOChecker{K: tc.k, Allowance: allow}).Check(fhist)
+			if err != nil {
+				t.Fatalf("FIFO distance %d must pass k=%d allowance=%d: %v", budget, tc.k, allow, err)
+			}
+			if frep.MaxDistance != budget {
+				t.Fatalf("FIFO report %+v, want distance %d", frep, budget)
+			}
+			fover := SequentialIntervals(fifoDistanceHistory(budget + 1))
+			if _, err := (KFIFOChecker{K: tc.k, Allowance: allow}).Check(fover); err == nil {
+				t.Fatalf("FIFO distance %d must fail k=%d allowance=%d", budget+1, tc.k, allow)
+			}
+		})
+	}
+}
+
+// The allowance also widens the empty-report budget: a pop may report empty
+// with up to K+Allowance items provably present (displaced items are
+// invisible to a window walk mid-migration).
+func TestCombinedAllowanceEmptyBudget(t *testing.T) {
+	const k, shrink, swap = 2, 2, 1
+	build := func(present int) []IntervalOp {
+		ops := make([]Op, 0, present+1)
+		for v := 1; v <= present; v++ {
+			ops = append(ops, Op{Kind: OpPush, Value: uint64(v)})
+		}
+		ops = append(ops, Op{Kind: OpPop, Empty: true})
+		return SequentialIntervals(ops)
+	}
+	chk := KStackChecker{K: k, Allowance: shrink + swap}
+	if _, err := chk.Check(build(k + shrink + swap)); err != nil {
+		t.Fatalf("empty report with %d present must pass: %v", k+shrink+swap, err)
+	}
+	if _, err := chk.Check(build(k + shrink + swap + 1)); err == nil {
+		t.Fatalf("empty report with %d present must fail", k+shrink+swap+1)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"stack2d/internal/core"
 	"stack2d/internal/pad"
+	"stack2d/internal/yield"
 )
 
 // geometry is one immutable snapshot of the queue's structure: the window
@@ -238,6 +239,9 @@ func (q *Queue[T]) reconfigureLocked(cfg Config, requester int) error {
 		}
 		q.stampPlacement(next, homes)
 	}
+	// Director yield point: the instant before the new window rules become
+	// visible to fresh pins (see internal/core's reconfigureLocked twin).
+	gate(yield.PointGeometryPublish)
 	q.geo.Store(next)
 
 	// Keep both ceilings at or above the new depth so the windows start
@@ -399,6 +403,8 @@ func (q *Queue[T]) waitQuiesce(oldEpoch uint64) {
 		if !busy {
 			return
 		}
+		// Park under the director instead of spinning a directed schedule.
+		gate(yield.PointWait)
 		runtime.Gosched()
 	}
 }

@@ -50,6 +50,7 @@ import (
 	"stack2d/internal/msqueue"
 	"stack2d/internal/pad"
 	"stack2d/internal/xrand"
+	"stack2d/internal/yield"
 )
 
 // Config carries the tuning parameters; they have the same roles as the
@@ -479,6 +480,7 @@ func (h *Handle[T]) Enqueue(v T) {
 				// random sub-queue and restart the coverage count.
 				h.stats.CASFailures++
 				h.stats.SocketCAS[sockIdx]++
+				gate(yield.PointCASFail)
 				idx = core.HopIdx(h.rng, width, ord, localN)
 				if ord != nil {
 					at = pos[idx]
@@ -510,6 +512,7 @@ func (h *Handle[T]) Enqueue(v T) {
 				idx = ord[at]
 			}
 		}
+		gate(yield.PointWindowMove)
 		if q.globalEnq.V.CompareAndSwap(global, global+geo.shift) {
 			h.stats.WindowRaises++
 		}
@@ -558,6 +561,7 @@ func (h *Handle[T]) Dequeue() (v T, ok bool) {
 					// Another dequeuer beat us here: hop away, fresh pass.
 					h.stats.CASFailures++
 					h.stats.SocketCAS[sockIdx]++
+					gate(yield.PointCASFail)
 					idx = core.HopIdx(h.rng, width, ord, localN)
 					if ord != nil {
 						at = pos[idx]
@@ -602,6 +606,7 @@ func (h *Handle[T]) Dequeue() (v T, ok bool) {
 			return zero, false
 		}
 		// Items exist beyond the current window: raise it and retry.
+		gate(yield.PointWindowMove)
 		if q.globalDeq.V.CompareAndSwap(global, global+geo.shift) {
 			h.stats.WindowLowers++
 		}
