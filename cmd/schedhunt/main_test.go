@@ -1,0 +1,52 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stack2d/internal/director"
+	"stack2d/internal/director/scenarios"
+)
+
+// hunted resolves its scenario by name from the pack; if the guided-frontier
+// entry loses its Directed hook, the violation path silently degrades to "no
+// artifact". Pin the lookup and the artifact plumbing it feeds.
+func TestHuntScenarioResolvesWithDirectedEntry(t *testing.T) {
+	var sc scenarios.Scenario
+	for _, s := range scenarios.All() {
+		if s.Name == scenarios.NameGuidedFrontier {
+			sc = s
+		}
+	}
+	if sc.Name == "" {
+		t.Fatalf("scenario pack has no %q entry", scenarios.NameGuidedFrontier)
+	}
+	if sc.Directed == nil {
+		t.Fatalf("%q has no Directed entry point; schedhunt cannot replay shrink candidates", sc.Name)
+	}
+
+	seed := uint64(0x2d5ac)
+	out, err := scenarios.FrontierDirected(scenarios.FrontierConfig(), seed, director.NewSeededRandom(seed))
+	if err != nil {
+		t.Fatalf("baseline frontier run failed: %v", err)
+	}
+	dir := t.TempDir()
+	sres := &director.ShrinkResult{Original: out.Schedule, Minimized: out.Schedule[:1], Probes: 1, Kept: 1}
+	path, werr := scenarios.WriteMinimized(dir, sc, seed, errors.New("synthetic"), sres, out.TaskNames)
+	if werr != nil {
+		t.Fatalf("WriteMinimized: %v", werr)
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("artifact written to %s, want directory %s", path, dir)
+	}
+	b, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("artifact unreadable: %v", rerr)
+	}
+	if !strings.Contains(string(b), scenarios.NameGuidedFrontier) {
+		t.Fatalf("artifact does not name its scenario:\n%s", b)
+	}
+}

@@ -1,0 +1,311 @@
+package director
+
+import (
+	"stack2d/internal/xrand"
+	"stack2d/internal/yield"
+)
+
+// This file is the coverage-guided half of the director's search tooling
+// (DESIGN.md §10 "The coverage signal"): a coverage accumulator abstracting
+// every grant of a directed run to a hashed (task, yield point, structure
+// state) tuple — noted before the granted task runs, so novelty is exactly
+// predictable one step ahead — a corpus of schedules that reached coverage
+// no earlier schedule reached, and a mutator that dives, splices and
+// perturbs corpus schedules to chase the frontier. The feedback loop turns the blind
+// strategies (seeded-random, PCT) into a search: a schedule is worth
+// keeping exactly when it visited something new, and new schedules are
+// grown from the prefixes that got there.
+
+// Coverage accumulates the abstract states a set of directed runs visits.
+// Each grant contributes its state tuple and, within one run, the
+// transition edge from the previous tuple — edge coverage distinguishes
+// "visited A and B" from "visited B from A", which is what schedule search
+// needs. The zero value is not ready; build with NewCoverage.
+type Coverage struct {
+	seen    map[uint64]struct{}
+	prev    uint64
+	chained bool
+
+	// notes counts grants in the current run; lastFresh is the note
+	// index (1-based) of the run's most recent fresh contribution — the
+	// coverage frontier the guided mutator diverges at.
+	notes     int
+	lastFresh int
+}
+
+// NewCoverage builds an empty accumulator.
+func NewCoverage() *Coverage { return &Coverage{seen: make(map[uint64]struct{})} }
+
+// covMix is the SplitMix64 finalizer — a cheap 64-bit avalanche for
+// combining the tuple fields into one key.
+func covMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Begin resets the transition chain and the per-run frontier marker. The
+// director calls it at the start of every run, so edges never span run
+// boundaries.
+func (c *Coverage) Begin() {
+	c.chained = false
+	c.notes = 0
+	c.lastFresh = 0
+}
+
+// Note records one suspension and reports whether it contributed new
+// coverage — a state tuple or a transition edge seen for the first time.
+func (c *Coverage) Note(task int, p yield.Point, state uint64) bool {
+	c.notes++
+	key := covMix(state ^ covMix(uint64(task)<<8|uint64(p)))
+	fresh := c.add(key)
+	if c.chained && c.add(covMix(c.prev^key*0x9e3779b97f4a7c15)) {
+		fresh = true
+	}
+	c.prev = key
+	c.chained = true
+	if fresh {
+		c.lastFresh = c.notes
+	}
+	return fresh
+}
+
+// LastFresh returns the note index (1-based, 0 = none) of the current
+// run's most recent fresh contribution — where the run last pushed the
+// coverage frontier. Suspension notes track grant steps closely (only
+// task-completion grants do not suspend), so the guided mutator uses it as
+// the divergence point for frontier dives.
+func (c *Coverage) LastFresh() int { return c.lastFresh }
+
+func (c *Coverage) add(k uint64) bool {
+	if _, ok := c.seen[k]; ok {
+		return false
+	}
+	c.seen[k] = struct{}{}
+	return true
+}
+
+// Distinct returns the number of distinct coverage states (tuples + edges)
+// accumulated so far.
+func (c *Coverage) Distinct() int { return len(c.seen) }
+
+// WouldBeFresh reports — without recording anything — whether noting
+// (task, p, state) now would contribute new coverage: an unseen tuple, or
+// an unseen edge from the current chain position. Because the director
+// notes coverage at grant time from exactly these inputs, this is an exact
+// one-step novelty oracle for the Guided strategy.
+func (c *Coverage) WouldBeFresh(task int, p yield.Point, state uint64) bool {
+	key := covMix(state ^ covMix(uint64(task)<<8|uint64(p)))
+	if _, ok := c.seen[key]; !ok {
+		return true
+	}
+	if c.chained {
+		if _, ok := c.seen[covMix(c.prev^key*0x9e3779b97f4a7c15)]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Builder constructs one fresh directed run for a search: register tasks on
+// d against freshly built structures and return the state probe feeding the
+// coverage signal (nil for pure control coverage) plus a finish hook the
+// search calls after Run returns — typically the sequential verification
+// drain and the k-distance check. A non-nil finish error is a found
+// violation: the search stops and surfaces the failing schedule for the
+// shrinker. finish may be nil.
+type Builder func(d *Director) (probe func() uint64, finish func(*Director) error)
+
+// SearchResult summarises one schedule search.
+type SearchResult struct {
+	// Runs is the number of directed runs executed; Steps the total grants
+	// across them — the budget guided-vs-random comparisons equalise.
+	Runs  int
+	Steps int
+	// Distinct is the coverage accumulated (states + edges); Corpus the
+	// number of schedules admitted for reaching new coverage.
+	Distinct int
+	Corpus   int
+	// Failing is the recorded schedule of the run whose finish hook
+	// reported a violation (nil when the search completed clean). Replaying
+	// it with NewFollow reproduces the violation; the shrinker minimises it.
+	Failing []Choice
+}
+
+// GuidedSearch owns the corpus and mutation stream of one coverage-guided
+// search. Build with NewGuidedSearch; the whole search is a deterministic
+// function of the seed and the builder.
+type GuidedSearch struct {
+	rng    *xrand.State
+	cov    *Coverage
+	corpus []corpusEntry
+}
+
+// corpusEntry is one admitted schedule plus the frontier index where its
+// run last contributed fresh coverage — the natural divergence point for
+// mutations.
+type corpusEntry struct {
+	sched    []Choice
+	frontier int
+}
+
+// NewGuidedSearch builds a search from a seed.
+func NewGuidedSearch(seed uint64) *GuidedSearch {
+	return &GuidedSearch{rng: xrand.New(seed), cov: NewCoverage()}
+}
+
+// Coverage exposes the accumulator (shared across Explore calls, so a
+// search can be resumed with a larger budget without forgetting).
+func (g *GuidedSearch) Coverage() *Coverage { return g.cov }
+
+// Corpus returns the admitted schedules, oldest first.
+func (g *GuidedSearch) Corpus() [][]Choice {
+	out := make([][]Choice, len(g.corpus))
+	for i, e := range g.corpus {
+		out[i] = e.sched
+	}
+	return out
+}
+
+// Explore runs directed runs until at least stepBudget total grants have
+// been spent: each run follows a corpus mutation (or explores pure
+// seeded-random while the corpus is empty), and its schedule is admitted to
+// the corpus when the run reached new coverage. A finish-hook violation
+// stops the search immediately — the result carries the failing schedule
+// and Explore returns the violation error. A director error (step-cap
+// abort, task panic) is returned as-is.
+func (g *GuidedSearch) Explore(build Builder, stepBudget int) (SearchResult, error) {
+	var res SearchResult
+	for res.Steps < stepBudget {
+		strat := NewGuided(g.rng.Uint64(), g.propose())
+		strat.AttachCoverage(g.cov)
+		before := g.cov.Distinct()
+		sched, steps, failErr, runErr := searchRun(build, strat, g.cov)
+		res.Runs++
+		res.Steps += steps
+		if runErr != nil {
+			g.finish(&res)
+			return res, runErr
+		}
+		if g.cov.Distinct() > before {
+			g.corpus = append(g.corpus, corpusEntry{sched: sched, frontier: g.cov.LastFresh()})
+		}
+		if failErr != nil {
+			res.Failing = sched
+			g.finish(&res)
+			return res, failErr
+		}
+	}
+	g.finish(&res)
+	return res, nil
+}
+
+func (g *GuidedSearch) finish(res *SearchResult) {
+	res.Distinct = g.cov.Distinct()
+	res.Corpus = len(g.corpus)
+}
+
+// propose mutates the corpus into the next run's proposal: nil (pure
+// exploration) a quarter of the time and whenever the corpus is empty,
+// otherwise a frontier dive, a splice of two corpus schedules, or a
+// perturbation flipping a fraction of the grants to random tasks. A
+// frontier dive replays an admitted schedule exactly up to (just past) the
+// step where its run last produced fresh coverage and diverges there —
+// replay determinism reproduces the frontier state, then the fallback
+// explores outward from it, which is the move a feedback-free random
+// search cannot make. The corpus pick is biased toward recent entries
+// (larger of two uniform draws): later admissions carry the deeper
+// frontier.
+func (g *GuidedSearch) propose() []Choice {
+	if len(g.corpus) == 0 || g.rng.Intn(3) > 0 {
+		return nil
+	}
+	idx := g.rng.Intn(len(g.corpus))
+	if j := g.rng.Intn(len(g.corpus)); j > idx {
+		idx = j
+	}
+	e := g.corpus[idx]
+	if len(e.sched) == 0 {
+		return nil
+	}
+	switch g.rng.Intn(3) {
+	case 0: // frontier dive: replay a prefix reaching toward the fresh zone
+		lim := e.frontier
+		if cap := 3 * len(e.sched) / 4; lim > cap {
+			lim = cap // always leave room to diverge before the run ends
+		}
+		if lim < 1 {
+			lim = 1
+		}
+		return cloneSchedule(e.sched[:1+g.rng.Intn(lim)])
+	case 1: // prefix of one corpus schedule, suffix of another
+		other := g.corpus[g.rng.Intn(len(g.corpus))].sched
+		if len(other) == 0 {
+			return cloneSchedule(e.sched)
+		}
+		cand := cloneSchedule(e.sched[:g.rng.Intn(len(e.sched))])
+		return append(cand, cloneSchedule(other[g.rng.Intn(len(other)):])...)
+	default: // flip ~1/8 of the grants to random task ids
+		cand := cloneSchedule(e.sched)
+		maxTask := 0
+		for _, ch := range e.sched {
+			if ch.Task > maxTask {
+				maxTask = ch.Task
+			}
+		}
+		for i := range cand {
+			if g.rng.Intn(8) == 0 {
+				cand[i].Task = g.rng.Intn(maxTask + 1)
+			}
+		}
+		return cand
+	}
+}
+
+// RandomSearch is the guided search's control arm: the same run loop and
+// accounting, but every run is a fresh SeededRandom schedule with no
+// feedback. The pinned domination test holds Guided to strictly more
+// distinct coverage than this baseline at an equal step budget.
+func RandomSearch(seed uint64, build Builder, stepBudget int) (SearchResult, error) {
+	rng := xrand.New(seed)
+	cov := NewCoverage()
+	var res SearchResult
+	for res.Steps < stepBudget {
+		sched, steps, failErr, runErr := searchRun(build, NewSeededRandom(rng.Uint64()), cov)
+		res.Runs++
+		res.Steps += steps
+		res.Distinct = cov.Distinct()
+		if runErr != nil {
+			return res, runErr
+		}
+		if failErr != nil {
+			res.Failing = sched
+			return res, failErr
+		}
+	}
+	return res, nil
+}
+
+// searchRun executes one directed run for a search: fresh director, the
+// builder's fresh structures, coverage noted into cov.
+func searchRun(build Builder, strat Strategy, cov *Coverage) (sched []Choice, steps int, failErr, runErr error) {
+	d := New(strat)
+	d.SetCoverage(cov)
+	probe, finishRun := build(d)
+	d.SetStateProbe(probe)
+	if runErr = d.Run(); runErr != nil {
+		return d.Schedule(), d.Steps(), nil, runErr
+	}
+	if finishRun != nil {
+		failErr = finishRun(d)
+	}
+	return d.Schedule(), d.Steps(), failErr, nil
+}
+
+func cloneSchedule(s []Choice) []Choice {
+	out := make([]Choice, len(s))
+	copy(out, s)
+	return out
+}

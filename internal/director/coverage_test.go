@@ -1,0 +1,153 @@
+package director
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"stack2d/internal/core"
+	"stack2d/internal/seqspec"
+	"stack2d/internal/yield"
+)
+
+func TestCoverageNotesStatesAndEdges(t *testing.T) {
+	c := NewCoverage()
+	c.Begin()
+	if !c.Note(0, yield.PointOpBegin, 1) {
+		t.Fatal("first tuple must be fresh")
+	}
+	if got := c.Distinct(); got != 1 {
+		t.Fatalf("one note, %d distinct (first note has no edge)", got)
+	}
+	// Same tuple again: the state is stale but the self-edge is new.
+	if !c.Note(0, yield.PointOpBegin, 1) {
+		t.Fatal("the first self-edge is new coverage")
+	}
+	if !c.Note(1, yield.PointCASFail, 1) {
+		t.Fatal("a distinct tuple must be fresh")
+	}
+	n := c.Distinct()
+	// Replaying the exact same run contributes nothing.
+	c.Begin()
+	c.Note(0, yield.PointOpBegin, 1)
+	c.Note(0, yield.PointOpBegin, 1)
+	c.Note(1, yield.PointCASFail, 1)
+	if c.Distinct() != n {
+		t.Fatalf("replaying a covered run grew coverage %d -> %d", n, c.Distinct())
+	}
+	// Same suspensions, different abstract structure state: new coverage.
+	c.Begin()
+	if !c.Note(0, yield.PointOpBegin, 2) {
+		t.Fatal("a new structure state must be fresh coverage")
+	}
+}
+
+func TestCoverageEdgesDoNotSpanRuns(t *testing.T) {
+	a, b := NewCoverage(), NewCoverage()
+	// One run visiting X then Y...
+	a.Begin()
+	a.Note(0, yield.PointOpBegin, 7)
+	a.Note(1, yield.PointOpBegin, 8)
+	// ...versus two runs visiting X and Y separately: the edge X->Y must
+	// only exist in the first accumulator.
+	b.Begin()
+	b.Note(0, yield.PointOpBegin, 7)
+	b.Begin()
+	b.Note(1, yield.PointOpBegin, 8)
+	if a.Distinct() != b.Distinct()+1 {
+		t.Fatalf("edge accounting across runs: chained %d, unchained %d (want +1)", a.Distinct(), b.Distinct())
+	}
+}
+
+// smallBuilder adapts the driveSmall workload to the search interface,
+// with a real state probe over the stack.
+func smallBuilder(fail func(d *Director) error) Builder {
+	return func(d *Director) (func() uint64, func(*Director) error) {
+		cfg := core.Config{Width: 2, Depth: 2, Shift: 1, RandomHops: 0}
+		st, err := core.New[uint64](cfg)
+		if err != nil {
+			return nil, func(*Director) error { return err }
+		}
+		for w := 0; w < 2; w++ {
+			d.Go("pusher", func(tc *Task) {
+				h := st.NewHandle()
+				for i := 0; i < 6; i++ {
+					label := tc.Label()
+					tc.Op(seqspec.OpPush, func() (uint64, bool) {
+						h.Push(label)
+						return label, true
+					})
+				}
+			})
+		}
+		d.Go("popper", func(tc *Task) {
+			h := st.NewHandle()
+			for i := 0; i < 6; i++ {
+				tc.Op(seqspec.OpPop, func() (uint64, bool) { return h.Pop() })
+			}
+		})
+		probe := func() uint64 { return uint64(st.Global())<<16 ^ uint64(st.Len()) }
+		return probe, fail
+	}
+}
+
+func TestGuidedSearchIsDeterministic(t *testing.T) {
+	run := func() (SearchResult, [][]Choice) {
+		g := NewGuidedSearch(99)
+		res, err := g.Explore(smallBuilder(nil), 600)
+		if err != nil {
+			t.Fatalf("Explore: %v", err)
+		}
+		return res, g.Corpus()
+	}
+	res1, corpus1 := run()
+	res2, corpus2 := run()
+	if !reflect.DeepEqual(res1, res2) {
+		t.Fatalf("same seed, different search results:\n%+v\n%+v", res1, res2)
+	}
+	if !reflect.DeepEqual(corpus1, corpus2) {
+		t.Fatal("same seed, different corpora")
+	}
+	if res1.Runs == 0 || res1.Steps < 600 || res1.Distinct == 0 {
+		t.Fatalf("search did no work: %+v", res1)
+	}
+	if res1.Corpus == 0 {
+		t.Fatal("no schedule ever reached new coverage (signal is dead)")
+	}
+}
+
+func TestGuidedSearchSurfacesFailingSchedule(t *testing.T) {
+	// A finish hook that rejects every run: the search must stop after the
+	// first run and surface that run's schedule for the shrinker.
+	g := NewGuidedSearch(7)
+	res, err := g.Explore(smallBuilder(func(d *Director) error {
+		return errPlanted
+	}), 10_000)
+	if err == nil {
+		t.Fatal("a finish-hook violation must fail the search")
+	}
+	if res.Runs != 1 {
+		t.Fatalf("search ran %d runs past a first-run violation", res.Runs)
+	}
+	if len(res.Failing) == 0 {
+		t.Fatal("violation surfaced without its failing schedule")
+	}
+	if res.Failing[0].Point != yield.PointSpawn {
+		t.Fatalf("recorded schedule must start at the spawn point, got %s", res.Failing[0].Point)
+	}
+}
+
+var errPlanted = errors.New("planted violation")
+
+func TestRandomSearchMatchesBudgetAccounting(t *testing.T) {
+	res, err := RandomSearch(99, smallBuilder(nil), 600)
+	if err != nil {
+		t.Fatalf("RandomSearch: %v", err)
+	}
+	if res.Steps < 600 || res.Runs == 0 || res.Distinct == 0 {
+		t.Fatalf("control arm did no work: %+v", res)
+	}
+	if res.Corpus != 0 {
+		t.Fatalf("control arm admitted %d corpus schedules; it must not keep feedback", res.Corpus)
+	}
+}

@@ -27,6 +27,8 @@ package director
 
 import (
 	"fmt"
+	"runtime/debug"
+	"strings"
 
 	"stack2d/internal/core"
 	"stack2d/internal/engine"
@@ -59,14 +61,16 @@ type event struct {
 }
 
 type task struct {
-	id     int
-	name   string
-	body   func(*Task)
-	resume chan struct{}
-	done   bool
-	parked bool
-	last   yield.Point
-	ops    []seqspec.IntervalOp
+	id         int
+	name       string
+	body       func(*Task)
+	resume     chan struct{}
+	done       bool
+	parked     bool
+	last       yield.Point
+	ops        []seqspec.IntervalOp
+	panicVal   any
+	panicStack []byte
 }
 
 // Director owns the virtual clock, the task set and the recorded schedule
@@ -84,6 +88,10 @@ type Director struct {
 	schedule []Choice
 	aborted  bool
 	ran      bool
+	panicked *task
+
+	coverage *Coverage
+	probe    func() uint64
 }
 
 // New builds a director that schedules with the given strategy.
@@ -94,6 +102,20 @@ func New(s Strategy) *Director {
 // SetMaxSteps overrides DefaultMaxSteps (testing the abort path, or very
 // long storms).
 func (d *Director) SetMaxSteps(n int) { d.maxSteps = n }
+
+// SetCoverage attaches a coverage accumulator: every suspension of the run
+// is Noted as a (task, point, abstract state) tuple. The accumulator
+// outlives the director — the guided search shares one across all its runs.
+// Must be called before Run.
+func (d *Director) SetCoverage(c *Coverage) { d.coverage = c }
+
+// SetStateProbe installs the structure-state abstraction the coverage
+// signal hashes alongside each suspension (window position, population,
+// geometry epoch — whatever the workload exposes). The probe runs on the
+// director's goroutine while every task is suspended, so it may read the
+// structures without synchronisation. Nil (the default) abstracts the
+// structure state to 0, leaving pure control coverage.
+func (d *Director) SetStateProbe(f func() uint64) { d.probe = f }
 
 // Go registers a task. Tasks are identified by registration order (the id
 // strategies see); name is for diagnostics only. Must be called before Run.
@@ -174,12 +196,22 @@ func (d *Director) Run() error {
 		core.Gate, twodqueue.Gate, engine.Gate = prevCore, prevQueue, prevEngine
 	}()
 
+	if d.coverage != nil {
+		d.coverage.Begin()
+	}
 	for _, t := range d.tasks {
 		go func(t *task) {
 			defer func() {
+				// A panic out of the task body (typically escaping Task.Op's
+				// closure, i.e. the structure under test) is captured and
+				// surfaced as Run's error with the task's stack — the
+				// director aborts the remaining tasks instead of crashing
+				// the process, so a directed run that provokes a panic is a
+				// diagnosable, shrinkable failure.
 				if r := recover(); r != nil {
 					if _, abort := r.(abortSentinel); !abort {
-						panic(r)
+						t.panicVal = r
+						t.panicStack = debug.Stack()
 					}
 				}
 				d.events <- event{task: t.id, done: true}
@@ -195,13 +227,26 @@ func (d *Director) Run() error {
 	live := len(d.tasks)
 	var lastChoice Choice
 	for live > 0 {
-		t := d.tasks[d.pick(lastChoice)]
+		var state uint64
+		if d.coverage != nil && d.probe != nil {
+			// Safe: every task is suspended on its resume channel right now,
+			// so the probe is the only code touching the structures.
+			state = d.probe()
+		}
+		t := d.tasks[d.pick(lastChoice, state)]
 		lastChoice = Choice{Task: t.id, Point: t.last}
 		d.schedule = append(d.schedule, lastChoice)
 		d.clock++
 		d.steps++
 		if d.steps > d.maxSteps {
 			d.aborted = true
+		}
+		if d.coverage != nil {
+			// Coverage is noted at grant time — (granted task, the point it
+			// resumes from, abstract pre-step state) are all known before the
+			// grant, which is what lets a StateAware strategy predict novelty
+			// exactly. The note index equals the schedule index plus one.
+			d.coverage.Note(t.id, t.last, state)
 		}
 		d.current = t
 		t.resume <- struct{}{}
@@ -210,6 +255,10 @@ func (d *Director) Run() error {
 		if ev.done {
 			t.done = true
 			live--
+			if t.panicVal != nil && d.panicked == nil {
+				d.panicked = t
+				d.aborted = true
+			}
 			d.unparkAll()
 			continue
 		}
@@ -222,16 +271,43 @@ func (d *Director) Run() error {
 			d.unparkAll()
 		}
 	}
+	if d.panicked != nil {
+		return fmt.Errorf("director: task %d (%s) panicked after %d steps: %v\n%s\n%s",
+			d.panicked.id, d.panicked.name, d.steps, d.panicked.panicVal, d.taskStates(), d.panicked.panicStack)
+	}
 	if d.aborted {
-		return fmt.Errorf("director: run aborted after %d steps (max %d); schedule livelock or cap too low", d.steps, d.maxSteps)
+		return fmt.Errorf("director: run aborted after %d steps (max %d); schedule livelock or cap too low\n%s",
+			d.steps, d.maxSteps, d.taskStates())
 	}
 	return nil
+}
+
+// taskStates renders one diagnostic line per task — where each one last
+// suspended, or that it finished — for the abort and panic errors.
+func (d *Director) taskStates() string {
+	var b strings.Builder
+	b.WriteString("task states at abort:")
+	for _, t := range d.tasks {
+		switch {
+		case t.panicVal != nil:
+			fmt.Fprintf(&b, "\n  task %d (%s): panicked: %v", t.id, t.name, t.panicVal)
+		case t.done:
+			fmt.Fprintf(&b, "\n  task %d (%s): done", t.id, t.name)
+		case t.parked:
+			fmt.Fprintf(&b, "\n  task %d (%s): parked at %s", t.id, t.name, t.last)
+		default:
+			fmt.Fprintf(&b, "\n  task %d (%s): suspended at %s", t.id, t.name, t.last)
+		}
+	}
+	return b.String()
 }
 
 // pick asks the strategy to choose among the runnable tasks. Parked tasks
 // (suspended at PointWait) are offered only when every runnable task is
 // parked — then one of them must be granted to re-check its wait condition.
-func (d *Director) pick(last Choice) int {
+// StateAware strategies additionally see each candidate's pending yield
+// point and the abstract pre-step structure state.
+func (d *Director) pick(last Choice, state uint64) int {
 	runnable := make([]int, 0, len(d.tasks))
 	for _, t := range d.tasks {
 		if !t.done && !t.parked {
@@ -248,7 +324,16 @@ func (d *Director) pick(last Choice) int {
 	if len(runnable) == 1 {
 		return runnable[0]
 	}
-	idx := d.strategy.Next(runnable, d.steps, last)
+	var idx int
+	if sa, ok := d.strategy.(StateAware); ok {
+		points := make([]yield.Point, len(runnable))
+		for i, id := range runnable {
+			points[i] = d.tasks[id].last
+		}
+		idx = sa.NextState(runnable, points, d.steps, last, state)
+	} else {
+		idx = d.strategy.Next(runnable, d.steps, last)
+	}
 	if idx < 0 || idx >= len(runnable) {
 		idx = 0
 	}
@@ -270,8 +355,18 @@ func (d *Director) Steps() int { return d.steps }
 
 // Schedule returns the recorded choice sequence — a complete, replayable
 // description of the interleaving (granting tasks in this exact order
-// reproduces the run).
+// reproduces the run; NewFollow does exactly that).
 func (d *Director) Schedule() []Choice { return d.schedule }
+
+// TaskNames returns the registered task names in id order, for schedule
+// narration and diagnostics.
+func (d *Director) TaskNames() []string {
+	names := make([]string, len(d.tasks))
+	for i, t := range d.tasks {
+		names[i] = t.name
+	}
+	return names
+}
 
 // History merges the per-task shards in task order. Intervals carry virtual
 // clock ticks; the checkers' stable sort on Begin reconstructs grant order

@@ -1,0 +1,142 @@
+package scenarios
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"stack2d/internal/director"
+)
+
+// ArtifactDirEnv names the environment variable CI sets to collect
+// minimized-schedule artifacts: when a directed scenario fails, the test
+// harness shrinks the failing schedule and writes the result here as a
+// replayable JSON document. Unset means "don't write files" — the shrink
+// narration still lands in the test log.
+const ArtifactDirEnv = "DIRECTOR_ARTIFACT_DIR"
+
+// MinimizedArtifact is the on-disk form of a shrunk failing schedule. It
+// carries everything needed to replay the failure by hand: the scenario
+// name and seed (the workload), the minimized directive schedule (feed it
+// to director.NewFollow over the scenario's Directed entry point with a
+// round-robin fallback), and the narration a human reads first.
+type MinimizedArtifact struct {
+	Scenario string `json:"scenario"`
+	Seed     uint64 `json:"seed"`
+	// Error is the failure the schedule reproduces.
+	Error string `json:"error"`
+	// OriginalLen and MinimizedLen count choices before and after
+	// shrinking; Probes is the number of candidate replays spent.
+	OriginalLen  int `json:"original_len"`
+	MinimizedLen int `json:"minimized_len"`
+	Probes       int `json:"probes"`
+	// Fingerprint is director.ScheduleFingerprint of Minimized, printed in
+	// hex — the determinism regression pins it across shrinks.
+	Fingerprint string `json:"fingerprint"`
+	// Minimized is the directive schedule itself: task -1 means "any
+	// deterministic fallback move works here".
+	Minimized []director.Choice `json:"minimized"`
+	// Narration is director.FormatSchedule over Minimized with the run's
+	// task names.
+	Narration string `json:"narration"`
+}
+
+// ReplayFallback is the deterministic fallback every shrink replay uses:
+// round robin completes any run the directive prefix leaves unfinished,
+// the same way every time.
+func ReplayFallback() director.Strategy { return director.NewRoundRobin() }
+
+// ShrinkFailing minimises the failing schedule of a directed scenario run.
+// The predicate is the scenario's own verdict: a candidate fails iff
+// replaying it through sc.Directed (wrapped in NewFollow over the
+// deterministic fallback) returns an error. Returns the shrink result and
+// the task names of the final replay (for narration).
+func ShrinkFailing(sc Scenario, seed uint64, failing []director.Choice) (*director.ShrinkResult, []string, error) {
+	if sc.Directed == nil {
+		return nil, nil, fmt.Errorf("scenario %s has no Directed entry point to replay through", sc.Name)
+	}
+	var names []string
+	sh := director.Shrinker{Replay: func(cand []director.Choice) ([]director.Choice, bool) {
+		out, err := sc.Directed(seed, director.NewFollow(cand, ReplayFallback()))
+		if out == nil {
+			// Infrastructure failure before a schedule was recorded: treat
+			// as failing with an empty recording so shrinking never
+			// "fixes" a broken replay vehicle silently.
+			return nil, err != nil
+		}
+		names = out.TaskNames
+		return out.Schedule, err != nil
+	}}
+	res, err := sh.Shrink(failing)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, names, nil
+}
+
+// WriteMinimized serialises one shrink result into dir (created if needed)
+// as <scenario>-seed-<seed>.minimized.json and returns the path. An empty
+// dir consults ArtifactDirEnv; if that is unset too, nothing is written
+// and the returned path is empty (not an error — local runs narrate to the
+// log only).
+func WriteMinimized(dir string, sc Scenario, seed uint64, runErr error, res *director.ShrinkResult, names []string) (string, error) {
+	if dir == "" {
+		dir = os.Getenv(ArtifactDirEnv)
+	}
+	if dir == "" {
+		return "", nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	art := MinimizedArtifact{
+		Scenario:     sc.Name,
+		Seed:         seed,
+		Error:        runErr.Error(),
+		OriginalLen:  len(res.Original),
+		MinimizedLen: len(res.Minimized),
+		Probes:       res.Probes,
+		Fingerprint:  fmt.Sprintf("%016x", director.ScheduleFingerprint(res.Minimized)),
+		Minimized:    res.Minimized,
+		Narration:    director.FormatSchedule(res.Minimized, names),
+	}
+	b, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-seed-%d.minimized.json", sc.Name, seed))
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// RunWithAutoShrink runs one scenario and, if it fails with a recorded
+// schedule, shrinks the failure and (when ArtifactDirEnv is set) writes
+// the minimized artifact. The returned error is the original failure
+// annotated with the shrink narration and artifact path — what a CI log
+// should show a human first.
+func RunWithAutoShrink(sc Scenario, seed uint64) (*Outcome, error) {
+	out, err := sc.Run(seed)
+	if err == nil {
+		return out, nil
+	}
+	if out == nil || len(out.Schedule) == 0 || sc.Directed == nil {
+		return out, err
+	}
+	res, names, serr := ShrinkFailing(sc, seed, out.Schedule)
+	if serr != nil {
+		return out, fmt.Errorf("%w\n(auto-shrink failed: %v)", err, serr)
+	}
+	path, werr := WriteMinimized("", sc, seed, err, res, names)
+	note := ""
+	if werr != nil {
+		note = fmt.Sprintf("\n(artifact write failed: %v)", werr)
+	} else if path != "" {
+		note = fmt.Sprintf("\nminimized artifact: %s", path)
+	}
+	return out, fmt.Errorf("%w\nminimized from %d to %d choices (%d probes):\n%s%s",
+		err, len(res.Original), len(res.Minimized), res.Probes,
+		director.FormatSchedule(res.Minimized, names), note)
+}

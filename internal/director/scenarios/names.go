@@ -31,4 +31,10 @@ const (
 	// local-first placement and schedules with PCT priorities, driving the
 	// worst contention skew the placement layer permits.
 	NameSocketSkew = "socket-skewed-contention"
+	// NameGuidedFrontier runs a whole coverage-guided schedule search over
+	// the frontier workload at the Theorem-1 counterexample geometry: every
+	// directed run the search proposes is drained and checked against the
+	// corrected budget, so the scenario is a standing schedule *hunt*, not
+	// a single replay.
+	NameGuidedFrontier = "guided-frontier-search"
 )

@@ -41,10 +41,18 @@ type Outcome struct {
 
 	History  []seqspec.IntervalOp
 	Schedule []director.Choice
+	// TaskNames maps schedule task ids to registration names, for the
+	// shrinker's narration (director.FormatSchedule).
+	TaskNames []string
 
 	// Quality is the realised error-distance distribution (paper §4
 	// metric: distance from the strict order at removal time).
 	Quality quality.Stats
+
+	// Coverage is the number of distinct coverage states the run (or, for
+	// the guided-frontier scenario, the whole search) visited; zero for
+	// scenarios that don't measure coverage.
+	Coverage int
 }
 
 // Fingerprint hashes the recorded history and schedule; two runs with the
@@ -61,11 +69,18 @@ func (o *Outcome) Fingerprint() uint64 {
 }
 
 // Scenario is one named adversarial run. Run must be a deterministic
-// function of seed.
+// function of seed. On a checker failure the directed scenarios return the
+// recorded Outcome ALONGSIDE the error, so the failing schedule is
+// available for shrinking.
 type Scenario struct {
 	Name  string
 	About string
 	Run   func(seed uint64) (*Outcome, error)
+	// Directed replays the scenario's workload under an explicit strategy
+	// — the shrinker's replay vehicle (director.NewFollow over a candidate
+	// schedule) and the guided search's per-run body. Nil for the
+	// sequential trace-replay scenarios, which have no directed schedule.
+	Directed func(seed uint64, strat director.Strategy) (*Outcome, error)
 }
 
 // All returns the scenario pack in its canonical order.
@@ -82,19 +97,28 @@ func All() []Scenario {
 			Run:   runQueueWitnessReplay,
 		},
 		{
-			Name:  NameShrinkDuringDrain,
-			About: "width shrink racing directed poppers",
-			Run:   runShrinkDuringDrain,
+			Name:     NameShrinkDuringDrain,
+			About:    "width shrink racing directed poppers",
+			Run:      runShrinkDuringDrain,
+			Directed: directedShrinkDuringDrain,
 		},
 		{
-			Name:  NameSwapDuringStorm,
-			About: "backend hot-swap inside a directed push/pop storm",
-			Run:   runSwapDuringStorm,
+			Name:     NameSwapDuringStorm,
+			About:    "backend hot-swap inside a directed push/pop storm",
+			Run:      runSwapDuringStorm,
+			Directed: directedSwapDuringStorm,
 		},
 		{
-			Name:  NameSocketSkew,
-			About: "all handles pinned to one socket of a local-first placement, PCT schedule",
-			Run:   runSocketSkew,
+			Name:     NameSocketSkew,
+			About:    "all handles pinned to one socket of a local-first placement, PCT schedule",
+			Run:      runSocketSkew,
+			Directed: directedSocketSkew,
+		},
+		{
+			Name:     NameGuidedFrontier,
+			About:    "coverage-guided schedule search over the frontier workload, checked every run",
+			Run:      runGuidedFrontier,
+			Directed: directedFrontier,
 		},
 	}
 }
@@ -269,26 +293,36 @@ func drainInto(d *director.Director, pop func() (uint64, bool), o *quality.Oracl
 	}
 }
 
+// finishStackOutcome builds the outcome of a completed directed run and
+// checks it against the budget. On any failure the (partial) outcome is
+// returned ALONGSIDE the error — its History and Schedule are what the
+// shrinker needs to minimise the failure.
 func finishStackOutcome(name, strategy string, seed uint64, d *director.Director, k, allowance int64, errs []error) (*Outcome, error) {
-	if len(errs) > 0 {
-		return nil, errs[0]
-	}
 	hist := d.History()
+	out := &Outcome{
+		Name: name, Strategy: strategy, Seed: seed, Steps: d.Steps(),
+		K: k, Allowance: allowance,
+		History: hist, Schedule: d.Schedule(), TaskNames: d.TaskNames(),
+	}
+	if len(errs) > 0 {
+		return out, errs[0]
+	}
 	if err := seqspec.CheckIntervalSanity(hist, int(k+allowance)); err != nil {
-		return nil, fmt.Errorf("interval sanity: %w", err)
+		return out, fmt.Errorf("interval sanity: %w", err)
 	}
 	rep, err := (seqspec.KStackChecker{K: k, Allowance: allowance}).Check(hist)
+	out.Report = rep
 	if err != nil {
-		return nil, fmt.Errorf("k-budget: %w", err)
+		return out, fmt.Errorf("k-budget: %w", err)
 	}
-	return &Outcome{
-		Name: name, Strategy: strategy, Seed: seed, Steps: d.Steps(),
-		K: k, Allowance: allowance, Report: rep,
-		History: hist, Schedule: d.Schedule(),
-	}, nil
+	return out, nil
 }
 
 func runShrinkDuringDrain(seed uint64) (*Outcome, error) {
+	return directedShrinkDuringDrain(seed, director.NewSeededRandom(seed))
+}
+
+func directedShrinkDuringDrain(seed uint64, strat director.Strategy) (*Outcome, error) {
 	cfgWide := core.Config{Width: 4, Depth: 4, Shift: 1, RandomHops: 0}
 	cfgNarrow := core.Config{Width: 2, Depth: 4, Shift: 1, RandomHops: 0}
 	st, err := core.New[uint64](cfgWide)
@@ -297,7 +331,6 @@ func runShrinkDuringDrain(seed uint64) (*Outcome, error) {
 	}
 	var o quality.Oracle
 	var errs []error
-	strat := director.NewSeededRandom(seed)
 	d := director.New(strat)
 	for w := 0; w < 2; w++ {
 		d.Go("filler", func(tc *director.Task) {
@@ -334,14 +367,17 @@ func runShrinkDuringDrain(seed uint64) (*Outcome, error) {
 		k = n
 	}
 	out, err := finishStackOutcome(NameShrinkDuringDrain, strat.Name(), seed, d, k, st.ShrinkDisplacementBound(), errs)
-	if err != nil {
-		return nil, err
+	if out != nil {
+		out.Quality = o.Snapshot()
 	}
-	out.Quality = o.Snapshot()
-	return out, nil
+	return out, err
 }
 
 func runSwapDuringStorm(seed uint64) (*Outcome, error) {
+	return directedSwapDuringStorm(seed, director.NewSeededRandom(seed))
+}
+
+func directedSwapDuringStorm(seed uint64, strat director.Strategy) (*Outcome, error) {
 	twod, err := relax.NewTwoDBackend[uint64](core.Config{Width: 2, Depth: 4, Shift: 1, RandomHops: 0})
 	if err != nil {
 		return nil, err
@@ -355,7 +391,6 @@ func runSwapDuringStorm(seed uint64) (*Outcome, error) {
 	}
 	var o quality.Oracle
 	var errs []error
-	strat := director.NewSeededRandom(seed)
 	d := director.New(strat)
 	for w := 0; w < 3; w++ {
 		d.Go("storm", func(tc *director.Task) {
@@ -388,17 +423,23 @@ func runSwapDuringStorm(seed uint64) (*Outcome, error) {
 	h := sw.NewHandle()
 	drainInto(d, h.Pop, &o, &errs)
 	out, err := finishStackOutcome(NameSwapDuringStorm, strat.Name(), seed, d, sw.KBound(), sw.SwapDisplacementBound(), errs)
+	if out != nil {
+		out.Quality = o.Snapshot()
+	}
 	if err != nil {
-		return nil, err
+		return out, err
 	}
 	if sw.SwapCount() != 2 {
-		return nil, fmt.Errorf("expected 2 swaps, got %d", sw.SwapCount())
+		return out, fmt.Errorf("expected 2 swaps, got %d", sw.SwapCount())
 	}
-	out.Quality = o.Snapshot()
 	return out, nil
 }
 
 func runSocketSkew(seed uint64) (*Outcome, error) {
+	return directedSocketSkew(seed, director.NewPCT(seed, 4, 400))
+}
+
+func directedSocketSkew(seed uint64, strat director.Strategy) (*Outcome, error) {
 	cfg := core.Config{Width: 4, Depth: 4, Shift: 1, RandomHops: 0}
 	st, err := core.New[uint64](cfg)
 	if err != nil {
@@ -407,7 +448,6 @@ func runSocketSkew(seed uint64) (*Outcome, error) {
 	st.SetPlacement(core.LocalFirst(), 2)
 	var o quality.Oracle
 	var errs []error
-	strat := director.NewPCT(seed, 4, 400)
 	d := director.New(strat)
 	for w := 0; w < 4; w++ {
 		d.Go("skewed", func(tc *director.Task) {
@@ -427,9 +467,142 @@ func runSocketSkew(seed uint64) (*Outcome, error) {
 	h := st.NewHandle()
 	drainInto(d, h.Pop, &o, &errs)
 	out, err := finishStackOutcome(NameSocketSkew, strat.Name(), seed, d, cfg.K(), 0, errs)
+	if out != nil {
+		out.Quality = o.Snapshot()
+	}
+	return out, err
+}
+
+// --- coverage-guided frontier search -----------------------------------------
+
+// FrontierStepBudget is the grant budget the guided-frontier scenario (and
+// the CI smoke gate) spends per search — a few dozen directed runs of the
+// frontier workload.
+const FrontierStepBudget = 2500
+
+// FrontierConfig is the canonical guided-search geometry: the Theorem-1
+// counterexample geometry (width 2, depth 4, shift 1 — K() = 9), where the
+// sequential explorer proved the interesting schedules live.
+func FrontierConfig() core.Config {
+	return core.Config{Width: 2, Depth: 4, Shift: 1, RandomHops: 0}
+}
+
+// frontierTasks registers the frontier workload: two churn tasks and a
+// dedicated popper hammering one small stack — enough push/pop phase
+// structure that window positions, populations and interleavings form a
+// real state frontier for the coverage signal to chase.
+func frontierTasks(d *director.Director, st *core.Stack[uint64], o *quality.Oracle, errs *[]error) {
+	for w := 0; w < 2; w++ {
+		d.Go("churn", func(tc *director.Task) {
+			h := st.NewHandle()
+			for i := 0; i < 10; i++ {
+				pushOp(tc, h.Push, o, errs)
+				if i%3 == 2 {
+					popOp(tc, h.Pop, o, errs)
+				}
+			}
+		})
+	}
+	d.Go("popper", func(tc *director.Task) {
+		h := st.NewHandle()
+		for i := 0; i < 8; i++ {
+			popOp(tc, h.Pop, o, errs)
+		}
+	})
+}
+
+// frontierProbe abstracts the stack state for the coverage signal: window
+// ceiling position, population, geometry epoch, and the run's population
+// high-water mark. The watermark is the frontier axis proper: record
+// depths are exponentially rare under independent random restarts (a
+// balanced workload's population is a mean-reverting walk), but a guided
+// dive resumes a corpus run at its record instead of re-earning it, so
+// every post-divergence state is scored in territory the control arm
+// almost never sees.
+func frontierProbe(st *core.Stack[uint64]) func() uint64 {
+	high := 0
+	return func() uint64 {
+		if n := st.Len(); n > high {
+			high = n
+		}
+		return uint64(high)<<40 ^ uint64(st.Global())<<20 ^ uint64(st.Len())<<4 ^ st.Epoch()&0xf
+	}
+}
+
+// FrontierDirected runs one directed frontier run on cfg under strat,
+// checked at cfg.K(): the guided search's run body, the shrinker's replay
+// vehicle (pass director.NewFollow over a candidate schedule), and
+// cmd/schedhunt's probe. On a budget violation the recorded Outcome is
+// returned alongside the error.
+func FrontierDirected(cfg core.Config, seed uint64, strat director.Strategy) (*Outcome, error) {
+	st, err := core.New[uint64](cfg)
 	if err != nil {
 		return nil, err
 	}
-	out.Quality = o.Snapshot()
-	return out, nil
+	var o quality.Oracle
+	var errs []error
+	d := director.New(strat)
+	frontierTasks(d, st, &o, &errs)
+	if err := d.Run(); err != nil {
+		return nil, err
+	}
+	h := st.NewHandle()
+	drainInto(d, h.Pop, &o, &errs)
+	out, err := finishStackOutcome(NameGuidedFrontier, strat.Name(), seed, d, cfg.K(), 0, errs)
+	if out != nil {
+		out.Quality = o.Snapshot()
+	}
+	return out, err
+}
+
+func directedFrontier(seed uint64, strat director.Strategy) (*Outcome, error) {
+	return FrontierDirected(FrontierConfig(), seed, strat)
+}
+
+// FrontierBuilder adapts the frontier workload to the guided search: every
+// run gets a fresh stack and oracle, the coverage probe above, and a finish
+// hook that drains, checks the run at cfg.K() and deposits the run's
+// Outcome into sink (so the search's caller can report the last — or the
+// failing — run).
+func FrontierBuilder(cfg core.Config, seed uint64, sink **Outcome) director.Builder {
+	return func(d *director.Director) (func() uint64, func(*director.Director) error) {
+		st, err := core.New[uint64](cfg)
+		if err != nil {
+			return nil, func(*director.Director) error { return err }
+		}
+		var o quality.Oracle
+		var errs []error
+		frontierTasks(d, st, &o, &errs)
+		finish := func(d *director.Director) error {
+			h := st.NewHandle()
+			drainInto(d, h.Pop, &o, &errs)
+			out, ferr := finishStackOutcome(NameGuidedFrontier, "guided", seed, d, cfg.K(), 0, errs)
+			if out != nil {
+				out.Quality = o.Snapshot()
+				*sink = out
+			}
+			return ferr
+		}
+		return frontierProbe(st), finish
+	}
+}
+
+// runGuidedFrontier is the pack scenario: a whole coverage-guided search
+// over the frontier workload, every run drained and checked at the
+// corrected Theorem-1 budget. A violation found by the search fails the
+// scenario (and hands CI the failing schedule to shrink); the outcome of a
+// clean search is its last run, annotated with the search totals.
+func runGuidedFrontier(seed uint64) (*Outcome, error) {
+	g := director.NewGuidedSearch(seed)
+	var last *Outcome
+	res, err := g.Explore(FrontierBuilder(FrontierConfig(), seed, &last), FrontierStepBudget)
+	if err != nil {
+		return last, fmt.Errorf("guided search (run %d, %d steps): %w", res.Runs, res.Steps, err)
+	}
+	if last == nil {
+		return nil, fmt.Errorf("guided search executed no runs")
+	}
+	last.Steps = res.Steps
+	last.Coverage = res.Distinct
+	return last, nil
 }

@@ -14,7 +14,10 @@ func TestScenarioPackPasses(t *testing.T) {
 	for _, sc := range All() {
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
-			out, err := sc.Run(PinnedSeed)
+			// RunWithAutoShrink: a failure here arrives pre-minimized, with
+			// the shrink narration in the error and (under CI's
+			// DIRECTOR_ARTIFACT_DIR) a replayable artifact on disk.
+			out, err := RunWithAutoShrink(sc, PinnedSeed)
 			if err != nil {
 				t.Fatalf("%s: %v", sc.Name, err)
 			}

@@ -1,0 +1,190 @@
+package scenarios
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"stack2d/internal/director"
+	"stack2d/internal/seqspec"
+)
+
+// plantedScenario is a test-only scenario over the frontier workload whose
+// budget is deliberately planted below a realisable strain: the run that
+// realises it fails, and the shrinker has a real violation to minimise.
+func plantedScenario(budget int64) Scenario {
+	directed := func(seed uint64, strat director.Strategy) (*Outcome, error) {
+		out, err := FrontierDirected(FrontierConfig(), seed, strat)
+		if err != nil || out == nil {
+			return out, err
+		}
+		if _, cerr := (seqspec.KStackChecker{K: budget}).Check(out.History); cerr != nil {
+			return out, fmt.Errorf("planted budget k=%d: %w", budget, cerr)
+		}
+		return out, nil
+	}
+	return Scenario{
+		Name:  "planted-frontier",
+		About: "frontier workload checked at a budget one below a realised strain",
+		Run: func(seed uint64) (*Outcome, error) {
+			return directed(seed, director.NewSeededRandom(seed))
+		},
+		Directed: directed,
+	}
+}
+
+// plantBudget measures the strain a passing frontier run actually realises
+// at the pinned seed and returns one below it — the planted "known
+// violation" of the acceptance test. Requiring strain >= 1 keeps the plant
+// honest: if the workload stopped exercising the window bound, the test
+// fails loudly instead of shrinking nothing.
+func plantBudget(t *testing.T, seed uint64) int64 {
+	t.Helper()
+	base, err := FrontierDirected(FrontierConfig(), seed, director.NewSeededRandom(seed))
+	if err != nil {
+		t.Fatalf("baseline frontier run must pass at the corrected budget: %v", err)
+	}
+	if base.Report.MaxStrain < 1 {
+		t.Fatalf("baseline run realised strain %d; the planted-violation tests need >= 1 (retune the workload or seed)",
+			base.Report.MaxStrain)
+	}
+	return int64(base.Report.MaxStrain) - 1
+}
+
+// The tentpole acceptance test: plant a known violation (budget one below
+// the realised strain of a passing run), shrink the failing schedule, and
+// demand a minimisation to at most 25% of the original length that still
+// fails on replay.
+func TestPlantedViolationShrinksToQuarter(t *testing.T) {
+	seed := uint64(PinnedSeed)
+	sc := plantedScenario(plantBudget(t, seed))
+	out, err := sc.Run(seed)
+	if err == nil {
+		t.Fatal("the planted budget did not fail the run that defined it")
+	}
+	if out == nil || len(out.Schedule) == 0 {
+		t.Fatal("failing run returned no schedule to shrink")
+	}
+	res, names, serr := ShrinkFailing(sc, seed, out.Schedule)
+	if serr != nil {
+		t.Fatalf("ShrinkFailing: %v", serr)
+	}
+	if 4*len(res.Minimized) > len(res.Original) {
+		t.Fatalf("shrinker kept %d of %d choices (> 25%%) after %d probes:\n%s",
+			len(res.Minimized), len(res.Original), res.Probes,
+			director.FormatSchedule(res.Minimized, names))
+	}
+	// The minimized schedule must reproduce the violation on its own.
+	if _, rerr := sc.Directed(seed, director.NewFollow(res.Minimized, ReplayFallback())); rerr == nil {
+		t.Fatal("minimized schedule no longer fails on replay")
+	}
+	// And the narration must be readable: every line names a task or the
+	// fallback.
+	narration := director.FormatSchedule(res.Minimized, names)
+	for _, line := range strings.Split(strings.TrimSpace(narration), "\n") {
+		if line != "" && !strings.Contains(line, "task") && !strings.Contains(line, "fallback") {
+			t.Fatalf("unreadable narration line %q in:\n%s", line, narration)
+		}
+	}
+	t.Logf("shrunk %d -> %d choices (%d probes, %d kept):\n%s",
+		len(res.Original), len(res.Minimized), res.Probes, res.Kept, narration)
+}
+
+// Satellite regression: shrinking the same failing schedule twice with the
+// same seed must produce byte-identical minimized schedules and equal
+// fingerprints.
+func TestShrinkDeterminism(t *testing.T) {
+	seed := uint64(PinnedSeed)
+	sc := plantedScenario(plantBudget(t, seed))
+	out, err := sc.Run(seed)
+	if err == nil {
+		t.Fatal("planted budget did not fail")
+	}
+	a, _, err1 := ShrinkFailing(sc, seed, out.Schedule)
+	b, _, err2 := ShrinkFailing(sc, seed, out.Schedule)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("shrink errors: %v / %v", err1, err2)
+	}
+	if !reflect.DeepEqual(a.Minimized, b.Minimized) {
+		t.Fatalf("same input, different minimized schedules:\n%v\n%v", a.Minimized, b.Minimized)
+	}
+	if director.ScheduleFingerprint(a.Minimized) != director.ScheduleFingerprint(b.Minimized) {
+		t.Fatal("fingerprints diverge on identical minimized schedules")
+	}
+	if a.Probes != b.Probes || a.Kept != b.Kept {
+		t.Fatalf("probe accounting diverged: %d/%d vs %d/%d", a.Probes, a.Kept, b.Probes, b.Kept)
+	}
+}
+
+// A failing scenario run through the auto-shrink wrapper must write the
+// minimized replayable artifact CI uploads, and the artifact must be
+// self-consistent.
+func TestRunWithAutoShrinkWritesArtifact(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv(ArtifactDirEnv, dir)
+	seed := uint64(PinnedSeed)
+	sc := plantedScenario(plantBudget(t, seed))
+	_, err := RunWithAutoShrink(sc, seed)
+	if err == nil {
+		t.Fatal("planted scenario passed under the auto-shrink wrapper")
+	}
+	if !strings.Contains(err.Error(), "minimized from") {
+		t.Fatalf("wrapper error lacks the shrink narration:\n%v", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-seed-%d.minimized.json", sc.Name, seed))
+	raw, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("minimized artifact not written: %v", rerr)
+	}
+	var art MinimizedArtifact
+	if jerr := json.Unmarshal(raw, &art); jerr != nil {
+		t.Fatalf("artifact is not valid JSON: %v", jerr)
+	}
+	if art.Scenario != sc.Name || art.Seed != seed {
+		t.Fatalf("artifact misattributed: %+v", art)
+	}
+	if art.MinimizedLen != len(art.Minimized) || art.MinimizedLen == 0 || art.MinimizedLen > art.OriginalLen {
+		t.Fatalf("artifact lengths inconsistent: %d declared, %d present, %d original",
+			art.MinimizedLen, len(art.Minimized), art.OriginalLen)
+	}
+	if want := fmt.Sprintf("%016x", director.ScheduleFingerprint(art.Minimized)); art.Fingerprint != want {
+		t.Fatalf("artifact fingerprint %s does not match its schedule (%s)", art.Fingerprint, want)
+	}
+	if art.Narration == "" {
+		t.Fatal("artifact narration is empty")
+	}
+	// The artifact round-trips: its schedule still reproduces the failure.
+	if _, rerr := sc.Directed(seed, director.NewFollow(art.Minimized, ReplayFallback())); rerr == nil {
+		t.Fatal("artifact schedule no longer fails on replay")
+	}
+}
+
+// The acceptance test of the guided search: at an equal step budget and
+// the pinned seed, coverage guidance must reach strictly more distinct
+// coverage states than the seeded-random control arm.
+func TestGuidedDominatesSeededRandom(t *testing.T) {
+	seed := uint64(PinnedSeed)
+	var sinkG, sinkR *Outcome
+	g := director.NewGuidedSearch(seed)
+	gres, gerr := g.Explore(FrontierBuilder(FrontierConfig(), seed, &sinkG), FrontierStepBudget)
+	if gerr != nil {
+		t.Fatalf("guided search found a real violation (investigate before retuning): %v", gerr)
+	}
+	rres, rerr := director.RandomSearch(seed, FrontierBuilder(FrontierConfig(), seed, &sinkR), FrontierStepBudget)
+	if rerr != nil {
+		t.Fatalf("random control arm found a real violation: %v", rerr)
+	}
+	if gres.Distinct <= rres.Distinct {
+		t.Fatalf("guided search reached %d distinct coverage states, control arm %d (guided must strictly dominate at %d steps)",
+			gres.Distinct, rres.Distinct, FrontierStepBudget)
+	}
+	if gres.Corpus == 0 {
+		t.Fatal("guided search admitted no corpus schedules; the feedback loop is dead")
+	}
+	t.Logf("guided: %d runs, %d steps, %d distinct, corpus %d; random: %d runs, %d steps, %d distinct",
+		gres.Runs, gres.Steps, gres.Distinct, gres.Corpus, rres.Runs, rres.Steps, rres.Distinct)
+}

@@ -1,0 +1,280 @@
+package director
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// This file is the automatic schedule minimiser (DESIGN.md §10
+// "Shrinking"): given a failing schedule and a predicate over replays,
+// delta-debug the Choice sequence — chunk removal, per-choice
+// simplification toward the deterministic fallback, prefix truncation —
+// replaying every candidate deterministically through the real structures
+// and keeping only candidates that still fail. The output is a minimal
+// failing schedule a human can actually read (FormatSchedule narrates it
+// step by step) and CI can check in as a replayable artifact.
+//
+// Replay semantics make truncation sound: a candidate is a *directive
+// prefix* — NewFollow grants its entries step for step and hands every
+// later (or unsatisfiable) step to a deterministic fallback, so the run
+// always completes and the predicate always gets a full history. Because
+// replay is exact, any candidate sharing a prefix with the failing
+// schedule reproduces the failing run's state at the end of that prefix
+// bit for bit; once the violating event has happened, the tail is
+// irrelevant, which is why prefix truncation alone usually removes most of
+// a schedule.
+
+// ShrinkReplay deterministically replays one candidate schedule through
+// freshly built structures (same seed, same workload as the failing run,
+// NewFollow(candidate, <deterministic fallback>) as the strategy) and
+// reports the recorded schedule of the completed run plus whether the run
+// still fails the predicate. The recorded schedule concretises the
+// candidate: entry i of the recording is the grant candidate entry i
+// produced, with the real yield point.
+type ShrinkReplay func(candidate []Choice) (recorded []Choice, failing bool)
+
+// DefaultShrinkProbes bounds the number of candidate replays a shrink may
+// spend. Delta debugging is quadratic in the worst case; the cap turns a
+// pathological predicate into a best-effort result instead of a hung test.
+const DefaultShrinkProbes = 4096
+
+// Shrinker minimises failing schedules through a replay function.
+type Shrinker struct {
+	// Replay replays one candidate; see ShrinkReplay. Required.
+	Replay ShrinkReplay
+	// MaxProbes caps candidate replays (0 = DefaultShrinkProbes).
+	MaxProbes int
+
+	probes int
+	kept   int
+}
+
+// ShrinkResult is the outcome of one minimisation.
+type ShrinkResult struct {
+	// Original is the input failing schedule; Minimized the minimal failing
+	// directive prefix, concretised from its final replay (every entry
+	// carries the task actually granted and the point it suspended at).
+	// Replaying Minimized through NewFollow with the same fallback
+	// reproduces the failure.
+	Original  []Choice
+	Minimized []Choice
+	// Probes counts candidate replays spent; Kept how many still failed.
+	Probes int
+	Kept   int
+}
+
+// Shrink minimises the failing schedule. It returns an error if the input
+// schedule does not fail the predicate on replay (nothing to shrink — the
+// failure is not schedule-determined, which is itself a diagnosis: the
+// workload is nondeterministic or the predicate disagrees with the run
+// that produced the schedule).
+func (s *Shrinker) Shrink(failing []Choice) (*ShrinkResult, error) {
+	if s.Replay == nil {
+		return nil, fmt.Errorf("director: Shrinker.Replay is required")
+	}
+	s.probes, s.kept = 0, 0
+	if _, ok := s.probe(failing); !ok {
+		return nil, fmt.Errorf("director: shrink: the input schedule (%d choices) does not fail the predicate on replay", len(failing))
+	}
+	cur := cloneSchedule(failing)
+	cur = s.shrinkPrefix(cur)
+	cur = s.ddmin(cur)
+	cur = s.simplify(cur)
+	cur = s.trimSuffix(cur)
+
+	// Concretise: the final replay's recording gives each surviving
+	// directive its real granted task and yield point.
+	recorded, ok := s.Replay(cur)
+	s.probes++
+	s.kept++
+	if !ok {
+		// Cannot happen for a deterministic replay — every stage only keeps
+		// failing candidates — so a disagreement here is a nondeterminism
+		// bug worth failing loudly on.
+		return nil, fmt.Errorf("director: shrink: minimized schedule stopped failing on re-replay (nondeterministic workload?)")
+	}
+	if len(recorded) < len(cur) {
+		cur = cur[:len(recorded)]
+	}
+	return &ShrinkResult{
+		Original:  cloneSchedule(failing),
+		Minimized: cloneSchedule(recorded[:len(cur)]),
+		Probes:    s.probes,
+		Kept:      s.kept,
+	}, nil
+}
+
+func (s *Shrinker) budget() int {
+	if s.MaxProbes > 0 {
+		return s.MaxProbes
+	}
+	return DefaultShrinkProbes
+}
+
+// probe replays one candidate, counting against the budget. Once the
+// budget is exhausted every further candidate reports "not failing", which
+// freezes the current (still failing) schedule — best effort, never wrong.
+func (s *Shrinker) probe(cand []Choice) ([]Choice, bool) {
+	if s.probes >= s.budget() {
+		return nil, false
+	}
+	s.probes++
+	rec, fail := s.Replay(cand)
+	if fail {
+		s.kept++
+	}
+	return rec, fail
+}
+
+// shrinkPrefix binary-searches the shortest failing directive prefix. The
+// predicate need not be monotone in the prefix length; the search maintains
+// the invariant that its upper bound always fails, so a non-monotone
+// predicate merely costs optimality, never correctness.
+func (s *Shrinker) shrinkPrefix(cur []Choice) []Choice {
+	lo, hi := 0, len(cur) // invariant: cur[:hi] fails
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if _, ok := s.probe(cur[:mid]); ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return cur[:hi]
+}
+
+// ddmin is the classic delta-debugging chunk removal: try deleting each of
+// n chunks; on success restart coarse, otherwise refine granularity until
+// single choices have been tried.
+func (s *Shrinker) ddmin(cur []Choice) []Choice {
+	n := 2
+	for len(cur) >= 2 && n <= len(cur) {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]Choice, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if _, ok := s.probe(cand); ok {
+				cur = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if chunk == 1 {
+				break
+			}
+			n *= 2
+		}
+	}
+	return cur
+}
+
+// simplify tries to replace each surviving choice with the FallbackTask
+// directive — the per-choice simplification toward the fallback's (round
+// robin's) schedule. A simplified entry documents "any deterministic
+// scheduler move works here"; only the entries that keep their explicit
+// task are load-bearing.
+func (s *Shrinker) simplify(cur []Choice) []Choice {
+	for i := range cur {
+		if cur[i].Task == FallbackTask {
+			continue
+		}
+		cand := cloneSchedule(cur)
+		cand[i].Task = FallbackTask
+		if _, ok := s.probe(cand); ok {
+			cur = cand
+		}
+	}
+	return cur
+}
+
+// trimSuffix drops trailing choices one at a time — the cheap cleanup for
+// entries ddmin stranded behind the last load-bearing grant.
+func (s *Shrinker) trimSuffix(cur []Choice) []Choice {
+	for len(cur) > 0 {
+		if _, ok := s.probe(cur[:len(cur)-1]); !ok {
+			break
+		}
+		cur = cur[:len(cur)-1]
+	}
+	return cur
+}
+
+// ScheduleFingerprint hashes a schedule; byte-identical schedules (and only
+// those) share a fingerprint. The shrink determinism regression pins it.
+func ScheduleFingerprint(sched []Choice) uint64 {
+	h := fnv.New64a()
+	for _, c := range sched {
+		fmt.Fprintf(h, "%d@%d;", c.Task, c.Point)
+	}
+	return h.Sum64()
+}
+
+// FormatSchedule renders a schedule as a human-readable step narration:
+// consecutive grants to the same task are grouped on one line with the
+// yield points the task suspended at. names maps task ids to the
+// registration names (Director.TaskNames); out-of-range ids print bare.
+func FormatSchedule(sched []Choice, names []string) string {
+	name := func(id int) string {
+		if id == FallbackTask {
+			return "fallback"
+		}
+		if id >= 0 && id < len(names) {
+			return fmt.Sprintf("task %d (%s)", id, names[id])
+		}
+		return fmt.Sprintf("task %d", id)
+	}
+	var b strings.Builder
+	for i := 0; i < len(sched); {
+		j := i
+		var points []string
+		for j < len(sched) && sched[j].Task == sched[i].Task {
+			points = append(points, sched[j].Point.String())
+			j++
+		}
+		if j-i == 1 {
+			fmt.Fprintf(&b, "step %4d      %-22s %s\n", i, name(sched[i].Task), points[0])
+		} else {
+			fmt.Fprintf(&b, "step %4d-%-4d %-22s %s\n", i, j-1, name(sched[i].Task), strings.Join(points, ", "))
+		}
+		i = j
+	}
+	return b.String()
+}
+
+// EncodeScheduleTasks flattens a schedule to one byte per grant (the task
+// id) — the fuzz-corpus form FuzzGuidedSchedule mutates. Points are
+// deliberately dropped: they are recordings, not directives, and replay
+// re-derives them.
+func EncodeScheduleTasks(sched []Choice) []byte {
+	out := make([]byte, len(sched))
+	for i, c := range sched {
+		if c.Task >= 0 {
+			out[i] = byte(c.Task)
+		}
+	}
+	return out
+}
+
+// DecodeScheduleTasks builds a proposal from one task-id byte per grant,
+// reduced modulo nTasks so arbitrary fuzz bytes decode to valid proposals.
+func DecodeScheduleTasks(b []byte, nTasks int) []Choice {
+	if nTasks <= 0 {
+		return nil
+	}
+	out := make([]Choice, len(b))
+	for i, t := range b {
+		out[i] = Choice{Task: int(t) % nTasks}
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package director
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"stack2d/internal/core"
+	"stack2d/internal/seqspec"
+)
+
+// modelReplay is a synthetic replay for exercising the shrinker without a
+// real structure: a "run" is exactly runLen grants over nTasks tasks,
+// grant i following the candidate directive when present and valid, and
+// round robin (i mod nTasks) otherwise — the same directive-prefix
+// semantics NewFollow gives real replays.
+func modelReplay(runLen, nTasks int, fails func(grants []int) bool) ShrinkReplay {
+	return func(cand []Choice) ([]Choice, bool) {
+		grants := make([]int, runLen)
+		rec := make([]Choice, runLen)
+		for i := 0; i < runLen; i++ {
+			g := i % nTasks
+			if i < len(cand) && cand[i].Task >= 0 && cand[i].Task < nTasks {
+				g = cand[i].Task
+			}
+			grants[i] = g
+			rec[i] = Choice{Task: g}
+		}
+		return rec, fails(grants)
+	}
+}
+
+// The shrinker must isolate the single load-bearing directive: the model
+// fails iff grant 7 goes to task 2 (round robin would give task 1) and
+// grant 19 goes to task 1 (which round robin gives for free). The minimal
+// failing directive prefix is therefore 8 entries ending in the task-2
+// override.
+func TestShrinkIsolatesLoadBearingChoice(t *testing.T) {
+	fails := func(g []int) bool { return g[7] == 2 && g[19] == 1 }
+	// The original failing schedule spells out all 40 grants explicitly.
+	orig := make([]Choice, 40)
+	for i := range orig {
+		orig[i] = Choice{Task: i % 3}
+	}
+	orig[7] = Choice{Task: 2}
+	orig[19] = Choice{Task: 1}
+
+	s := &Shrinker{Replay: modelReplay(40, 3, fails)}
+	res, err := s.Shrink(orig)
+	if err != nil {
+		t.Fatalf("Shrink: %v", err)
+	}
+	if len(res.Minimized) != 8 {
+		t.Fatalf("minimized to %d choices, want 8 (prefix through the grant-7 override):\n%s",
+			len(res.Minimized), FormatSchedule(res.Minimized, nil))
+	}
+	if res.Minimized[7].Task != 2 {
+		t.Fatalf("load-bearing choice lost: grant 7 is task %d, want 2", res.Minimized[7].Task)
+	}
+	if _, failing := s.Replay(res.Minimized); !failing {
+		t.Fatal("minimized schedule does not fail on replay")
+	}
+	if res.Probes > DefaultShrinkProbes {
+		t.Fatalf("probe accounting overran the default budget: %d", res.Probes)
+	}
+}
+
+func TestShrinkRejectsNonFailingInput(t *testing.T) {
+	s := &Shrinker{Replay: modelReplay(10, 2, func([]int) bool { return false })}
+	if _, err := s.Shrink(make([]Choice, 10)); err == nil {
+		t.Fatal("shrinking a passing schedule must error, not return an empty result")
+	}
+}
+
+// An exhausted probe budget freezes the current (still failing) schedule —
+// best effort, never a wrong answer.
+func TestShrinkBudgetFreezesFailingSchedule(t *testing.T) {
+	fails := func(g []int) bool { return g[3] == 1 }
+	orig := make([]Choice, 12)
+	for i := range orig {
+		orig[i] = Choice{Task: i % 2}
+	}
+	s := &Shrinker{Replay: modelReplay(12, 2, fails), MaxProbes: 1}
+	res, err := s.Shrink(orig)
+	if err != nil {
+		t.Fatalf("Shrink under exhausted budget: %v", err)
+	}
+	if len(res.Minimized) != len(orig) {
+		t.Fatalf("budget of 1 probe still shrank %d -> %d", len(orig), len(res.Minimized))
+	}
+	if _, failing := s.Replay(res.Minimized); !failing {
+		t.Fatal("frozen schedule must still fail")
+	}
+}
+
+// Replaying a full recorded schedule through NewFollow must reproduce the
+// recording run bit for bit — the property every shrink probe rests on.
+func TestFollowReplaysRecordedScheduleExactly(t *testing.T) {
+	sched1, hist1 := driveSmall(t, NewSeededRandom(42))
+	sched2, hist2 := driveSmall(t, NewFollow(sched1, NewRoundRobin()))
+	if !reflect.DeepEqual(sched1, sched2) {
+		t.Fatal("follow replay recorded a different schedule")
+	}
+	if !reflect.DeepEqual(hist1, hist2) {
+		t.Fatal("follow replay recorded a different history")
+	}
+}
+
+func TestScheduleFingerprintDistinguishes(t *testing.T) {
+	a := []Choice{{Task: 0}, {Task: 1}}
+	b := []Choice{{Task: 0}, {Task: 2}}
+	if ScheduleFingerprint(a) == ScheduleFingerprint(b) {
+		t.Fatal("distinct schedules share a fingerprint")
+	}
+	if ScheduleFingerprint(a) != ScheduleFingerprint([]Choice{{Task: 0}, {Task: 1}}) {
+		t.Fatal("identical schedules disagree on fingerprint")
+	}
+}
+
+func TestEncodeDecodeScheduleTasks(t *testing.T) {
+	sched := []Choice{{Task: 2}, {Task: 0}, {Task: FallbackTask}, {Task: 1}}
+	b := EncodeScheduleTasks(sched)
+	if len(b) != len(sched) {
+		t.Fatalf("encoded %d bytes for %d choices", len(b), len(sched))
+	}
+	dec := DecodeScheduleTasks(b, 3)
+	want := []int{2, 0, 0, 1} // FallbackTask encodes as 0: "let the scheduler pick"
+	for i, c := range dec {
+		if c.Task != want[i] {
+			t.Fatalf("decode[%d] = task %d, want %d", i, c.Task, want[i])
+		}
+	}
+	if DecodeScheduleTasks([]byte{251}, 3)[0].Task != int(251)%3 {
+		t.Fatal("out-of-range bytes must reduce modulo the task count")
+	}
+	if DecodeScheduleTasks([]byte{1, 2}, 0) != nil {
+		t.Fatal("zero tasks must decode to nil")
+	}
+}
+
+func TestFormatScheduleNarration(t *testing.T) {
+	sched := []Choice{{Task: 0}, {Task: 0}, {Task: 1}, {Task: FallbackTask}}
+	s := FormatSchedule(sched, []string{"pusher", "popper"})
+	for _, want := range []string{"task 0 (pusher)", "task 1 (popper)", "fallback", "step    0-1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("narration missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// --- failure paths -----------------------------------------------------------
+
+// A panic escaping a task body (typically the structure under test, inside
+// Task.Op's closure) must surface as Run's error — with the task's name and
+// stack — instead of crashing the process, and the remaining tasks must be
+// wound down cleanly.
+func TestTaskPanicPropagatesAsRunError(t *testing.T) {
+	cfg := core.Config{Width: 2, Depth: 2, Shift: 1, RandomHops: 0}
+	st, err := core.New[uint64](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(NewRoundRobin())
+	d.Go("pusher", func(tc *Task) {
+		h := st.NewHandle()
+		for i := 0; i < 20; i++ {
+			label := tc.Label()
+			tc.Op(seqspec.OpPush, func() (uint64, bool) {
+				h.Push(label)
+				return label, true
+			})
+		}
+	})
+	d.Go("boomer", func(tc *Task) {
+		tc.Yield()
+		tc.Op(seqspec.OpPop, func() (uint64, bool) { panic("planted structure bug") })
+	})
+	err = d.Run()
+	if err == nil {
+		t.Fatal("a panicking task must fail the run")
+	}
+	for _, want := range []string{"panicked", "boomer", "planted structure bug", "task states at abort"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("panic diagnostic missing %q:\n%v", want, err)
+		}
+	}
+	if !strings.Contains(err.Error(), "shrink_test.go") {
+		t.Fatalf("panic diagnostic must carry the panicking stack:\n%v", err)
+	}
+}
+
+func TestRunCalledTwiceErrors(t *testing.T) {
+	d := New(NewRoundRobin())
+	d.Go("noop", func(tc *Task) { tc.Yield() })
+	if err := d.Run(); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	err := d.Run()
+	if err == nil || !strings.Contains(err.Error(), "Run called twice") {
+		t.Fatalf("second Run must error, got: %v", err)
+	}
+}
+
+// The step-cap abort must name every task and where it last suspended —
+// the diagnostic a human debugs a livelocked schedule from.
+func TestAbortDiagnosticsNameTaskStates(t *testing.T) {
+	cfg := core.Config{Width: 2, Depth: 2, Shift: 1, RandomHops: 0}
+	st, err := core.New[uint64](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(NewRoundRobin())
+	d.SetMaxSteps(5)
+	for w := 0; w < 2; w++ {
+		d.Go("pusher", func(tc *Task) {
+			h := st.NewHandle()
+			for i := 0; i < 100; i++ {
+				label := tc.Label()
+				tc.Op(seqspec.OpPush, func() (uint64, bool) {
+					h.Push(label)
+					return label, true
+				})
+			}
+		})
+	}
+	err = d.Run()
+	if err == nil {
+		t.Fatal("run exceeding the step cap must return an error")
+	}
+	for _, want := range []string{"aborted after", "task states at abort", "task 0 (pusher)", "task 1 (pusher)"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("abort diagnostic missing %q:\n%v", want, err)
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package director
 
-import "stack2d/internal/xrand"
+import (
+	"stack2d/internal/xrand"
+	"stack2d/internal/yield"
+)
 
 // Strategy picks which runnable task the director grants next. Next
 // receives the runnable task ids in ascending order, the current step
@@ -11,6 +14,17 @@ import "stack2d/internal/xrand"
 type Strategy interface {
 	Name() string
 	Next(runnable []int, step int, last Choice) int
+}
+
+// StateAware is the optional richer face of a Strategy: the director hands
+// it each runnable task's pending yield point (points[i] is where
+// runnable[i] will resume from) plus the abstract pre-step structure state
+// from the coverage probe. Because coverage is noted at grant time from
+// exactly these inputs, a StateAware strategy can predict — not guess —
+// whether a grant contributes fresh coverage. The same determinism
+// contract as Next applies.
+type StateAware interface {
+	NextState(runnable []int, points []yield.Point, step int, last Choice, state uint64) int
 }
 
 // --- seeded random -----------------------------------------------------------
@@ -96,6 +110,127 @@ func (p *PCT) Next(runnable []int, step int, last Choice) int {
 		}
 	}
 	return best
+}
+
+// --- schedule following ------------------------------------------------------
+
+// Follow replays a recorded (or mutated) schedule: at step i it grants
+// proposal[i].Task whenever that task is runnable, and delegates to the
+// fallback strategy otherwise — when the proposed task has finished or is
+// parked, when the proposal entry carries the explicit FallbackTask
+// directive (the shrinker's per-choice simplification), and for every step
+// past the proposal's end. Step indices line up with the recorded schedule
+// exactly (one Choice per grant, including forced grants the strategy is
+// never consulted about), so replaying a run's complete recorded schedule
+// through Follow reproduces that run bit for bit. Follow is deterministic
+// whenever its fallback is; the shrinker pairs it with RoundRobin, the
+// guided search with SeededRandom.
+type Follow struct {
+	proposal []Choice
+	fallback Strategy
+}
+
+// FallbackTask in a proposal entry means "let the fallback strategy pick
+// this grant" — the simplified form a schedule choice shrinks toward.
+const FallbackTask = -1
+
+// NewFollow builds the strategy. The proposal is not copied; callers that
+// mutate candidates must pass fresh slices.
+func NewFollow(proposal []Choice, fallback Strategy) *Follow {
+	return &Follow{proposal: proposal, fallback: fallback}
+}
+
+func (f *Follow) Name() string { return "follow+" + f.fallback.Name() }
+
+func (f *Follow) Next(runnable []int, step int, last Choice) int {
+	if step < len(f.proposal) {
+		if want := f.proposal[step].Task; want >= 0 {
+			for i, id := range runnable {
+				if id == want {
+					return i
+				}
+			}
+		}
+	}
+	return f.fallback.Next(runnable, step, last)
+}
+
+// --- coverage-guided ---------------------------------------------------------
+
+// Guided is the strategy face of the coverage-guided search (coverage.go).
+// It layers three deciders, strongest first: a corpus-derived proposal (the
+// frontier-dive/splice/perturb mutation of schedules that previously
+// reached new coverage) replays exactly; past the proposal, an attached
+// Coverage accumulator lets it greedily prefer grants that would
+// contribute a fresh state tuple or transition edge — exact, because
+// coverage is noted at grant time from the same inputs NextState sees —
+// and only when no candidate is novel does it fall back to seeded-random
+// divergence. One Guided value drives one run; the GuidedSearch mints a
+// fresh one (new proposal, derived seed) per run and attaches its shared
+// accumulator.
+type Guided struct {
+	Follow
+	cov *Coverage
+	rng *xrand.State
+}
+
+// NewGuided builds the strategy from a divergence seed and a proposal
+// (nil proposal = pure exploration, the corpus bootstrap). Without an
+// attached Coverage it behaves as Follow over seeded-random.
+func NewGuided(seed uint64, proposal []Choice) *Guided {
+	return &Guided{
+		Follow: Follow{proposal: proposal, fallback: NewSeededRandom(seed)},
+		rng:    xrand.New(seed ^ 0xc0ffee_5eed),
+	}
+}
+
+// AttachCoverage turns novelty steering on: NextState consults the
+// accumulator for candidate freshness. The GuidedSearch attaches its
+// search-wide accumulator so novelty is judged against everything every
+// prior run has seen.
+func (g *Guided) AttachCoverage(c *Coverage) { g.cov = c }
+
+func (g *Guided) Name() string { return "guided" }
+
+// NextState implements StateAware: proposal first (corpus dives must
+// replay their prefix exactly), then sticky divergence — keep granting the
+// last task with high probability, switching uniformly otherwise. Streaks
+// drive the abstract state along straight lines (sustained pushes raise
+// the window, sustained pops drain it), reaching the extreme states a
+// uniform per-step coin flip almost never assembles; the coverage
+// accumulator breaks switching ties toward fresh tuples when one is
+// available at equal standing.
+func (g *Guided) NextState(runnable []int, points []yield.Point, step int, last Choice, state uint64) int {
+	if step < len(g.proposal) {
+		if want := g.proposal[step].Task; want >= 0 {
+			for i, id := range runnable {
+				if id == want {
+					return i
+				}
+			}
+		}
+	}
+	// Sticky: 3-in-4 stay on the current streak.
+	if g.rng.Intn(4) > 0 {
+		for i, id := range runnable {
+			if id == last.Task {
+				return i
+			}
+		}
+	}
+	// Switching: prefer a fresh tuple when the accumulator knows one.
+	if g.cov != nil {
+		novel := make([]int, 0, len(runnable))
+		for i, id := range runnable {
+			if g.cov.WouldBeFresh(id, points[i], state) {
+				novel = append(novel, i)
+			}
+		}
+		if len(novel) > 0 && len(novel) < len(runnable) {
+			return novel[g.rng.Intn(len(novel))]
+		}
+	}
+	return g.fallback.Next(runnable, step, last)
 }
 
 // --- round robin -------------------------------------------------------------

@@ -65,6 +65,14 @@ func (s Stats) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// ExceedsMax returns a predicate over snapshots that holds when the
+// realised maximum rank error exceeds bound — the quality-side failure
+// predicate for the schedule shrinker (internal/director): minimise a
+// schedule while the oracle still measures an error above the bound.
+func ExceedsMax(bound int) func(Stats) bool {
+	return func(s Stats) bool { return s.Max > bound }
+}
+
 // Insert records a pushed label at the head of the list.
 func (o *Oracle) Insert(label uint64) {
 	e := &entry{label: label}

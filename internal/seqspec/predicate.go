@@ -1,0 +1,29 @@
+package seqspec
+
+// Predicate adapters for the schedule shrinker (internal/director): the
+// shrinker minimises a failing schedule against "does the replayed history
+// still fail?", and the natural failure notions in this repository are the
+// k-distance checkers. These constructors bind a checker budget into a
+// plain func so the director side never needs to know checker types —
+// compose them with quality-side or custom predicates by plain boolean
+// logic over the replayed outcome.
+
+// FailsKStack returns a predicate over interval histories that holds when
+// KStackChecker rejects the history at the given budget — a conservation,
+// causality or distance violation. This is the planted-violation predicate:
+// budget one below a run's realised strain makes that run's schedule fail,
+// and the shrinker then minimises toward the choices realising the strain.
+func FailsKStack(k, allowance int64) func([]IntervalOp) bool {
+	return func(ops []IntervalOp) bool {
+		_, err := (KStackChecker{K: k, Allowance: allowance}).Check(ops)
+		return err != nil
+	}
+}
+
+// FailsKFIFO is FailsKStack's queue counterpart.
+func FailsKFIFO(k, allowance int64) func([]IntervalOp) bool {
+	return func(ops []IntervalOp) bool {
+		_, err := (KFIFOChecker{K: k, Allowance: allowance}).Check(ops)
+		return err != nil
+	}
+}
