@@ -170,6 +170,11 @@ func instrumentedStackFactory(cfg core.Config) (harness.Factory, func()) {
 	}
 }
 
+// opBufferSeriesCap is the combined-publication threshold the buffered
+// trajectory series arm — one descriptor CAS group per 16 pushes, one
+// prefetch refill per 16 pops.
+const opBufferSeriesCap = 16
+
 // trajectoryCases is the fixed series list every checkpoint runs.
 func trajectoryCases() []benchCase {
 	geomOf := func(c core.Config) benchGeometry {
@@ -183,6 +188,22 @@ func trajectoryCases() []benchCase {
 		cases = append(cases, benchCase{
 			name: fmt.Sprintf("stack-default-p%d", p), structure: "stack",
 			factory: harness.NewTwoDFactory(cfg), geom: geomOf(cfg), k: cfg.K(), workers: p,
+		})
+	}
+
+	// The combined-publication series (DESIGN.md §11): the default geometry
+	// driven through op-buffered handles, paired with the plain
+	// stack-default-p* series above (identical geometry and workload) at the
+	// uncontended and contended ends. The P=16 pair is the raw-speed
+	// campaign's headline: what batching publication buys once the shared
+	// lines are actually contended. A self-gate (selfGates) holds the
+	// contended pair's ordering.
+	for _, p := range []int{1, 16} {
+		cfg := core.DefaultConfig(p)
+		cases = append(cases, benchCase{
+			name: fmt.Sprintf("stack-buffered-p%d", p), structure: "stack",
+			factory: harness.NewTwoDBufferedFactory(cfg, opBufferSeriesCap),
+			geom:    geomOf(cfg), k: cfg.K(), workers: p,
 		})
 	}
 
@@ -409,6 +430,10 @@ func readBenchFile(path string) (benchFile, error) {
 //     BenchmarkObserverOverhead comparison, which runs long enough to
 //     resolve it — this gate just catches a hook leaking onto the hot
 //     path, which would cost far more than 25%);
+//   - the buffered contended pair must keep its ordering: at P=16 the
+//     combined-publication series must clear 1.15x the plain series'
+//     throughput (the raw-speed campaign's claim; same run, same host, and
+//     the measured margin is ~4x, so the gate tolerates a noisy sample);
 //   - a quality series' realised max error distance must respect the
 //     Theorem-1 bound plus one position of in-flight slack per worker.
 func selfGates(cur benchFile) error {
@@ -420,6 +445,11 @@ func selfGates(cur benchFile) error {
 	if off.NsPerOp > 0 && on.NsPerOp > 1.25*off.NsPerOp {
 		return fmt.Errorf("hooks-on ns/op %.1f exceeds 1.25x hooks-off %.1f — a hook reached the hot path",
 			on.NsPerOp, off.NsPerOp)
+	}
+	plain, buf := byName["stack-default-p16"], byName["stack-buffered-p16"]
+	if plain.OpsPerSec > 0 && buf.OpsPerSec < 1.15*plain.OpsPerSec {
+		return fmt.Errorf("stack-buffered-p16 ops/s %.0f is below 1.15x stack-default-p16 %.0f — the combined-publication fast path stopped paying",
+			buf.OpsPerSec, plain.OpsPerSec)
 	}
 	for _, s := range cur.Series {
 		if s.Quality && int64(s.QualityMaxErr) > s.K+int64(s.Workers) {

@@ -12,6 +12,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,11 +111,13 @@ func main() {
 	}
 
 	var baseline time.Duration
+	miscounted := false
 	for i, v := range variants {
 		pool, newWorker := v.make()
 		got, elapsed := run(pool, newWorker, workers, root)
 		if got != want {
 			fmt.Printf("%-20s BUG: processed %d tasks, want %d\n", v.name, got, want)
+			miscounted = true
 			continue
 		}
 		if i == 0 {
@@ -124,6 +127,14 @@ func main() {
 		fmt.Printf("%-20s %10v  (%.0f tasks/s, %.2fx vs strict)\n",
 			v.name, elapsed.Round(time.Microsecond),
 			float64(got)/elapsed.Seconds(), speedup)
+	}
+	if miscounted {
+		// A variant lost or duplicated tasks — a conservation bug, and the
+		// whole point of running every variant to completion. Exit non-zero
+		// so CI's example step fails instead of shipping a green log with a
+		// BUG line buried in it.
+		fmt.Println("\ntask accounting failed; see the BUG lines above")
+		os.Exit(1)
 	}
 	fmt.Println("\nall variants processed the identical task multiset; only the order relaxed")
 }

@@ -17,11 +17,9 @@ import "stack2d/internal/yield"
 // search honours the handle's probe plan exactly as Push does (same-socket
 // slots first, DESIGN.md §7).
 func (h *Handle[T]) PushBatch(vs []T) {
-	geo := h.pin()
-	// A batch is many operations under one pin: its end-to-end time is not
-	// a per-operation latency, so cancel any sample pin opened (it would
-	// skew the P99 signal by the batch size).
-	h.latSampling = false
+	// pinBatch: a batch neither opens a latency sample nor consumes a
+	// countdown tick (a batch duration is not a per-op latency).
+	geo := h.pinBatch()
 	s := h.s
 	width := geo.width
 	sockIdx := h.sockIdx(geo)
@@ -50,10 +48,18 @@ func (h *Handle[T]) PushBatch(vs []T) {
 				if m > headroom {
 					m = headroom
 				}
-				// Chain the first m values so remaining[m-1] is topmost.
+				// Chain the first m values so remaining[m-1] is topmost. The
+				// nodes come from one slab allocation and are linked in
+				// place, so a combined publish costs one allocation per CAS
+				// group instead of one per value (the slab stays reachable
+				// until every node carved from it is popped and dropped —
+				// the lifetime of a batch's top node, which batched
+				// producer/consumer traffic turns over promptly).
+				slab := make([]node[T], m)
 				top := d.top
 				for i := int64(0); i < m; i++ {
-					top = &node[T]{value: remaining[i], next: top}
+					slab[i] = node[T]{value: remaining[i], next: top}
+					top = &slab[i]
 				}
 				if geo.subs[idx].cas(d, &descriptor[T]{top: top, count: d.count + m}) {
 					h.last = idx
@@ -113,15 +119,20 @@ func (h *Handle[T]) PopBatch(max int) []T {
 	if max <= 0 {
 		return nil
 	}
-	geo := h.pin()
-	// As in PushBatch: a batch duration is not an op-latency sample.
-	h.latSampling = false
+	return h.popBatchInto(make([]T, 0, max), max)
+}
+
+// popBatchInto is PopBatch appending into a caller-owned slice: the op
+// buffer's prefetch refill (buffer.go) passes its standing buffer so a
+// steady-state refill allocates nothing but the replacement descriptors.
+// len(out) must be 0 relative to the max budget (callers pass out[:0]).
+func (h *Handle[T]) popBatchInto(out []T, max int) []T {
+	geo := h.pinBatch() // see PushBatch: no sample, no countdown tick
 	s := h.s
 	width := geo.width
 	depth := geo.depth
 	sockIdx := h.sockIdx(geo)
 	ord, pos, localN := h.probe(geo)
-	out := make([]T, 0, max)
 	for len(out) < max {
 		global := s.global.V.Load()
 		floor := global - depth
@@ -153,17 +164,22 @@ func (h *Handle[T]) PopBatch(max int) []T {
 				if m > avail {
 					m = avail
 				}
-				// Walk m nodes off the top.
+				// Walk m nodes off the top to find the new top, CAS, and
+				// only then collect the values: the detached chain is still
+				// reachable from d.top, so the collection needs no staging
+				// buffer (the old per-attempt `taken` slice was PopBatch's
+				// last per-group allocation besides the descriptor).
 				top := d.top
-				taken := make([]T, 0, m)
 				for i := int64(0); i < m; i++ {
-					taken = append(taken, top.value)
 					top = top.next
 				}
 				if geo.subs[idx].cas(d, &descriptor[T]{top: top, count: d.count - m}) {
 					h.last = idx
 					h.stats.Pops += uint64(m)
-					out = append(out, taken...)
+					for n, i := d.top, int64(0); i < m; i++ {
+						out = append(out, n.value)
+						n = n.next
+					}
 					continue
 				}
 				h.stats.CASFailures++

@@ -225,15 +225,25 @@ func (s *Stack[T]) Global() int64 { return s.global.V.Load() }
 // cmd/adapttune uses it to budget its realised-distance check.
 func (s *Stack[T]) ShrinkDisplacementBound() int64 { return s.shrinkDisp.Load() }
 
-// Len returns the total number of items across all sub-stacks. It is exact
-// when quiescent and approximate under concurrency (each addend is an atomic
-// snapshot, but the sum is not).
+// Len returns the total number of items the stack is responsible for: the
+// residents of every sub-stack plus, for handles with an armed op buffer
+// (SetOpBuffer), their pending-but-unpublished pushes and prefetched-but-
+// undelivered pops — so combined publication never makes items phantom-
+// invisible to sizing. It is exact when quiescent and approximate under
+// concurrency (each addend is an atomic snapshot, but the sum is not).
 func (s *Stack[T]) Len() int {
 	g := s.geo.Load()
 	var n int64
 	for i := range g.subs {
 		n += g.subs[i].load().count
 	}
+	s.hMu.Lock()
+	for _, e := range s.handles {
+		if h := e.wp.Value(); h != nil {
+			n += h.bufCount.Load()
+		}
+	}
+	s.hMu.Unlock()
 	return int(n)
 }
 
@@ -261,7 +271,10 @@ func (s *Stack[T]) SubCounts() []int64 {
 }
 
 // Drain removes all items (via a private handle) and returns them; intended
-// for teardown and tests, not for concurrent use.
+// for teardown and tests, not for concurrent use. Handles with an armed op
+// buffer must FlushOps (and deliver or disarm their prefetch) before the
+// drain — only the owning goroutine may touch a handle's private buffers,
+// so Drain cannot reach values still held in them.
 func (s *Stack[T]) Drain() []T {
 	h := s.NewHandle()
 	var out []T

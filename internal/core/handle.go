@@ -54,6 +54,21 @@ type Handle[T any] struct {
 	latSampling  bool
 	latStart     time.Time
 
+	// Op-buffer state (see buffer.go; inert until SetOpBuffer arms it).
+	// bufCap is the combined-publication threshold; pending holds buffered,
+	// not-yet-published pushes oldest-first; prefetch[prefStart:] holds
+	// structurally popped but not-yet-delivered values, topmost-first;
+	// bufEpoch is the geometry epoch the buffers were last reconciled with.
+	// All owner-goroutine only, except bufCount: the atomically readable
+	// total of both buffers, summed by Stack.Len through the handle
+	// registry so buffered items are never phantom-invisible to sizing.
+	bufCap    int
+	pending   []T
+	prefetch  []T
+	prefStart int
+	bufEpoch  uint64
+	bufCount  atomic.Int64
+
 	// epoch is the geometry epoch the handle is currently operating under,
 	// or 0 when idle. Written only by the owner, read by reconfigurers to
 	// detect quiescence of a superseded geometry.
@@ -163,20 +178,36 @@ func (h *Handle[T]) probe(geo *geometry[T]) (ord, pos []int, localN int) {
 	return h.planOrd, h.planPos, h.planLocalN
 }
 
-// pin publishes the handle as active on the current geometry and returns
-// it. The re-check after the epoch store closes the race with a concurrent
-// geometry swap: once pin returns, any reconfigurer that superseded geo
-// will wait for this handle's unpin before touching stranded sub-stacks.
-// pin also opens the 1-in-N latency sample: a sampled operation is timed
-// from here to the matching unpin, so the estimate covers the whole search
-// including window maintenance and restarts.
-func (h *Handle[T]) pin() *geometry[T] {
-	h.latCountdown--
-	if h.latCountdown <= 0 {
-		h.latCountdown = latencySampleInterval
-		h.latSampling = true
-		h.latStart = time.Now()
-	}
+// armLatSample opens a latency sample: reset the countdown, mark the
+// sample in flight, read the clock. Deliberately noinline: it runs once per
+// latencySampleInterval operations, and keeping its body (the time.Now
+// call above all) out of pin's inlined code leaves the uncontended fast
+// path with only the countdown decrement-and-test — the clock is read
+// strictly after the sample decision.
+//
+//go:noinline
+func (h *Handle[T]) armLatSample() {
+	h.latCountdown = latencySampleInterval
+	h.latSampling = true
+	h.latStart = time.Now()
+}
+
+// closeLatSample records the in-flight sample's bucket; noinline for the
+// same reason as armLatSample — unpin's inlined body keeps only the
+// predicted-untaken latSampling test.
+//
+//go:noinline
+func (h *Handle[T]) closeLatSample() {
+	h.latSampling = false
+	h.stats.Latency[LatencyBucket(time.Since(h.latStart))]++
+}
+
+// pinGeo publishes the handle as active on the current geometry and
+// returns it. The re-check after the epoch store closes the race with a
+// concurrent geometry swap: once pinGeo returns, any reconfigurer that
+// superseded geo will wait for this handle's unpin before touching
+// stranded sub-stacks.
+func (h *Handle[T]) pinGeo() *geometry[T] {
 	for {
 		geo := h.s.geo.Load()
 		h.epoch.Store(geo.epoch)
@@ -190,13 +221,35 @@ func (h *Handle[T]) pin() *geometry[T] {
 	}
 }
 
+// pin is pinGeo plus the 1-in-N latency sample decision: a sampled
+// operation is timed from here to the matching unpin, so the estimate
+// covers the whole search including window maintenance and restarts.
+func (h *Handle[T]) pin() *geometry[T] {
+	h.latCountdown--
+	if h.latCountdown <= 0 {
+		h.armLatSample()
+	}
+	return h.pinGeo()
+}
+
+// pinBatch is pin without the sampling countdown. A batch is many
+// operations under one pin: its end-to-end time is not a per-operation
+// latency, so it must not open a sample — and it must not consume a
+// countdown tick either. (Batches used to run the full pin and cancel the
+// sample afterwards, which silently ate the tick whenever one landed on
+// the sample point: a batch-heavy phase skewed the stride and could starve
+// post-batch sampling entirely. TestLatencySampleStridePinned pins the
+// corrected behaviour.)
+func (h *Handle[T]) pinBatch() *geometry[T] {
+	return h.pinGeo()
+}
+
 // unpin marks the handle idle, closes an in-flight latency sample, and
 // periodically publishes its counters.
 func (h *Handle[T]) unpin() {
 	h.epoch.Store(0)
 	if h.latSampling {
-		h.latSampling = false
-		h.stats.Latency[LatencyBucket(time.Since(h.latStart))]++
+		h.closeLatSample()
 	}
 	h.maybeFlush()
 }

@@ -229,15 +229,32 @@ const statsFlushInterval = 64
 
 // SharedCounters is the atomically readable mirror of a handle's OpStats.
 // Single writer (the owning goroutine, via flush); any reader.
+//
+// Two memory disciplines protect the mirror. A seqlock generation (gen,
+// incremented to odd before a flush writes the fields and back to even
+// after) lets Load return a cross-field-consistent snapshot: every field is
+// individually atomic, but without the generation a reader interleaving a
+// flush could combine a new Pushes with an old Pops — a torn snapshot that
+// trips ratio consumers (CASFailuresPerOp, latency percentiles) even though
+// no data race exists. And the struct's size is padded up to a multiple of
+// the cache line: mirrors are allocated back to back by the handle
+// registries (one per handle, the flush target every statsFlushInterval
+// ops), so a size that is not line-aligned would let two handles' flush
+// lines overlap and turn every 64-op flush into cross-core invalidation
+// traffic — false sharing on exactly the slots the audit exists to keep
+// private. TestSharedCountersPadded pins the size.
 type SharedCounters struct {
+	gen                                  atomic.Uint64
 	pushes, pops, emptyPops              atomic.Uint64
 	probes, randomHops, casFailures      atomic.Uint64
 	windowRaises, windowLowers, restarts atomic.Uint64
 	socketCAS                            [MaxPlacementSockets]atomic.Uint64
 	latency                              [NumLatencyBuckets]atomic.Uint64
+	_                                    [16]byte // pad to a cache-line multiple (384 B)
 }
 
 func (c *SharedCounters) Store(st OpStats) {
+	c.gen.Add(1) // odd: flush in progress
 	c.pushes.Store(st.Pushes)
 	c.pops.Store(st.Pops)
 	c.emptyPops.Store(st.EmptyPops)
@@ -253,27 +270,38 @@ func (c *SharedCounters) Store(st OpStats) {
 	for i := range c.latency {
 		c.latency[i].Store(st.Latency[i])
 	}
+	c.gen.Add(1) // even: consistent
 }
 
 func (c *SharedCounters) Load() OpStats {
-	out := OpStats{
-		Pushes:       c.pushes.Load(),
-		Pops:         c.pops.Load(),
-		EmptyPops:    c.emptyPops.Load(),
-		Probes:       c.probes.Load(),
-		RandomHops:   c.randomHops.Load(),
-		CASFailures:  c.casFailures.Load(),
-		WindowRaises: c.windowRaises.Load(),
-		WindowLowers: c.windowLowers.Load(),
-		Restarts:     c.restarts.Load(),
+	for {
+		g := c.gen.Load()
+		if g&1 != 0 {
+			// A flush is mid-write; it is a handful of plain stores, so
+			// spinning to its end is cheaper than yielding.
+			continue
+		}
+		out := OpStats{
+			Pushes:       c.pushes.Load(),
+			Pops:         c.pops.Load(),
+			EmptyPops:    c.emptyPops.Load(),
+			Probes:       c.probes.Load(),
+			RandomHops:   c.randomHops.Load(),
+			CASFailures:  c.casFailures.Load(),
+			WindowRaises: c.windowRaises.Load(),
+			WindowLowers: c.windowLowers.Load(),
+			Restarts:     c.restarts.Load(),
+		}
+		for i := range out.SocketCAS {
+			out.SocketCAS[i] = c.socketCAS[i].Load()
+		}
+		for i := range out.Latency {
+			out.Latency[i] = c.latency[i].Load()
+		}
+		if c.gen.Load() == g {
+			return out
+		}
 	}
-	for i := range c.socketCAS {
-		out.SocketCAS[i] = c.socketCAS[i].Load()
-	}
-	for i := range c.latency {
-		out.Latency[i] = c.latency[i].Load()
-	}
-	return out
 }
 
 // maybeFlush publishes the handle's counters every statsFlushInterval

@@ -27,6 +27,18 @@ const (
 	// to treiber and back) in the middle of a directed push/pop storm,
 	// exercising the §9 swap-displacement budget.
 	NameSwapDuringStorm = "backend-swap-during-storm"
+	// NameBufferedShrinkDuringDrain reruns the shrink-during-drain storm
+	// with every worker handle armed with an op buffer (DESIGN.md §11):
+	// pending pushes and pop prefetches cross the geometry epoch, probing
+	// the maybeEpochFlush handoff; the history is checked under the
+	// composed budget K + shrink displacement + seqspec.BufferAllowance.
+	NameBufferedShrinkDuringDrain = "buffered-shrink-during-drain"
+	// NameBufferedSwapDuringStorm reruns the backend-swap storm through
+	// engine-level buffered handles: values pending in a handle while the
+	// hot swap drains and migrates must be neither stranded nor duplicated
+	// (the engine buffer's swap-safety claim), budgeted with the swap
+	// displacement plus the §11 buffer allowance.
+	NameBufferedSwapDuringStorm = "buffered-swap-during-storm"
 	// NameSocketSkew pins every handle to one socket of a two-socket
 	// local-first placement and schedules with PCT priorities, driving the
 	// worst contention skew the placement layer permits.

@@ -120,6 +120,18 @@ func All() []Scenario {
 			Run:      runGuidedFrontier,
 			Directed: directedFrontier,
 		},
+		{
+			Name:     NameBufferedShrinkDuringDrain,
+			About:    "shrink-during-drain with op-buffered handles: pending batches cross the geometry epoch",
+			Run:      runBufferedShrinkDuringDrain,
+			Directed: directedBufferedShrinkDuringDrain,
+		},
+		{
+			Name:     NameBufferedSwapDuringStorm,
+			About:    "backend hot-swap with engine-buffered handles: pending pushes cross the swap",
+			Run:      runBufferedSwapDuringStorm,
+			Directed: directedBufferedSwapDuringStorm,
+		},
 	}
 }
 
@@ -294,23 +306,26 @@ func drainInto(d *director.Director, pop func() (uint64, bool), o *quality.Oracl
 }
 
 // finishStackOutcome builds the outcome of a completed directed run and
-// checks it against the budget. On any failure the (partial) outcome is
-// returned ALONGSIDE the error — its History and Schedule are what the
-// shrinker needs to minimise the failure.
-func finishStackOutcome(name, strategy string, seed uint64, d *director.Director, k, allowance int64, errs []error) (*Outcome, error) {
+// checks it against the budget: k + allowance + bufAllowance, the last
+// being seqspec.BufferAllowance for scenarios that drive op-buffered
+// handles (zero elsewhere). The outcome's Allowance field carries the
+// composed slack, so the error table shows the full budget. On any failure
+// the (partial) outcome is returned ALONGSIDE the error — its History and
+// Schedule are what the shrinker needs to minimise the failure.
+func finishStackOutcome(name, strategy string, seed uint64, d *director.Director, k, allowance, bufAllowance int64, errs []error) (*Outcome, error) {
 	hist := d.History()
 	out := &Outcome{
 		Name: name, Strategy: strategy, Seed: seed, Steps: d.Steps(),
-		K: k, Allowance: allowance,
+		K: k, Allowance: allowance + bufAllowance,
 		History: hist, Schedule: d.Schedule(), TaskNames: d.TaskNames(),
 	}
 	if len(errs) > 0 {
 		return out, errs[0]
 	}
-	if err := seqspec.CheckIntervalSanity(hist, int(k+allowance)); err != nil {
+	if err := seqspec.CheckIntervalSanity(hist, int(k+allowance+bufAllowance)); err != nil {
 		return out, fmt.Errorf("interval sanity: %w", err)
 	}
-	rep, err := (seqspec.KStackChecker{K: k, Allowance: allowance}).Check(hist)
+	rep, err := (seqspec.KStackChecker{K: k, Allowance: allowance, BufferAllowance: bufAllowance}).Check(hist)
 	out.Report = rep
 	if err != nil {
 		return out, fmt.Errorf("k-budget: %w", err)
@@ -366,7 +381,7 @@ func directedShrinkDuringDrain(seed uint64, strat director.Strategy) (*Outcome, 
 	if n := cfgNarrow.K(); n > k {
 		k = n
 	}
-	out, err := finishStackOutcome(NameShrinkDuringDrain, strat.Name(), seed, d, k, st.ShrinkDisplacementBound(), errs)
+	out, err := finishStackOutcome(NameShrinkDuringDrain, strat.Name(), seed, d, k, st.ShrinkDisplacementBound(), 0, errs)
 	if out != nil {
 		out.Quality = o.Snapshot()
 	}
@@ -422,7 +437,156 @@ func directedSwapDuringStorm(seed uint64, strat director.Strategy) (*Outcome, er
 	}
 	h := sw.NewHandle()
 	drainInto(d, h.Pop, &o, &errs)
-	out, err := finishStackOutcome(NameSwapDuringStorm, strat.Name(), seed, d, sw.KBound(), sw.SwapDisplacementBound(), errs)
+	out, err := finishStackOutcome(NameSwapDuringStorm, strat.Name(), seed, d, sw.KBound(), sw.SwapDisplacementBound(), 0, errs)
+	if out != nil {
+		out.Quality = o.Snapshot()
+	}
+	if err != nil {
+		return out, err
+	}
+	if sw.SwapCount() != 2 {
+		return out, fmt.Errorf("expected 2 swaps, got %d", sw.SwapCount())
+	}
+	return out, nil
+}
+
+// --- buffered variants (DESIGN.md §11) ---------------------------------------
+//
+// The buffered scenarios rerun the two reconfiguration storms with every
+// worker handle armed with an op buffer, so the adversarial schedules probe
+// the combined-publication fast path exactly where it is weakest: pending
+// pushes crossing a geometry epoch (the maybeEpochFlush handoff) and
+// pending pushes crossing a backend swap (the engine buffer's swap-safety
+// claim). Worker-end protocol: FlushOps publishes the pending pushes (their
+// history ops were recorded at BufferedPush time — that deferral is what
+// the BufferAllowance budget pays for), then the undelivered prefetched
+// values are delivered through recorded pops, so the drained history stays
+// conservation-complete and the fairness premise of the §11 bound (no
+// parking with non-empty buffers) holds at every task exit.
+
+// bufferedScenarioCap is the op-buffer threshold the buffered scenarios
+// arm. Small on purpose: the workloads are tens of ops per worker, and the
+// interesting schedules interleave partial buffers with reconfiguration,
+// not full-batch steady state.
+const bufferedScenarioCap = 4
+
+func runBufferedShrinkDuringDrain(seed uint64) (*Outcome, error) {
+	return directedBufferedShrinkDuringDrain(seed, director.NewSeededRandom(seed))
+}
+
+func directedBufferedShrinkDuringDrain(seed uint64, strat director.Strategy) (*Outcome, error) {
+	cfgWide := core.Config{Width: 4, Depth: 4, Shift: 1, RandomHops: 0}
+	cfgNarrow := core.Config{Width: 2, Depth: 4, Shift: 1, RandomHops: 0}
+	st, err := core.New[uint64](cfgWide)
+	if err != nil {
+		return nil, err
+	}
+	var o quality.Oracle
+	var errs []error
+	d := director.New(strat)
+	for w := 0; w < 2; w++ {
+		d.Go("filler", func(tc *director.Task) {
+			h := st.NewHandle()
+			h.SetOpBuffer(bufferedScenarioCap)
+			for i := 0; i < 10; i++ {
+				pushOp(tc, h.BufferedPush, &o, &errs)
+			}
+			h.FlushOps()
+		})
+	}
+	for w := 0; w < 2; w++ {
+		d.Go("drainer", func(tc *director.Task) {
+			h := st.NewHandle()
+			h.SetOpBuffer(bufferedScenarioCap)
+			for i := 0; i < 10; i++ {
+				popOp(tc, h.BufferedPop, &o, &errs)
+			}
+			// Deliver what the last refill prefetched but did not serve —
+			// each of these pops is satisfied from the prefetch, so the
+			// count is exact.
+			_, undelivered := h.BufferedCounts()
+			for i := 0; i < undelivered; i++ {
+				popOp(tc, h.BufferedPop, &o, &errs)
+			}
+		})
+	}
+	d.Go("shrink", func(tc *director.Task) {
+		for i := 0; i < 6; i++ {
+			tc.Yield()
+		}
+		if err := st.Reconfigure(cfgNarrow); err != nil {
+			errs = append(errs, err)
+		}
+	})
+	if err := d.Run(); err != nil {
+		return nil, err
+	}
+	h := st.NewHandle()
+	drainInto(d, h.Pop, &o, &errs)
+	k := cfgWide.K()
+	if n := cfgNarrow.K(); n > k {
+		k = n
+	}
+	out, err := finishStackOutcome(NameBufferedShrinkDuringDrain, strat.Name(), seed, d,
+		k, st.ShrinkDisplacementBound(), seqspec.BufferAllowance(4, bufferedScenarioCap), errs)
+	if out != nil {
+		out.Quality = o.Snapshot()
+	}
+	return out, err
+}
+
+func runBufferedSwapDuringStorm(seed uint64) (*Outcome, error) {
+	return directedBufferedSwapDuringStorm(seed, director.NewSeededRandom(seed))
+}
+
+func directedBufferedSwapDuringStorm(seed uint64, strat director.Strategy) (*Outcome, error) {
+	twod, err := relax.NewTwoDBackend[uint64](core.Config{Width: 2, Depth: 4, Shift: 1, RandomHops: 0})
+	if err != nil {
+		return nil, err
+	}
+	sw, err := engine.New(twod)
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.Register(relax.NewTreiberBackend[uint64]()); err != nil {
+		return nil, err
+	}
+	var o quality.Oracle
+	var errs []error
+	d := director.New(strat)
+	for w := 0; w < 3; w++ {
+		d.Go("storm", func(tc *director.Task) {
+			h := sw.NewBufferedHandle(bufferedScenarioCap)
+			for i := 0; i < 6; i++ {
+				pushOp(tc, h.BufferedPush, &o, &errs)
+				if i%2 == 1 {
+					popOp(tc, h.BufferedPop, &o, &errs)
+				}
+			}
+			h.FlushOps() // the engine buffer holds no prefetch to deliver
+		})
+	}
+	d.Go("swapper", func(tc *director.Task) {
+		for i := 0; i < 4; i++ {
+			tc.Yield()
+		}
+		if err := sw.SwapBackend("treiber", "buffered directed storm"); err != nil {
+			errs = append(errs, err)
+		}
+		for i := 0; i < 4; i++ {
+			tc.Yield()
+		}
+		if err := sw.SwapBackend("2D-stack", "buffered directed storm return"); err != nil {
+			errs = append(errs, err)
+		}
+	})
+	if err := d.Run(); err != nil {
+		return nil, err
+	}
+	h := sw.NewHandle()
+	drainInto(d, h.Pop, &o, &errs)
+	out, err := finishStackOutcome(NameBufferedSwapDuringStorm, strat.Name(), seed, d,
+		sw.KBound(), sw.SwapDisplacementBound(), seqspec.BufferAllowance(3, bufferedScenarioCap), errs)
 	if out != nil {
 		out.Quality = o.Snapshot()
 	}
@@ -466,7 +630,7 @@ func directedSocketSkew(seed uint64, strat director.Strategy) (*Outcome, error) 
 	}
 	h := st.NewHandle()
 	drainInto(d, h.Pop, &o, &errs)
-	out, err := finishStackOutcome(NameSocketSkew, strat.Name(), seed, d, cfg.K(), 0, errs)
+	out, err := finishStackOutcome(NameSocketSkew, strat.Name(), seed, d, cfg.K(), 0, 0, errs)
 	if out != nil {
 		out.Quality = o.Snapshot()
 	}
@@ -548,7 +712,7 @@ func FrontierDirected(cfg core.Config, seed uint64, strat director.Strategy) (*O
 	}
 	h := st.NewHandle()
 	drainInto(d, h.Pop, &o, &errs)
-	out, err := finishStackOutcome(NameGuidedFrontier, strat.Name(), seed, d, cfg.K(), 0, errs)
+	out, err := finishStackOutcome(NameGuidedFrontier, strat.Name(), seed, d, cfg.K(), 0, 0, errs)
 	if out != nil {
 		out.Quality = o.Snapshot()
 	}
@@ -576,7 +740,7 @@ func FrontierBuilder(cfg core.Config, seed uint64, sink **Outcome) director.Buil
 		finish := func(d *director.Director) error {
 			h := st.NewHandle()
 			drainInto(d, h.Pop, &o, &errs)
-			out, ferr := finishStackOutcome(NameGuidedFrontier, "guided", seed, d, cfg.K(), 0, errs)
+			out, ferr := finishStackOutcome(NameGuidedFrontier, "guided", seed, d, cfg.K(), 0, 0, errs)
 			if out != nil {
 				out.Quality = o.Snapshot()
 				*sink = out

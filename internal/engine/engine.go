@@ -310,12 +310,27 @@ func (s *Switcher[T]) StatsSnapshot() core.OpStats {
 // a fresh inner handle on the new backend.
 func (s *Switcher[T]) NewHandle() relax.Handle[T] { return &Handle[T]{sw: s} }
 
+// NewBufferedHandle returns a handle armed with an operation buffer of
+// combined-publication threshold n (see Handle.SetOpBuffer) — the concrete
+// type, since relax.Handle does not speak buffering.
+func (s *Switcher[T]) NewBufferedHandle(n int) *Handle[T] {
+	h := &Handle[T]{sw: s}
+	h.SetOpBuffer(n)
+	return h
+}
+
 // Handle is the switcher's per-goroutine operation context. Not safe for
 // concurrent use of the same handle.
 type Handle[T any] struct {
 	sw    *Switcher[T]
 	cur   *slot[T]
 	inner relax.Handle[T]
+
+	// bufCap/pending implement engine-level operation buffering
+	// (SetOpBuffer; see opbuffer.go). Pending values belong to the handle,
+	// not to any backend, which is what makes buffering swap-safe.
+	bufCap  int
+	pending []T
 }
 
 // pin acquires the active slot for one operation: pin first, then check

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"testing"
+
+	"stack2d/internal/relax"
+)
+
+// TestBufferedHandleElidesAndPublishes pins the engine buffer's local
+// semantics: pending pushes are invisible to the backend until flush, a
+// buffered pop elides against the newest pending push, and the cap
+// triggers a combined publish.
+func TestBufferedHandleElidesAndPublishes(t *testing.T) {
+	sw := newSwitcher(t, relax.TreiberStack)
+	h := sw.NewBufferedHandle(4)
+	if got := h.OpBuffer(); got != 4 {
+		t.Fatalf("OpBuffer = %d, want 4", got)
+	}
+
+	h.BufferedPush(1)
+	h.BufferedPush(2)
+	h.BufferedPush(3)
+	if got := sw.Len(); got != 0 {
+		t.Fatalf("backend Len = %d with 3 pending pushes, want 0", got)
+	}
+	if got := h.BufferedCounts(); got != 3 {
+		t.Fatalf("BufferedCounts = %d, want 3", got)
+	}
+	// Elision: the newest pending push is served locally, no publication.
+	if v, ok := h.BufferedPop(); !ok || v != 3 {
+		t.Fatalf("BufferedPop = (%d,%t), want (3,true)", v, ok)
+	}
+	if got := sw.Len(); got != 0 {
+		t.Fatalf("backend Len = %d after elided pop, want 0", got)
+	}
+
+	// The fourth pending value reaches the cap and publishes all four.
+	h.BufferedPush(4)
+	h.BufferedPush(5)
+	if got, want := sw.Len(), 4; got != want {
+		t.Fatalf("backend Len = %d after cap publish, want %d", got, want)
+	}
+	if got := h.BufferedCounts(); got != 0 {
+		t.Fatalf("BufferedCounts = %d after cap publish, want 0", got)
+	}
+
+	// Disarming (or re-arming) flushes whatever is pending.
+	h.BufferedPush(6)
+	h.SetOpBuffer(0)
+	if got, want := sw.Len(), 5; got != want {
+		t.Fatalf("backend Len = %d after disarm, want %d", got, want)
+	}
+	// Disarmed handles behave exactly like plain ones.
+	h.BufferedPush(7)
+	if got, want := sw.Len(), 6; got != want {
+		t.Fatalf("disarmed BufferedPush did not publish immediately: Len = %d, want %d", got, want)
+	}
+}
+
+// TestBufferedHandleSurvivesSwap pins the swap-safety property the package
+// comment claims: values pending at swap time are neither stranded in the
+// retired backend nor migrated twice — they publish into whichever backend
+// is active at flush time, and a full drain sees every value exactly once.
+func TestBufferedHandleSurvivesSwap(t *testing.T) {
+	sw := newSwitcher(t, relax.TwoDStack, relax.TreiberStack)
+	h := sw.NewBufferedHandle(8)
+
+	// Two published values (via the plain path) and three pending ones.
+	h.Push(1)
+	h.Push(2)
+	h.BufferedPush(10)
+	h.BufferedPush(11)
+	h.BufferedPush(12)
+
+	if _, err := sw.Swap("treiber", "buffered swap test"); err != nil {
+		t.Fatal(err)
+	}
+	// The swap migrated only the published values.
+	if recs := sw.Swaps(); len(recs) != 1 || recs[0].Migrated != 2 {
+		t.Fatalf("swap records %+v, want one swap with Migrated=2", recs)
+	}
+
+	h.FlushOps()
+	if got, want := sw.Len(), 5; got != want {
+		t.Fatalf("Len = %d after post-swap flush, want %d", got, want)
+	}
+	seen := map[uint64]int{}
+	for _, v := range sw.Drain() {
+		seen[v]++
+	}
+	for _, v := range []uint64{1, 2, 10, 11, 12} {
+		if seen[v] != 1 {
+			t.Fatalf("drain saw value %d %d times, want exactly once (all: %v)", v, seen[v], seen)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"stack2d/internal/core"
+	"stack2d/internal/seqspec"
+	"stack2d/internal/twodqueue"
+)
+
+// Buffered-mode conformance: phased runs with every worker's handle armed
+// with an op buffer, recorded and distance-checked under the documented
+// budget K + ShrinkDisplacementBound + seqspec.BufferAllowance (DESIGN.md
+// §11). The phases keep all workers active throughout — the fairness
+// premise of the BufferAllowance bound forbids parking a worker with a
+// non-empty buffer (see the package note in buffered.go).
+
+// bufferedPhases is reconfigPhases with every worker active in every
+// phase.
+func bufferedPhases(workers int, d time.Duration) []Phase {
+	return []Phase{
+		{Name: "warm", Duration: d, Workers: workers, PushRatio: 0.55, ThinkSpin: 128},
+		{Name: "churn", Duration: d, Workers: workers, PushRatio: 0.5, ThinkSpin: 128},
+	}
+}
+
+// TestConformanceKDistanceBufferedStack hammers a 2D-Stack through
+// buffered handles while the geometry grows and shrinks mid-traffic
+// (exercising the epoch flush and the warm shrink handoff under
+// buffering), then replays the history through KStackChecker with the
+// composed budget.
+func TestConformanceKDistanceBufferedStack(t *testing.T) {
+	const workers, bufCap = 8, 8
+	start := core.Config{Width: 4, Depth: 8, Shift: 8, RandomHops: 1}
+	schedule := []core.Config{
+		{Width: 8, Depth: 16, Shift: 8, RandomHops: 1}, // grow + deepen
+		{Width: 2, Depth: 8, Shift: 8, RandomHops: 1},  // shrink: warm handoff
+		{Width: 6, Depth: 8, Shift: 4, RandomHops: 1},  // regrow
+	}
+	s := core.MustNew[uint64](start)
+
+	maxK := start.K()
+	for _, cfg := range schedule {
+		if k := cfg.K(); k > maxK {
+			maxK = k
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, cfg := range schedule {
+			time.Sleep(15 * time.Millisecond)
+			if err := s.Reconfigure(cfg); err != nil {
+				t.Errorf("Reconfigure(%+v): %v", cfg, err)
+				return
+			}
+		}
+	}()
+
+	res, err := RunPhasedBuffered(s, bufCap, bufferedPhases(workers, 60*time.Millisecond), PhasedWorkload{
+		MaxWorkers: workers, Prefill: 512, Seed: 17, Record: true,
+	})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("Record produced no history")
+	}
+
+	checker := seqspec.KStackChecker{
+		K:               maxK,
+		Allowance:       s.ShrinkDisplacementBound(),
+		BufferAllowance: seqspec.BufferAllowance(workers, bufCap),
+	}
+	rep, err := checker.Check(res.History)
+	if err != nil {
+		t.Fatalf("k-distance check failed (k=%d allowance=%d buffer=%d): %v",
+			checker.K, checker.Allowance, checker.BufferAllowance, err)
+	}
+	t.Logf("buffered stack hammer: %d ops, %d pops, maxDist=%d maxStrain=%d (k=%d allowance=%d buffer=%d)",
+		len(res.History), rep.Pops, rep.MaxDistance, rep.MaxStrain,
+		checker.K, checker.Allowance, checker.BufferAllowance)
+}
+
+// TestConformanceKDistanceBufferedQueue is the queue counterpart: buffered
+// enqueue batching and dequeue prefetching across a growth and a
+// warm-handoff shrink, budgeted with the summed K (DESIGN.md §5) plus the
+// shrink and buffer allowances.
+func TestConformanceKDistanceBufferedQueue(t *testing.T) {
+	const workers, bufCap = 8, 8
+	start := twodqueue.Config{Width: 4, Depth: 8, Shift: 8, RandomHops: 1}
+	schedule := []twodqueue.Config{
+		{Width: 8, Depth: 16, Shift: 8, RandomHops: 1}, // grow + deepen
+		{Width: 2, Depth: 8, Shift: 8, RandomHops: 1},  // shrink: warm handoff
+	}
+	q := twodqueue.MustNew[uint64](start)
+
+	sumK := start.K()
+	for _, cfg := range schedule {
+		sumK += cfg.K()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, cfg := range schedule {
+			time.Sleep(20 * time.Millisecond)
+			if err := q.Reconfigure(cfg); err != nil {
+				t.Errorf("Reconfigure(%+v): %v", cfg, err)
+				return
+			}
+		}
+	}()
+
+	res, err := RunPhasedQueueBuffered(q, bufCap, bufferedPhases(workers, 60*time.Millisecond), PhasedWorkload{
+		MaxWorkers: workers, Prefill: 512, Seed: 19, Record: true,
+	})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checker := seqspec.KFIFOChecker{
+		K:               sumK,
+		Allowance:       q.ShrinkDisplacementBound(),
+		BufferAllowance: seqspec.BufferAllowance(workers, bufCap),
+	}
+	rep, err := checker.Check(res.History)
+	if err != nil {
+		t.Fatalf("k-distance check failed (k=%d allowance=%d buffer=%d): %v",
+			checker.K, checker.Allowance, checker.BufferAllowance, err)
+	}
+	t.Logf("buffered queue hammer: %d ops, %d deqs, maxDist=%d maxStrain=%d (k=%d allowance=%d buffer=%d)",
+		len(res.History), rep.Pops, rep.MaxDistance, rep.MaxStrain,
+		checker.K, checker.Allowance, checker.BufferAllowance)
+}

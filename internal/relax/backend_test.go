@@ -1,6 +1,7 @@
 package relax
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -168,6 +169,71 @@ func TestBackendStatsSnapshotConcurrent(t *testing.T) {
 			st := b.StatsSnapshot()
 			if st.Pushes != 4*2000 {
 				t.Fatalf("pushes = %d, want %d", st.Pushes, 4*2000)
+			}
+		})
+	}
+}
+
+// TestBackendMirrorSnapshotConsistency is the regression for the mirror
+// seqlock (core.SharedCounters.Load/Store): every snapshot taken while
+// handles flush must be cross-field consistent per mirror. Workers run
+// push-then-pop pairs and flush after every operation, so a consistent
+// mirror always shows Pops <= Pushes with the gap at most one per handle;
+// the old per-field loads could pair a stale Pushes with a fresh Pops
+// (Pops > Pushes) or drift by a whole flush interval. Covers both registry
+// sides: the 2D backend reads core.Stack's own registry, Treiber the
+// adapters' statsRegistry.
+func TestBackendMirrorSnapshotConsistency(t *testing.T) {
+	for _, a := range []Algorithm{TwoDStack, TreiberStack} {
+		a := a
+		t.Run(a.String(), func(t *testing.T) {
+			const nWorkers, pairs = 4, 3000
+			b, err := NewDefaultBackend[int](a, nWorkers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var workers sync.WaitGroup
+			stop := make(chan struct{})
+			for w := 0; w < nWorkers; w++ {
+				workers.Add(1)
+				go func() {
+					defer workers.Done()
+					h := b.NewHandle()
+					for i := 0; i < pairs; i++ {
+						h.Push(i)
+						h.Flush() // mid-pair: mirror shows Pushes == Pops+1
+						h.Pop()
+						h.Flush()
+					}
+				}()
+			}
+			var torn error
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					st := b.StatsSnapshot()
+					if st.Pops > st.Pushes || st.Pushes-st.Pops > nWorkers {
+						torn = fmt.Errorf("torn snapshot: Pushes=%d Pops=%d (gap must be in [0,%d])",
+							st.Pushes, st.Pops, nWorkers)
+						return
+					}
+				}
+			}()
+			workers.Wait()
+			close(stop)
+			<-done
+			if torn != nil {
+				t.Fatal(torn)
+			}
+			st := b.StatsSnapshot()
+			if st.Pushes != nWorkers*pairs || st.Pops != nWorkers*pairs {
+				t.Fatalf("final snapshot %d/%d, want %d/%d", st.Pushes, st.Pops, nWorkers*pairs, nWorkers*pairs)
 			}
 		})
 	}

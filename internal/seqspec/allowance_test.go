@@ -91,6 +91,41 @@ func TestCombinedAllowanceBudget(t *testing.T) {
 	}
 }
 
+// BufferAllowance composes additively with K and Allowance on both
+// checkers, and the helper implements the DESIGN.md §11 bound 3·P·cap.
+func TestBufferAllowanceBudget(t *testing.T) {
+	if got := BufferAllowance(4, 16); got != 192 {
+		t.Fatalf("BufferAllowance(4,16) = %d, want 192", got)
+	}
+	if got := BufferAllowance(0, 16); got != 0 {
+		t.Fatalf("BufferAllowance(0,16) = %d, want 0", got)
+	}
+	if got := BufferAllowance(-1, 16); got != 0 {
+		t.Fatalf("BufferAllowance(-1,16) = %d, want 0 (clamped)", got)
+	}
+	const k, shrink = 5, 3
+	buf := BufferAllowance(2, 2) // 12
+	budget := int(k + shrink + int64(buf))
+
+	hist := SequentialIntervals(stackDistanceHistory(budget))
+	if _, err := (KStackChecker{K: k, Allowance: shrink, BufferAllowance: buf}).Check(hist); err != nil {
+		t.Fatalf("distance %d must pass k=%d allowance=%d buffer=%d: %v", budget, k, shrink, buf, err)
+	}
+	over := SequentialIntervals(stackDistanceHistory(budget + 1))
+	if _, err := (KStackChecker{K: k, Allowance: shrink, BufferAllowance: buf}).Check(over); err == nil {
+		t.Fatalf("distance %d must fail k=%d allowance=%d buffer=%d", budget+1, k, shrink, buf)
+	}
+
+	fhist := SequentialIntervals(fifoDistanceHistory(budget))
+	if _, err := (KFIFOChecker{K: k, Allowance: shrink, BufferAllowance: buf}).Check(fhist); err != nil {
+		t.Fatalf("FIFO distance %d must pass with composed budget: %v", budget, err)
+	}
+	fover := SequentialIntervals(fifoDistanceHistory(budget + 1))
+	if _, err := (KFIFOChecker{K: k, Allowance: shrink, BufferAllowance: buf}).Check(fover); err == nil {
+		t.Fatalf("FIFO distance %d must fail with composed budget", budget+1)
+	}
+}
+
 // The allowance also widens the empty-report budget: a pop may report empty
 // with up to K+Allowance items provably present (displaced items are
 // invisible to a window walk mid-migration).

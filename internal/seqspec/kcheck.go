@@ -64,15 +64,24 @@ type KStackChecker struct {
 	// structure's ShrinkDisplacementBound after width shrinks. Zero when
 	// no reconfiguration displaced items.
 	Allowance int64
+	// BufferAllowance is the displacement budget for per-handle operation
+	// buffering (core.Handle.SetOpBuffer): buffered operations linearize at
+	// their publish/serve point, not at their API call, and the Begin-order
+	// replay charges that deferral as distance. Set it with the
+	// BufferAllowance helper when any recorded handle ran with an armed op
+	// buffer; zero otherwise. See DESIGN.md §11 for the accounting argument
+	// and its fairness premise.
+	BufferAllowance int64
 }
 
 // Check replays the history and reports the realised distances. It fails
 // on conservation violations (a popped value never pushed, or popped
 // twice), on causality violations (a pop returning a value whose push
 // began only after the pop returned), and on any pop or empty report whose
-// distance exceeds K + Allowance + its measurement slack.
+// distance exceeds K + Allowance + BufferAllowance + its measurement
+// slack.
 func (c KStackChecker) Check(ops []IntervalOp) (KDistanceReport, error) {
-	return checkKDistance(ops, c.K, c.Allowance, false)
+	return checkKDistance(ops, c.K, c.Allowance+c.BufferAllowance, false)
 }
 
 // KFIFOChecker is KStackChecker's queue counterpart: OpPush records an
@@ -87,12 +96,33 @@ type KFIFOChecker struct {
 	// Allowance is extra displacement budget beyond K; see
 	// KStackChecker.Allowance.
 	Allowance int64
+	// BufferAllowance is the op-buffering displacement budget; see
+	// KStackChecker.BufferAllowance.
+	BufferAllowance int64
 }
 
 // Check replays the history and reports the realised distances; semantics
 // as in KStackChecker.Check with FIFO distance measurement.
 func (c KFIFOChecker) Check(ops []IntervalOp) (KDistanceReport, error) {
-	return checkKDistance(ops, c.K, c.Allowance, true)
+	return checkKDistance(ops, c.K, c.Allowance+c.BufferAllowance, true)
+}
+
+// BufferAllowance bounds the extra out-of-order distance attributable to
+// per-handle operation buffering, for a recording with `handles` buffered
+// handles of combined-publication threshold `cap` (DESIGN.md §11). The
+// three terms, each at most handles·cap: pending residency (every handle
+// may hold up to cap unpublished pushes), prefetch residency (up to cap
+// popped-but-undelivered values), and delivery staleness (a served
+// prefetched value aged by at most (handles−1)·cap foreign buffered ops
+// since its refill, under the fairness premise that every handle publishes
+// within its next cap own-operations). The bound also covers the batch
+// primitives' deferred counter bump (one run ≤ cap uncounted operations
+// per in-flight batch).
+func BufferAllowance(handles, cap int) int64 {
+	if handles < 0 || cap < 0 {
+		return 0
+	}
+	return 3 * int64(handles) * int64(cap)
 }
 
 // SequentialIntervals converts a completion-order history into an

@@ -226,13 +226,23 @@ func (q *Queue[T]) Width() int { return q.geo.Load().width }
 // successful reconfiguration. Diagnostics only.
 func (q *Queue[T]) Epoch() uint64 { return q.geo.Load().epoch }
 
-// Len sums sub-queue populations; approximate under concurrency.
+// Len sums sub-queue populations plus every live handle's buffered
+// residents (pending enqueues and prefetched-but-undelivered values), so
+// op-buffered items are never phantom-invisible to sizing; approximate
+// under concurrency.
 func (q *Queue[T]) Len() int {
 	g := q.geo.Load()
 	n := 0
 	for i := range g.subs {
 		n += g.subs[i].q.Len()
 	}
+	q.hMu.Lock()
+	for _, e := range q.handles {
+		if h := e.wp.Value(); h != nil {
+			n += int(h.bufCount.Load())
+		}
+	}
+	q.hMu.Unlock()
 	return n
 }
 
@@ -263,7 +273,9 @@ func (q *Queue[T]) SubLens() []int {
 	return out
 }
 
-// Drain removes all items; teardown/testing helper.
+// Drain removes all items; teardown/testing helper. Handles with armed op
+// buffers must FlushOps first — Drain only sees published items (buffered
+// residents belong to their owning goroutines).
 func (q *Queue[T]) Drain() []T {
 	h := q.NewHandle()
 	var out []T
@@ -319,6 +331,16 @@ type Handle[T any] struct {
 	// or 0 when idle. Written only by the owner, read by reconfigurers to
 	// detect quiescence of a superseded geometry.
 	epoch atomic.Uint64
+
+	// Operation-buffer state (buffer.go); all owner-goroutine only except
+	// bufCount, the atomically readable resident total that Queue.Len sums
+	// through the registry.
+	bufCap    int
+	pending   []T
+	prefetch  []T
+	prefStart int
+	bufEpoch  uint64
+	bufCount  atomic.Int64
 
 	// shared is the periodically flushed, atomically readable copy of
 	// stats, consumed by Queue.StatsSnapshot; a separate allocation so the
@@ -399,17 +421,31 @@ func (h *Handle[T]) probe(geo *geometry[T]) (ord, pos []int, localN int) {
 	return h.planOrd, h.planPos, h.planLocalN
 }
 
-// pin publishes the handle as active on the current geometry and returns
+// armLatSample opens a latency sample: reset the countdown, mark sampling,
+// read the clock. Noinline keeps the arm body (and the time.Now call) out
+// of pin's inlined fast path — the countdown test is the only sampling
+// instruction an unsampled operation executes, exactly as in core.Handle.
+//
+//go:noinline
+func (h *Handle[T]) armLatSample() {
+	h.latCountdown = latencySampleInterval
+	h.latSampling = true
+	h.latStart = time.Now()
+}
+
+// closeLatSample records the in-flight sample's bucket; noinline for the
+// same reason as armLatSample.
+//
+//go:noinline
+func (h *Handle[T]) closeLatSample() {
+	h.latSampling = false
+	h.stats.Latency[core.LatencyBucket(time.Since(h.latStart))]++
+}
+
+// pinGeo publishes the handle as active on the current geometry and returns
 // it; the re-check after the epoch store closes the race with a concurrent
-// geometry swap (see core.Handle.pin). pin also opens the 1-in-N latency
-// sample closed by unpin, mirroring the stack's sampler.
-func (h *Handle[T]) pin() *geometry[T] {
-	h.latCountdown--
-	if h.latCountdown <= 0 {
-		h.latCountdown = latencySampleInterval
-		h.latSampling = true
-		h.latStart = time.Now()
-	}
+// geometry swap (see core.Handle.pinGeo).
+func (h *Handle[T]) pinGeo() *geometry[T] {
 	for {
 		geo := h.q.geo.Load()
 		h.epoch.Store(geo.epoch)
@@ -425,13 +461,30 @@ func (h *Handle[T]) pin() *geometry[T] {
 	}
 }
 
+// pin is pinGeo plus the 1-in-N latency sample decision closed by unpin,
+// mirroring the stack's sampler.
+func (h *Handle[T]) pin() *geometry[T] {
+	h.latCountdown--
+	if h.latCountdown <= 0 {
+		h.armLatSample()
+	}
+	return h.pinGeo()
+}
+
+// pinBatch is pin without the sampling countdown: a batch is many
+// operations under one pin, so it must neither open a sample nor consume a
+// countdown tick (see core.Handle.pinBatch for the stride bug this fixes;
+// TestQueueLatencySampleStridePinned pins the queue side).
+func (h *Handle[T]) pinBatch() *geometry[T] {
+	return h.pinGeo()
+}
+
 // unpin marks the handle idle, closes an in-flight latency sample, and
 // periodically publishes its counters.
 func (h *Handle[T]) unpin() {
 	h.epoch.Store(0)
 	if h.latSampling {
-		h.latSampling = false
-		h.stats.Latency[core.LatencyBucket(time.Since(h.latStart))]++
+		h.closeLatSample()
 	}
 	h.maybeFlush()
 }

@@ -32,6 +32,10 @@ type builder struct {
 	// observer is set by WithObserver and installed on the freshly built
 	// stack; like placement, a structure setting rather than a Config field.
 	observer StructObserver
+
+	// opBuffer is set by WithOpBuffer: every handle the stack creates is
+	// armed with an operation buffer of this threshold (0 = off).
+	opBuffer int
 }
 
 // geomOverrides carries the explicit structural options shared by the stack
@@ -182,4 +186,18 @@ const (
 // calling SetObserver immediately after New.
 func WithObserver(o StructObserver) Option {
 	return func(b *builder) { b.observer = o }
+}
+
+// WithOpBuffer arms per-handle operation buffering with a combined-
+// publication threshold of n operations: each handle batches its pushes
+// locally and publishes them as one combined batch when n are pending, and
+// refills a local pop prefetch n values at a time — the raw-speed
+// campaign's fast path (DESIGN.md §11). Buffered operations take effect at
+// their publish/serve point rather than at the call, relaxing order by at
+// most 3·P·n extra positions across P handles; call Handle.Flush before
+// quiescing or draining. n <= 0 leaves buffering off (the default). The
+// pooled convenience API (Stack.Push/Pop) never buffers — a pooled
+// handle's residents would outlive the call that created them.
+func WithOpBuffer(n int) Option {
+	return func(b *builder) { b.opBuffer = n }
 }

@@ -18,6 +18,9 @@ import (
 // Create with NewQueue; use one QueueHandle per goroutine on hot paths.
 type Queue[T any] struct {
 	inner *twodqueue.Queue[T]
+	// opBuffer is WithQueueOpBuffer's threshold; NewHandle arms it on
+	// every handle.
+	opBuffer int
 }
 
 // QueueConfig re-exports the 2D-Queue tuning parameters: Width sub-queues,
@@ -41,6 +44,10 @@ type queueBuilder struct {
 	// observer is set by WithQueueObserver and installed on the freshly
 	// built queue, as in the stack's builder.
 	observer StructObserver
+
+	// opBuffer is set by WithQueueOpBuffer: every handle the queue creates
+	// is armed with an operation buffer of this threshold (0 = off).
+	opBuffer int
 }
 
 // applyQueueOptions runs the option list over a fresh queue builder.
@@ -110,6 +117,18 @@ func WithQueueObserver(o StructObserver) QueueOption {
 	return func(b *queueBuilder) { b.observer = o }
 }
 
+// WithQueueOpBuffer arms per-handle operation buffering with a combined-
+// publication threshold of n operations — WithOpBuffer for the 2D-Queue
+// (DESIGN.md §11). Enqueues batch locally and publish combined; dequeues
+// serve from an n-value prefetch. Pending enqueues are never served back
+// to their own handle (that would maximise FIFO displacement); a dequeue
+// finding the structure empty flushes them and retries instead. Call
+// QueueHandle.Flush before quiescing or draining. n <= 0 leaves buffering
+// off (the default).
+func WithQueueOpBuffer(n int) QueueOption {
+	return func(b *queueBuilder) { b.opBuffer = n }
+}
+
 // NewQueue builds a 2D-Queue configured by the supplied options; without
 // options it is tuned for runtime.GOMAXPROCS(0) threads (width 4P,
 // depth 64), matching New's behaviour for the stack. Invalid combinations
@@ -127,6 +146,7 @@ func NewQueue[T any](opts ...QueueOption) *Queue[T] {
 	if b.placePolicy != nil {
 		q.inner.SetPlacement(b.placePolicy, b.placeSockets)
 	}
+	q.opBuffer = b.opBuffer
 	return q
 }
 
@@ -139,22 +159,81 @@ func NewQueueWithConfig[T any](cfg QueueConfig) (*Queue[T], error) {
 	return &Queue[T]{inner: inner}, nil
 }
 
-// QueueHandle is the per-goroutine operation context for a Queue.
+// QueueHandle is the per-goroutine operation context for a Queue. On a
+// queue built WithQueueOpBuffer the handle additionally batches its
+// operations for combined publication (see WithQueueOpBuffer and Flush).
 type QueueHandle[T any] struct {
-	h *twodqueue.Handle[T]
+	h        *twodqueue.Handle[T]
+	buffered bool
 }
 
-// NewHandle returns a fresh handle anchored at random sub-queues.
+// NewHandle returns a fresh handle anchored at random sub-queues; on a
+// queue built WithQueueOpBuffer the handle comes armed with its op buffer.
 func (q *Queue[T]) NewHandle() *QueueHandle[T] {
-	return &QueueHandle[T]{h: q.inner.NewHandle()}
+	h := &QueueHandle[T]{h: q.inner.NewHandle()}
+	if q.opBuffer > 0 {
+		h.h.SetOpBuffer(q.opBuffer)
+		h.buffered = true
+	}
+	return h
 }
 
-// Enqueue adds v at the (relaxed) back of the queue.
-func (h *QueueHandle[T]) Enqueue(v T) { h.h.Enqueue(v) }
+// Enqueue adds v at the (relaxed) back of the queue (through the op buffer
+// when armed).
+func (h *QueueHandle[T]) Enqueue(v T) {
+	if h.buffered {
+		h.h.BufferedEnqueue(v)
+		return
+	}
+	h.h.Enqueue(v)
+}
 
-// Dequeue removes and returns a value from near the front; ok is false
-// when the queue is empty.
-func (h *QueueHandle[T]) Dequeue() (v T, ok bool) { return h.h.Dequeue() }
+// Dequeue removes and returns a value from near the front (through the op
+// buffer when armed); ok is false when the queue is empty.
+func (h *QueueHandle[T]) Dequeue() (v T, ok bool) {
+	if h.buffered {
+		return h.h.BufferedDequeue()
+	}
+	return h.h.Dequeue()
+}
+
+// EnqueueBatch enqueues all values in order with one window-counter bump
+// per placement run, amortising the coherence traffic of len(vs)
+// singleton enqueues. On a buffered handle any pending buffered enqueues
+// are published first, preserving program order.
+func (h *QueueHandle[T]) EnqueueBatch(vs []T) {
+	if h.buffered {
+		h.h.FlushOps()
+	}
+	h.h.EnqueueBatch(vs)
+}
+
+// DequeueBatch removes up to max values, front-first; it returns fewer
+// when the queue runs out of items. On a buffered handle the values flow
+// through the op buffer, so earlier prefetched values are delivered first.
+func (h *QueueHandle[T]) DequeueBatch(max int) []T {
+	if !h.buffered {
+		return h.h.DequeueBatch(max)
+	}
+	out := make([]T, 0, max)
+	for len(out) < max {
+		v, ok := h.h.BufferedDequeue()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// Flush publishes the handle's buffered enqueues immediately; a no-op on
+// an unbuffered handle. Call before quiescing, before Queue.Drain, or
+// before abandoning the handle.
+func (h *QueueHandle[T]) Flush() {
+	if h.buffered {
+		h.h.FlushOps()
+	}
+}
 
 // Len returns the total number of stored items; exact when quiescent.
 func (q *Queue[T]) Len() int { return q.inner.Len() }
@@ -175,6 +254,8 @@ func (q *Queue[T]) Config() QueueConfig { return q.inner.Config() }
 func (q *Queue[T]) SetObserver(o StructObserver) { q.inner.SetObserver(o) }
 
 // Drain removes and returns all items; teardown helper, not concurrent.
+// Buffered handles (WithQueueOpBuffer) must Flush first — Drain only sees
+// published items.
 func (q *Queue[T]) Drain() []T { return q.inner.Drain() }
 
 // StrictQueue is a strict (k = 0) lock-free FIFO queue — the classic

@@ -21,6 +21,9 @@ type Interface[T any] interface {
 type Stack[T any] struct {
 	inner *core.Stack[T]
 	pool  sync.Pool // of *core.Handle[T], for the handle-free convenience API
+	// opBuffer is WithOpBuffer's threshold; NewHandle arms it on every
+	// handle. Pooled handles (Stack.Push/Pop) always stay unbuffered.
+	opBuffer int
 }
 
 // New builds a 2D-Stack configured by the supplied options; without options
@@ -39,6 +42,7 @@ func New[T any](opts ...Option) *Stack[T] {
 	if b.placePolicy != nil {
 		s.inner.SetPlacement(b.placePolicy, b.placeSockets)
 	}
+	s.opBuffer = b.opBuffer
 	return s
 }
 
@@ -61,22 +65,50 @@ func NewWithConfig[T any](cfg Config) (*Stack[T], error) {
 // Handle is a per-goroutine operation context. A handle is not safe for
 // concurrent use; the Stack is, across handles. Using one handle per
 // goroutine is the fast path — it preserves the locality dimension of the
-// design.
+// design. On a stack built WithOpBuffer the handle additionally batches
+// its operations for combined publication (see WithOpBuffer and Flush).
 type Handle[T any] struct {
-	h *core.Handle[T]
+	h        *core.Handle[T]
+	buffered bool
 }
 
-// NewHandle returns a fresh handle anchored at a random sub-stack.
+// NewHandle returns a fresh handle anchored at a random sub-stack; on a
+// stack built WithOpBuffer the handle comes armed with its op buffer.
 func (s *Stack[T]) NewHandle() *Handle[T] {
-	return &Handle[T]{h: s.inner.NewHandle()}
+	h := &Handle[T]{h: s.inner.NewHandle()}
+	if s.opBuffer > 0 {
+		h.h.SetOpBuffer(s.opBuffer)
+		h.buffered = true
+	}
+	return h
 }
 
-// Push adds v to the stack.
-func (h *Handle[T]) Push(v T) { h.h.Push(v) }
+// Push adds v to the stack (through the op buffer when armed).
+func (h *Handle[T]) Push(v T) {
+	if h.buffered {
+		h.h.BufferedPush(v)
+		return
+	}
+	h.h.Push(v)
+}
 
-// Pop removes and returns a value within the relaxation window; ok is
-// false when the stack is empty.
-func (h *Handle[T]) Pop() (v T, ok bool) { return h.h.Pop() }
+// Pop removes and returns a value within the relaxation window (through
+// the op buffer when armed); ok is false when the stack is empty.
+func (h *Handle[T]) Pop() (v T, ok bool) {
+	if h.buffered {
+		return h.h.BufferedPop()
+	}
+	return h.h.Pop()
+}
+
+// Flush publishes the handle's buffered pushes immediately; a no-op on an
+// unbuffered handle. Call before quiescing, before Stack.Drain, or before
+// abandoning the handle.
+func (h *Handle[T]) Flush() {
+	if h.buffered {
+		h.h.FlushOps()
+	}
+}
 
 // TryPop attempts a single search pass without moving the window; ok=false
 // means "nothing found in the current window", which is cheaper but weaker
@@ -86,12 +118,32 @@ func (h *Handle[T]) TryPop() (v T, ok bool) { return h.h.TryPop() }
 // PushBatch pushes all values with as few descriptor CASes as the window
 // allows (vs[len-1] ends up topmost, as a loop of Push calls would leave
 // it). Batching amortises sub-stack search and coherence traffic without
-// weakening the Theorem 1 bound.
-func (h *Handle[T]) PushBatch(vs []T) { h.h.PushBatch(vs) }
+// weakening the Theorem 1 bound. On a buffered handle any pending buffered
+// pushes are published first, preserving program order.
+func (h *Handle[T]) PushBatch(vs []T) {
+	if h.buffered {
+		h.h.FlushOps()
+	}
+	h.h.PushBatch(vs)
+}
 
 // PopBatch removes up to max values, topmost-first; it returns fewer when
-// the stack runs out of items.
-func (h *Handle[T]) PopBatch(max int) []T { return h.h.PopBatch(max) }
+// the stack runs out of items. On a buffered handle the values flow
+// through the op buffer, so its residents are served first.
+func (h *Handle[T]) PopBatch(max int) []T {
+	if !h.buffered {
+		return h.h.PopBatch(max)
+	}
+	out := make([]T, 0, max)
+	for len(out) < max {
+		v, ok := h.h.BufferedPop()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
 
 var _ Interface[int] = (*Handle[int])(nil)
 
@@ -141,7 +193,8 @@ func (s *Stack[T]) K() int64 { return s.inner.Config().K() }
 func (s *Stack[T]) Config() Config { return s.inner.Config() }
 
 // Drain removes and returns all items; intended for teardown, not for use
-// concurrent with other operations.
+// concurrent with other operations. Buffered handles (WithOpBuffer) must
+// Flush first — Drain only sees published items.
 func (s *Stack[T]) Drain() []T { return s.inner.Drain() }
 
 // Strict is a strict (k = 0) lock-free LIFO stack — the classic Treiber
